@@ -1,0 +1,95 @@
+// E2/E3/E4 (+E12) — Figure 4 of the paper: batched TPCD queries.
+//
+// For each composite query BQ1..BQ6 (the first i of {Q3,Q5,Q7,Q8,Q9,Q10},
+// each repeated twice with different selection constants), prints the
+// estimated consolidated plan cost for stand-alone Volcano (no MQO), the
+// Greedy of Roy et al., and MarginalGreedy, plus the number of materialized
+// nodes (the number the paper prints above each bar) and the optimization
+// time (Figure 4c). Run once per dataset size:
+//   --scale=1   -> Figure 4a (1GB total size)
+//   --scale=100 -> Figure 4b (100GB total size)
+//   --memory=128 additionally reruns with 128MB operator memory (Section 6).
+// Without flags, both scales are run at the default 6MB memory.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util/table_printer.h"
+#include "catalog/tpcd.h"
+#include "common/string_util.h"
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+#include "workload/tpcd_queries.h"
+
+using namespace mqo;
+
+namespace {
+
+int RunScale(double scale, const CostParams& params, const char* label) {
+  std::printf("=== Figure 4 series: batched TPCD, %s ===\n\n", label);
+  TablePrinter table({"batch", "algorithm", "est. cost (s)", "vs Volcano",
+                      "#materialized", "opt. time (ms)", "bc() calls"});
+  int failures = 0;
+  for (int i = 1; i <= 6; ++i) {
+    Catalog catalog = MakeTpcdCatalog(scale);
+    Memo memo(&catalog);
+    memo.InsertBatch(MakeBatchedWorkload(i));
+    auto expanded = ExpandMemo(&memo);
+    if (!expanded.ok()) {
+      std::printf("BQ%d expansion failed: %s\n", i,
+                  expanded.status().ToString().c_str());
+      return 1;
+    }
+    BatchOptimizer optimizer(&memo, CostModel(params));
+    MaterializationProblem problem(&optimizer);
+
+    MqoResult results[3] = {RunVolcano(&problem), RunGreedy(&problem),
+                            RunMarginalGreedy(&problem)};
+    const double volcano = results[0].total_cost;
+    for (const MqoResult& r : results) {
+      char pct[32];
+      std::snprintf(pct, sizeof(pct), "-%.1f%%",
+                    100.0 * (volcano - r.total_cost) / volcano);
+      table.AddRow({"BQ" + std::to_string(i), r.algorithm,
+                    FormatCost(r.total_cost / 1000.0), pct,
+                    std::to_string(r.num_materialized),
+                    FormatDouble(r.optimization_time_ms, 2),
+                    std::to_string(r.optimizations)});
+    }
+    // Shape checks from the paper: MQO never loses to Volcano, and
+    // MarginalGreedy does as well as or better than Greedy.
+    if (results[1].total_cost > volcano + 1e-6) ++failures;
+    if (results[2].total_cost > results[1].total_cost * 1.001) ++failures;
+  }
+  table.Print();
+  std::printf("\n");
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = -1.0;
+  CostParams params;
+  bool large_memory = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = std::atof(argv[i] + 8);
+    if (std::strcmp(argv[i], "--memory=128") == 0) large_memory = true;
+  }
+  if (large_memory) params = LargeMemoryParams();
+
+  int failures = 0;
+  if (scale > 0) {
+    std::string label = (scale == 1 ? "1GB total size (Figure 4a)"
+                                    : scale == 100 ? "100GB total size (Figure 4b)"
+                                                   : "custom scale");
+    failures += RunScale(scale, params, label.c_str());
+  } else {
+    failures += RunScale(1, params, "1GB total size (Figure 4a)");
+    failures += RunScale(100, params, "100GB total size (Figure 4b)");
+  }
+  std::printf("shape checks: %s (%d violations)\n",
+              failures == 0 ? "OK" : "VIOLATED", failures);
+  return failures == 0 ? 0 : 1;
+}

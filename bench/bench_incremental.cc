@@ -1,0 +1,53 @@
+// E13 — ablation of incremental re-optimization (Roy et al.'s second
+// optimization, reused by the paper's Section 5.1): identical plans, far
+// fewer operator costings, and proportionally lower optimization times.
+
+#include <cstdio>
+
+#include "bench_util/table_printer.h"
+#include "catalog/tpcd.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+#include "workload/tpcd_queries.h"
+
+using namespace mqo;
+
+int main() {
+  std::printf("=== E13: incremental re-optimization ablation ===\n\n");
+  TablePrinter table({"batch", "mode", "greedy cost (s)", "marginal cost (s)",
+                      "op costings", "delta reuses", "wall (ms)"});
+  int failures = 0;
+  for (int bq : {2, 4, 6}) {
+    double costs[2][2];
+    for (int inc = 0; inc < 2; ++inc) {
+      Catalog catalog = MakeTpcdCatalog(1);
+      Memo memo(&catalog);
+      memo.InsertBatch(MakeBatchedWorkload(bq));
+      auto expanded = ExpandMemo(&memo);
+      if (!expanded.ok()) return 1;
+      BatchOptimizerOptions opts;
+      opts.incremental = inc == 1;
+      BatchOptimizer optimizer(&memo, CostModel(), opts);
+      MaterializationProblem problem(&optimizer);
+      WallTimer timer;
+      MqoResult g = RunGreedy(&problem);
+      MqoResult m = RunMarginalGreedy(&problem);
+      costs[inc][0] = g.total_cost;
+      costs[inc][1] = m.total_cost;
+      table.AddRow({"BQ" + std::to_string(bq), inc ? "incremental" : "fresh",
+                    FormatCost(g.total_cost / 1000.0),
+                    FormatCost(m.total_cost / 1000.0),
+                    std::to_string(optimizer.num_costings()),
+                    std::to_string(optimizer.num_incremental()),
+                    FormatDouble(timer.ElapsedMillis(), 1)});
+    }
+    if (std::abs(costs[0][0] - costs[1][0]) > 1e-6) ++failures;
+    if (std::abs(costs[0][1] - costs[1][1]) > 1e-6) ++failures;
+  }
+  table.Print();
+  std::printf("\nincremental == fresh plan costs: %s (%d violations)\n",
+              failures == 0 ? "OK" : "VIOLATED", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// E14 — the Section 3.1 remark: MarginalGreedy's answer coincides with
+// running Sviridenko's knapsack-constrained ratio greedy at the "right"
+// budget (the cost of MarginalGreedy's own answer / c(Θ)), while other
+// budgets over- or under-shoot — which is why one cannot replace
+// MarginalGreedy by a budget sweep in practice (the budget is unknown a
+// priori and sweeping is expensive).
+
+#include <cstdio>
+
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "submodular/algorithms.h"
+#include "submodular/instances.h"
+
+using namespace mqo;
+
+int main() {
+  std::printf("=== E14: MarginalGreedy vs Sviridenko budget sweep ===\n\n");
+  Rng rng(31);
+  TablePrinter table({"instance", "budget (xC*)", "knapsack f", "marginal f",
+                      "same set"});
+  int matches_at_cstar = 0;
+  int instances = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    FacilityLocationFunction f = FacilityLocationFunction::Random(12, 30, 4.0, &rng);
+    Decomposition d = CanonicalDecomposition(f);
+    for (double& c : d.costs) c = std::max(c, 1e-9);
+    GreedyResult mg = MarginalGreedy(f, d);
+    const double c_star = d.CostOf(mg.selected);
+    ++instances;
+    for (double scale : {0.5, 1.0, 2.0}) {
+      GreedyResult ks = KnapsackRatioGreedy(f, d, scale * std::max(c_star, 1e-9));
+      const bool same = ks.selected == mg.selected;
+      if (scale == 1.0 && same) ++matches_at_cstar;
+      table.AddRow({"facloc#" + std::to_string(trial), FormatDouble(scale, 1),
+                    FormatDouble(ks.value, 3), FormatDouble(mg.value, 3),
+                    same ? "yes" : "no"});
+    }
+  }
+  table.Print();
+  std::printf("\nknapsack greedy at budget c(X_mg) matched MarginalGreedy on "
+              "%d/%d instances\n",
+              matches_at_cstar, instances);
+  // The remark is about the budget being unknowable in advance; we only
+  // require that the exact-budget run matches on most instances.
+  return matches_at_cstar * 2 >= instances ? 0 : 1;
+}

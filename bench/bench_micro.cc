@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks for the hot paths: memo expansion, one
+// full bc() optimization, benefit-function marginals, and the submodular
+// algorithm kernels. These quantify the optimization-time story behind
+// Figures 4c/5c at the component level.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/tpcd.h"
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+#include "submodular/instances.h"
+#include "workload/tpcd_queries.h"
+
+namespace mqo {
+namespace {
+
+void BM_MemoInsertAndExpand(benchmark::State& state) {
+  const int bq = static_cast<int>(state.range(0));
+  Catalog catalog = MakeTpcdCatalog(1);
+  for (auto _ : state) {
+    Memo memo(&catalog);
+    memo.InsertBatch(MakeBatchedWorkload(bq));
+    auto expanded = ExpandMemo(&memo);
+    benchmark::DoNotOptimize(expanded.ok());
+  }
+}
+BENCHMARK(BM_MemoInsertAndExpand)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_BestCostOptimization(benchmark::State& state) {
+  const int bq = static_cast<int>(state.range(0));
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeBatchedWorkload(bq));
+  (void)ExpandMemo(&memo);
+  auto shareable = ShareableNodes(memo);
+  int toggle = 0;
+  for (auto _ : state) {
+    // Fresh optimizer each time so the set cache does not absorb the work;
+    // alternate the materialized set to vary the search.
+    BatchOptimizer optimizer(&memo, CostModel());
+    std::set<EqId> mat;
+    if (!shareable.empty()) mat.insert(shareable[toggle++ % shareable.size()]);
+    benchmark::DoNotOptimize(optimizer.BestCost(mat));
+  }
+}
+BENCHMARK(BM_BestCostOptimization)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_MarginalGreedyCoverage(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99);
+  CoverageFunction cover = MakePlantedCoverInstance(4 * n, n / 4, n, &rng);
+  ProfittedMaxCoverage f(cover, n / 4, 2.0);
+  Decomposition d = CanonicalDecomposition(f);
+  for (auto _ : state) {
+    GreedyResult r = MarginalGreedy(f, d);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_MarginalGreedyCoverage)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LazyMarginalGreedyCoverage(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99);
+  CoverageFunction cover = MakePlantedCoverInstance(4 * n, n / 4, n, &rng);
+  ProfittedMaxCoverage f(cover, n / 4, 2.0);
+  Decomposition d = CanonicalDecomposition(f);
+  MarginalGreedyOptions opts;
+  opts.lazy = true;
+  for (auto _ : state) {
+    GreedyResult r = MarginalGreedy(f, d, opts);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_LazyMarginalGreedyCoverage)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ElementSetOps(benchmark::State& state) {
+  ElementSet a(1024);
+  ElementSet b(1024);
+  for (int i = 0; i < 1024; i += 3) a.Add(i);
+  for (int i = 0; i < 1024; i += 5) b.Add(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b).Size());
+    benchmark::DoNotOptimize(a.Intersect(b).Hash());
+  }
+}
+BENCHMARK(BM_ElementSetOps);
+
+void BM_CoverageEval(benchmark::State& state) {
+  Rng rng(5);
+  CoverageFunction cover = MakePlantedCoverInstance(512, 16, 64, &rng);
+  ElementSet s(cover.universe_size());
+  for (int i = 0; i < cover.universe_size(); i += 2) s.Add(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cover.Value(s));
+  }
+}
+BENCHMARK(BM_CoverageEval);
+
+}  // namespace
+}  // namespace mqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// The UNSM library stand-alone: "our results can be useful beyond just MQO"
+// (paper, Section 8). Maximizes normalized, possibly-negative submodular
+// functions — a sensor-placement-style facility location with opening costs
+// and the paper's Profitted Max Coverage — comparing MarginalGreedy against
+// double greedy and the exhaustive optimum, and demonstrating Propositions
+// 1 and 2 on decompositions.
+
+#include <cstdio>
+
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "submodular/algorithms.h"
+#include "submodular/instances.h"
+#include "submodular/validators.h"
+
+using namespace mqo;
+
+int main() {
+  Rng rng(2024);
+
+  // --- Facility location with opening costs: f(S) = coverage(S) − cost(S).
+  FacilityLocationFunction fl = FacilityLocationFunction::Random(
+      /*facilities=*/12, /*clients=*/40, /*cost_scale=*/5.0, &rng);
+  std::printf("facility location: normalized=%s, submodular=%s, monotone=%s\n",
+              IsNormalized(fl) ? "yes" : "no", IsSubmodular(fl) ? "yes" : "no",
+              IsMonotone(fl) ? "yes" : "no");
+
+  Decomposition canonical = CanonicalDecomposition(fl);
+  std::printf("canonical costs c*(e) (Prop 1): ");
+  for (double c : canonical.costs) std::printf("%.2f ", c);
+  std::printf("\nProp 2 improvement of c* is a fixpoint: %s\n\n",
+              ImproveDecomposition(fl, canonical).costs == canonical.costs
+                  ? "yes"
+                  : "no");
+
+  TablePrinter t({"algorithm", "f(S)", "|S|", "function evals"});
+  GreedyResult mg = MarginalGreedy(fl, canonical);
+  MarginalGreedyOptions lazy;
+  lazy.lazy = true;
+  GreedyResult mg_lazy = MarginalGreedy(fl, canonical, lazy);
+  GreedyResult dg = DoubleGreedy(fl);
+  GreedyResult ex = ExhaustiveMax(fl);
+  t.AddRow({"MarginalGreedy", FormatDouble(mg.value, 3),
+            std::to_string(mg.selected.Size()), std::to_string(mg.function_evals)});
+  t.AddRow({"LazyMarginalGreedy", FormatDouble(mg_lazy.value, 3),
+            std::to_string(mg_lazy.selected.Size()),
+            std::to_string(mg_lazy.function_evals)});
+  t.AddRow({"DoubleGreedy (Buchbinder)", FormatDouble(dg.value, 3),
+            std::to_string(dg.selected.Size()), std::to_string(dg.function_evals)});
+  t.AddRow({"Exhaustive optimum", FormatDouble(ex.value, 3),
+            std::to_string(ex.selected.Size()), "-"});
+  t.Print();
+
+  // --- Profitted Max Coverage: the hardness construction of Section 4.
+  std::printf("\nProfitted Max Coverage (gamma = 2): pick sets to cover a "
+              "ground set, each set costs 1/(gamma*l)\n");
+  CoverageFunction cover = MakePlantedCoverInstance(/*ground=*/50, /*l=*/5,
+                                                    /*decoys=*/15, &rng);
+  ProfittedMaxCoverage pmc(cover, /*l=*/5, /*gamma=*/2.0);
+  GreedyResult pmc_greedy = MarginalGreedy(pmc, CanonicalDecomposition(pmc));
+  GreedyResult pmc_opt = ExhaustiveMax(LambdaSetFunction(
+      pmc.universe_size(), [&](const ElementSet& s) { return pmc.Value(s); }));
+  const double bound = Theorem1Bound(pmc_opt.value, 1.0 / pmc.gamma());
+  std::printf("  optimum f(Theta) = %.4f  (planted cover value is 1)\n",
+              pmc_opt.value);
+  std::printf("  MarginalGreedy f(X) = %.4f, picked %d sets\n",
+              pmc_greedy.value, pmc_greedy.selected.Size());
+  std::printf("  Theorem 1 bound [1 - ln(1+g)/g] f(Theta) = %.4f -> %s\n",
+              bound, pmc_greedy.value >= bound - 1e-9 ? "holds" : "VIOLATED");
+  return 0;
+}

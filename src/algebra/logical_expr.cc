@@ -1,0 +1,257 @@
+#include "algebra/logical_expr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mqo {
+
+const char* LogicalOpToString(LogicalOp op) {
+  switch (op) {
+    case LogicalOp::kScan:
+      return "Scan";
+    case LogicalOp::kSelect:
+      return "Select";
+    case LogicalOp::kJoin:
+      return "Join";
+    case LogicalOp::kProject:
+      return "Project";
+    case LogicalOp::kAggregate:
+      return "Aggregate";
+    case LogicalOp::kBatch:
+      return "Batch";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+bool AggFuncDecomposable(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return true;
+    case AggFunc::kAvg:
+      return false;
+  }
+  return false;
+}
+
+std::string AggExpr::OutputName() const {
+  std::string inner = arg.qualifier.empty() && arg.name.empty() ? "*" : arg.ToString();
+  return std::string(AggFuncToString(func)) + "(" + inner + ")";
+}
+
+uint64_t AggExpr::Hash() const {
+  return HashCombine(static_cast<uint64_t>(func), arg.Hash());
+}
+
+LogicalExprPtr LogicalExpr::Scan(std::string table, std::string alias) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kScan;
+  e->table_ = std::move(table);
+  e->alias_ = alias.empty() ? e->table_ : std::move(alias);
+  return e;
+}
+
+LogicalExprPtr LogicalExpr::Select(LogicalExprPtr child, Predicate predicate) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kSelect;
+  e->children_ = {std::move(child)};
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+LogicalExprPtr LogicalExpr::Join(LogicalExprPtr left, LogicalExprPtr right,
+                                 JoinPredicate conditions) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kJoin;
+  e->children_ = {std::move(left), std::move(right)};
+  e->join_predicate_ = std::move(conditions);
+  return e;
+}
+
+LogicalExprPtr LogicalExpr::Project(LogicalExprPtr child,
+                                    std::vector<ColumnRef> columns) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kProject;
+  e->children_ = {std::move(child)};
+  e->project_columns_ = std::move(columns);
+  return e;
+}
+
+LogicalExprPtr LogicalExpr::Aggregate(LogicalExprPtr child,
+                                      std::vector<ColumnRef> group_by,
+                                      std::vector<AggExpr> aggregates) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kAggregate;
+  e->children_ = {std::move(child)};
+  e->group_by_ = std::move(group_by);
+  std::sort(e->group_by_.begin(), e->group_by_.end());
+  e->aggregates_ = std::move(aggregates);
+  std::sort(e->aggregates_.begin(), e->aggregates_.end());
+  return e;
+}
+
+LogicalExprPtr LogicalExpr::Batch(std::vector<LogicalExprPtr> queries) {
+  auto e = std::shared_ptr<LogicalExpr>(new LogicalExpr());
+  e->op_ = LogicalOp::kBatch;
+  e->children_ = std::move(queries);
+  return e;
+}
+
+std::string LogicalExpr::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << LogicalOpToString(op_);
+  switch (op_) {
+    case LogicalOp::kScan:
+      os << " " << table_;
+      if (alias_ != table_) os << " AS " << alias_;
+      break;
+    case LogicalOp::kSelect:
+      os << " [" << predicate_.ToString() << "]";
+      break;
+    case LogicalOp::kJoin:
+      os << " [" << join_predicate_.ToString() << "]";
+      break;
+    case LogicalOp::kProject: {
+      std::vector<std::string> parts;
+      for (const auto& c : project_columns_) parts.push_back(c.ToString());
+      os << " [" << ::mqo::Join(parts, ", ") << "]";
+      break;
+    }
+    case LogicalOp::kAggregate: {
+      std::vector<std::string> parts;
+      for (const auto& c : group_by_) parts.push_back(c.ToString());
+      for (const auto& a : aggregates_) parts.push_back(a.ToString());
+      os << " [" << ::mqo::Join(parts, ", ") << "]";
+      break;
+    }
+    case LogicalOp::kBatch:
+      break;
+  }
+  os << "\n";
+  for (const auto& c : children_) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+namespace {
+
+/// Collects the set of column qualifiers (scan aliases) produced by a subtree.
+void CollectQualifiers(const LogicalExprPtr& e, std::set<std::string>* out) {
+  if (e->op() == LogicalOp::kScan) {
+    out->insert(e->alias());
+    return;
+  }
+  if (e->op() == LogicalOp::kAggregate) {
+    // Aggregate output hides base columns other than the group-by columns,
+    // but qualifier-level tracking remains sound for push-down: predicates on
+    // non-group-by columns cannot appear above an aggregate in a well-formed
+    // query, and group-by columns keep their qualifiers.
+  }
+  for (const auto& c : e->children()) CollectQualifiers(c, out);
+}
+
+bool QualifiersCover(const LogicalExprPtr& e, const std::vector<ColumnRef>& cols) {
+  std::set<std::string> quals;
+  CollectQualifiers(e, &quals);
+  for (const auto& c : cols) {
+    if (c.qualifier.empty()) return false;  // synthesized (aggregate) column
+    if (quals.count(c.qualifier) == 0) return false;
+  }
+  return true;
+}
+
+/// Pushes a single conjunct into `e` as deep as possible; returns the new tree.
+LogicalExprPtr PushConjunct(const LogicalExprPtr& e, const Comparison& cmp) {
+  switch (e->op()) {
+    case LogicalOp::kJoin: {
+      const auto& l = e->children()[0];
+      const auto& r = e->children()[1];
+      if (QualifiersCover(l, {cmp.column})) {
+        return LogicalExpr::Join(PushConjunct(l, cmp), r, e->join_predicate());
+      }
+      if (QualifiersCover(r, {cmp.column})) {
+        return LogicalExpr::Join(l, PushConjunct(r, cmp), e->join_predicate());
+      }
+      break;
+    }
+    case LogicalOp::kSelect: {
+      // Merge into the existing selection, then retry pushing both through.
+      Predicate merged = e->predicate();
+      merged.AddConjunct(cmp);
+      return LogicalExpr::Select(e->children()[0], merged);
+    }
+    case LogicalOp::kAggregate: {
+      // A predicate over a group-by column can be pushed below the aggregate.
+      const auto& groups = e->group_by();
+      if (std::find(groups.begin(), groups.end(), cmp.column) != groups.end()) {
+        return LogicalExpr::Aggregate(PushConjunct(e->children()[0], cmp),
+                                      e->group_by(), e->aggregates());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  Predicate p;
+  p.AddConjunct(cmp);
+  return LogicalExpr::Select(e, p);
+}
+
+}  // namespace
+
+LogicalExprPtr NormalizeTree(const LogicalExprPtr& expr) {
+  switch (expr->op()) {
+    case LogicalOp::kScan:
+      return expr;
+    case LogicalOp::kSelect: {
+      LogicalExprPtr child = NormalizeTree(expr->children()[0]);
+      for (const auto& cmp : expr->predicate().conjuncts()) {
+        child = PushConjunct(child, cmp);
+      }
+      return child;
+    }
+    case LogicalOp::kJoin: {
+      return LogicalExpr::Join(NormalizeTree(expr->children()[0]),
+                               NormalizeTree(expr->children()[1]),
+                               expr->join_predicate());
+    }
+    case LogicalOp::kProject:
+      return LogicalExpr::Project(NormalizeTree(expr->children()[0]),
+                                  expr->project_columns());
+    case LogicalOp::kAggregate:
+      return LogicalExpr::Aggregate(NormalizeTree(expr->children()[0]),
+                                    expr->group_by(), expr->aggregates());
+    case LogicalOp::kBatch: {
+      std::vector<LogicalExprPtr> kids;
+      kids.reserve(expr->children().size());
+      for (const auto& c : expr->children()) kids.push_back(NormalizeTree(c));
+      return LogicalExpr::Batch(std::move(kids));
+    }
+  }
+  assert(false);
+  return expr;
+}
+
+}  // namespace mqo

@@ -1,0 +1,140 @@
+// Logical relational algebra expressions.
+//
+// A LogicalExpr is an immutable operator tree: relation scans (with aliases,
+// so self-joins are expressible), selections, equijoins, group-by aggregates,
+// and projections. Queries are built as trees with the fluent helpers below
+// (or the SQL frontend) and then inserted into the LQDAG memo, which unifies
+// common subexpressions across the batch.
+
+#ifndef MQO_ALGEBRA_LOGICAL_EXPR_H_
+#define MQO_ALGEBRA_LOGICAL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "common/status.h"
+
+namespace mqo {
+
+/// Logical operator kind. kBatch is the dummy root that ties the individual
+/// query roots of a batch into a single rooted DAG (Section 2.2 of the paper).
+enum class LogicalOp {
+  kScan,
+  kSelect,
+  kJoin,
+  kProject,
+  kAggregate,
+  kBatch,
+};
+
+const char* LogicalOpToString(LogicalOp op);
+
+/// Aggregate function in a group-by.
+enum class AggFunc { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggFuncToString(AggFunc f);
+
+/// True for functions where agg-of-agg re-aggregation is valid
+/// (SUM/MIN/MAX; COUNT re-aggregates as SUM of counts). AVG is not
+/// decomposable and blocks aggregate subsumption.
+bool AggFuncDecomposable(AggFunc f);
+
+/// One aggregate expression `func(arg)`. Its output column is the unqualified
+/// ColumnRef{"", OutputName()} so that identical aggregates in different
+/// queries unify.
+struct AggExpr {
+  AggFunc func = AggFunc::kSum;
+  ColumnRef arg;  ///< Ignored for COUNT(*) (empty ref).
+
+  /// Deterministic output column name, e.g. "sum(lineitem.l_extendedprice)".
+  std::string OutputName() const;
+  ColumnRef OutputColumn() const { return ColumnRef("", OutputName()); }
+
+  std::string ToString() const { return OutputName(); }
+  uint64_t Hash() const;
+  bool operator==(const AggExpr& o) const { return func == o.func && arg == o.arg; }
+  bool operator<(const AggExpr& o) const {
+    if (func != o.func) return func < o.func;
+    return arg < o.arg;
+  }
+};
+
+class LogicalExpr;
+using LogicalExprPtr = std::shared_ptr<const LogicalExpr>;
+
+/// Immutable logical operator tree node.
+class LogicalExpr {
+ public:
+  LogicalOp op() const { return op_; }
+  const std::vector<LogicalExprPtr>& children() const { return children_; }
+
+  // Scan payload.
+  const std::string& table() const { return table_; }
+  const std::string& alias() const { return alias_; }
+
+  // Select payload.
+  const Predicate& predicate() const { return predicate_; }
+
+  // Join payload.
+  const JoinPredicate& join_predicate() const { return join_predicate_; }
+
+  // Project payload.
+  const std::vector<ColumnRef>& project_columns() const { return project_columns_; }
+
+  // Aggregate payload.
+  const std::vector<ColumnRef>& group_by() const { return group_by_; }
+  const std::vector<AggExpr>& aggregates() const { return aggregates_; }
+
+  /// Multi-line indented tree rendering for debugging and examples.
+  std::string ToString(int indent = 0) const;
+
+  // ---- Factory functions ----
+
+  /// Scan of a base table under `alias` (defaults to the table name).
+  static LogicalExprPtr Scan(std::string table, std::string alias = "");
+
+  /// Selection `predicate` over `child`.
+  static LogicalExprPtr Select(LogicalExprPtr child, Predicate predicate);
+
+  /// Equijoin of `left` and `right` on `conditions`.
+  static LogicalExprPtr Join(LogicalExprPtr left, LogicalExprPtr right,
+                             JoinPredicate conditions);
+
+  /// Projection of `columns` from `child`.
+  static LogicalExprPtr Project(LogicalExprPtr child, std::vector<ColumnRef> columns);
+
+  /// Group-by aggregate. `group_by` may be empty (scalar aggregate).
+  static LogicalExprPtr Aggregate(LogicalExprPtr child, std::vector<ColumnRef> group_by,
+                                  std::vector<AggExpr> aggregates);
+
+  /// Dummy batch root over the individual query roots.
+  static LogicalExprPtr Batch(std::vector<LogicalExprPtr> queries);
+
+ private:
+  LogicalExpr() = default;
+
+  LogicalOp op_ = LogicalOp::kScan;
+  std::vector<LogicalExprPtr> children_;
+  std::string table_;
+  std::string alias_;
+  Predicate predicate_;
+  JoinPredicate join_predicate_;
+  std::vector<ColumnRef> project_columns_;
+  std::vector<ColumnRef> group_by_;
+  std::vector<AggExpr> aggregates_;
+};
+
+/// Normalizes a query tree before memo insertion:
+///  - splits selection conjuncts and pushes each as far down as it can go
+///    (below joins onto the side whose columns it references),
+///  - merges adjacent selections,
+///  - drops empty selections.
+/// Join-order normalization is NOT done here; the memo's transformation rules
+/// explore join orders.
+LogicalExprPtr NormalizeTree(const LogicalExprPtr& expr);
+
+}  // namespace mqo
+
+#endif  // MQO_ALGEBRA_LOGICAL_EXPR_H_

@@ -1,0 +1,34 @@
+// Fixed-width table printer for the benchmark harness: each bench prints the
+// series behind one of the paper's figures as rows (and optionally CSV).
+
+#ifndef MQO_BENCH_UTIL_TABLE_PRINTER_H_
+#define MQO_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mqo {
+
+/// Collects rows and renders them as an aligned ASCII table (and CSV).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders the aligned table to `os`.
+  void Print(std::ostream& os = std::cout) const;
+
+  /// Renders comma-separated rows (headers first) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,158 @@
+#include "catalog/tpcd.h"
+
+#include <algorithm>
+
+namespace mqo {
+
+namespace {
+
+constexpr double kDateMin = 0.0;      // 1992-01-01
+constexpr double kDateMax = 2556.0;   // 1998-12-31
+
+ColumnDef Key(const std::string& name, double rows) {
+  return ColumnDef{name, ColumnType::kInt, 4, rows, 0.0, rows};
+}
+
+ColumnDef Fk(const std::string& name, double ref_rows) {
+  return ColumnDef{name, ColumnType::kInt, 4, ref_rows, 0.0, ref_rows};
+}
+
+ColumnDef Str(const std::string& name, int width, double distinct) {
+  return ColumnDef{name, ColumnType::kString, width, distinct, 0.0, distinct};
+}
+
+ColumnDef Num(const std::string& name, double distinct, double lo, double hi) {
+  return ColumnDef{name, ColumnType::kDouble, 8, distinct, lo, hi};
+}
+
+ColumnDef Date(const std::string& name) {
+  return ColumnDef{name, ColumnType::kDate, 4, kDateMax - kDateMin + 1, kDateMin,
+                   kDateMax};
+}
+
+ColumnDef IntCol(const std::string& name, double distinct, double lo, double hi) {
+  return ColumnDef{name, ColumnType::kInt, 4, distinct, lo, hi};
+}
+
+}  // namespace
+
+Catalog MakeTpcdCatalog(double scale_factor) {
+  const double sf = scale_factor;
+  Catalog cat;
+
+  const double n_region = 5;
+  const double n_nation = 25;
+  const double n_supplier = 10000 * sf;
+  const double n_part = 200000 * sf;
+  const double n_partsupp = 800000 * sf;
+  const double n_customer = 150000 * sf;
+  const double n_orders = 1500000 * sf;
+  const double n_lineitem = 6000000 * sf;
+
+  {
+    Table t("region", n_region);
+    t.AddColumn(Key("r_regionkey", n_region));
+    t.AddColumn(Str("r_name", 25, n_region));
+    t.AddColumn(Str("r_comment", 100, n_region));
+    t.AddIndex(IndexDef{{"r_regionkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("nation", n_nation);
+    t.AddColumn(Key("n_nationkey", n_nation));
+    t.AddColumn(Str("n_name", 25, n_nation));
+    t.AddColumn(Fk("n_regionkey", n_region));
+    t.AddColumn(Str("n_comment", 100, n_nation));
+    t.AddIndex(IndexDef{{"n_nationkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("supplier", n_supplier);
+    t.AddColumn(Key("s_suppkey", n_supplier));
+    t.AddColumn(Str("s_name", 25, n_supplier));
+    t.AddColumn(Str("s_address", 40, n_supplier));
+    t.AddColumn(Fk("s_nationkey", n_nation));
+    t.AddColumn(Str("s_phone", 15, n_supplier));
+    t.AddColumn(Num("s_acctbal", std::min(n_supplier, 9999.0 * 100), -999.99, 9999.99));
+    t.AddColumn(Str("s_comment", 100, n_supplier));
+    t.AddIndex(IndexDef{{"s_suppkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("part", n_part);
+    t.AddColumn(Key("p_partkey", n_part));
+    t.AddColumn(Str("p_name", 55, n_part));
+    t.AddColumn(Str("p_mfgr", 25, 5));
+    t.AddColumn(Str("p_brand", 10, 25));
+    t.AddColumn(Str("p_type", 25, 150));
+    t.AddColumn(IntCol("p_size", 50, 1, 50));
+    t.AddColumn(Str("p_container", 10, 40));
+    t.AddColumn(Num("p_retailprice", std::min(n_part, 120000.0), 900.0, 2100.0));
+    t.AddColumn(Str("p_comment", 20, n_part));
+    t.AddIndex(IndexDef{{"p_partkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("partsupp", n_partsupp);
+    t.AddColumn(Fk("ps_partkey", n_part));
+    t.AddColumn(Fk("ps_suppkey", n_supplier));
+    t.AddColumn(IntCol("ps_availqty", 9999, 1, 9999));
+    t.AddColumn(Num("ps_supplycost", std::min(n_partsupp, 99900.0), 1.0, 1000.0));
+    t.AddColumn(Str("ps_comment", 150, n_partsupp));
+    t.AddIndex(IndexDef{{"ps_partkey", "ps_suppkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("customer", n_customer);
+    t.AddColumn(Key("c_custkey", n_customer));
+    t.AddColumn(Str("c_name", 25, n_customer));
+    t.AddColumn(Str("c_address", 40, n_customer));
+    t.AddColumn(Fk("c_nationkey", n_nation));
+    t.AddColumn(Str("c_phone", 15, n_customer));
+    t.AddColumn(Num("c_acctbal", std::min(n_customer, 9999.0 * 100), -999.99, 9999.99));
+    t.AddColumn(Str("c_mktsegment", 10, 5));
+    t.AddColumn(Str("c_comment", 115, n_customer));
+    t.AddIndex(IndexDef{{"c_custkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("orders", n_orders);
+    t.AddColumn(Key("o_orderkey", n_orders));
+    t.AddColumn(Fk("o_custkey", n_customer));
+    t.AddColumn(Str("o_orderstatus", 1, 3));
+    t.AddColumn(Num("o_totalprice", std::min(n_orders, 1500000.0), 800.0, 560000.0));
+    t.AddColumn(Date("o_orderdate"));
+    t.AddColumn(Str("o_orderpriority", 15, 5));
+    t.AddColumn(Str("o_clerk", 15, 1000 * sf));
+    t.AddColumn(IntCol("o_shippriority", 1, 0, 0));
+    t.AddColumn(Str("o_comment", 75, n_orders));
+    t.AddIndex(IndexDef{{"o_orderkey"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+  {
+    Table t("lineitem", n_lineitem);
+    t.AddColumn(Fk("l_orderkey", n_orders));
+    t.AddColumn(Fk("l_partkey", n_part));
+    t.AddColumn(Fk("l_suppkey", n_supplier));
+    t.AddColumn(IntCol("l_linenumber", 7, 1, 7));
+    t.AddColumn(Num("l_quantity", 50, 1, 50));
+    t.AddColumn(Num("l_extendedprice", std::min(n_lineitem, 1000000.0), 900.0,
+                    105000.0));
+    t.AddColumn(Num("l_discount", 11, 0.0, 0.10));
+    t.AddColumn(Num("l_tax", 9, 0.0, 0.08));
+    t.AddColumn(Str("l_returnflag", 1, 3));
+    t.AddColumn(Str("l_linestatus", 1, 2));
+    t.AddColumn(Date("l_shipdate"));
+    t.AddColumn(Date("l_commitdate"));
+    t.AddColumn(Date("l_receiptdate"));
+    t.AddColumn(Str("l_shipinstruct", 25, 4));
+    t.AddColumn(Str("l_shipmode", 10, 7));
+    t.AddColumn(Str("l_comment", 44, n_lineitem));
+    t.AddIndex(IndexDef{{"l_orderkey", "l_linenumber"}, /*clustered=*/true});
+    (void)cat.AddTable(std::move(t));
+  }
+
+  return cat;
+}
+
+}  // namespace mqo

@@ -1,0 +1,23 @@
+// Analytic TPC-D (TPC-H v1 schema) catalog generator.
+//
+// The paper evaluates on the TPCD benchmark database at scale 1 (1GB) and
+// scale 100 (100GB) with clustered indexes on the primary keys of all base
+// relations. We reproduce the schema and its statistics analytically: row
+// counts scale linearly (except nation/region), key columns have as many
+// distinct values as rows, foreign keys as many as the referenced table, and
+// date columns span 1992-01-01 .. 1998-12-31.
+
+#ifndef MQO_CATALOG_TPCD_H_
+#define MQO_CATALOG_TPCD_H_
+
+#include "catalog/catalog.h"
+
+namespace mqo {
+
+/// Builds the TPC-D catalog at the given scale factor (1 => 1GB, 100 => 100GB)
+/// with clustered primary-key indexes on every base relation.
+Catalog MakeTpcdCatalog(double scale_factor);
+
+}  // namespace mqo
+
+#endif  // MQO_CATALOG_TPCD_H_

@@ -1,0 +1,34 @@
+#include "common/element_set.h"
+
+#include <sstream>
+
+namespace mqo {
+
+std::vector<int> ElementSet::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Size());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = __builtin_ctzll(w);
+      out.push_back(static_cast<int>(wi) * 64 + bit);
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string ElementSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int e : ToVector()) {
+    if (!first) os << ", ";
+    os << e;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mqo

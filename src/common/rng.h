@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generator (splitmix64 + xoshiro-style
+// usage) for reproducible synthetic workloads and property tests.
+
+#ifndef MQO_COMMON_RNG_H_
+#define MQO_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace mqo {
+
+/// Small deterministic RNG. Identical seeds produce identical streams on all
+/// platforms, which keeps synthetic instances and property tests reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Uniform 64-bit value (splitmix64 step).
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  int NextInt(int bound) {
+    assert(bound > 0);
+    return static_cast<int>(NextU64() % static_cast<uint64_t>(bound));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextIntIn(int lo, int hi) {
+    assert(lo <= hi);
+    return lo + NextInt(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDoubleIn(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_COMMON_RNG_H_

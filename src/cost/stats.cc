@@ -1,0 +1,233 @@
+#include "cost/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mqo {
+
+namespace {
+
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+constexpr double kDefaultEqSelectivity = 0.1;
+
+double Clamp01(double x) { return std::max(0.0, std::min(1.0, x)); }
+
+}  // namespace
+
+const ColumnStat* RelStats::Find(const ColumnRef& c) const {
+  for (const auto& cs : columns) {
+    if (cs.column == c) return &cs;
+  }
+  return nullptr;
+}
+
+double StatsEstimator::Selectivity(const Comparison& cmp,
+                                   const RelStats& input) const {
+  const ColumnStat* cs = input.Find(cmp.column);
+  if (cs == nullptr) {
+    return cmp.op == CompareOp::kEq ? kDefaultEqSelectivity
+                                    : kDefaultRangeSelectivity;
+  }
+  if (cmp.op == CompareOp::kEq) {
+    return Clamp01(1.0 / std::max(1.0, cs->distinct));
+  }
+  // Range predicate. Use min/max interpolation when available.
+  if (!cs->numeric || !cmp.literal.is_number() || cs->max_value <= cs->min_value) {
+    return kDefaultRangeSelectivity;
+  }
+  const double lo = cs->min_value;
+  const double hi = cs->max_value;
+  const double v = cmp.literal.number();
+  const double span = hi - lo;
+  switch (cmp.op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return Clamp01((v - lo) / span);
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return Clamp01((hi - v) / span);
+    case CompareOp::kEq:
+      break;
+  }
+  return kDefaultRangeSelectivity;
+}
+
+double StatsEstimator::Selectivity(const Predicate& pred,
+                                   const RelStats& input) const {
+  double sel = 1.0;
+  for (const auto& c : pred.conjuncts()) sel *= Selectivity(c, input);
+  return sel;
+}
+
+const RelStats& StatsEstimator::ClassStats(EqId eq) {
+  eq = memo_->Find(eq);
+  auto it = cache_.find(eq);
+  if (it != cache_.end()) return it->second;
+  RelStats stats = Compute(eq);
+  auto [ins, _] = cache_.emplace(eq, std::move(stats));
+  return ins->second;
+}
+
+RelStats StatsEstimator::Compute(EqId eq) {
+  auto ops = memo_->ClassOps(eq);
+  assert(!ops.empty());
+  return ComputeForOp(memo_->op(ops.front()));
+}
+
+RelStats StatsEstimator::ComputeForOp(const MemoOp& op) {
+  RelStats out;
+  switch (op.kind) {
+    case LogicalOp::kScan: {
+      auto table_res = memo_->catalog()->GetTable(op.table);
+      assert(table_res.ok());
+      const Table* t = table_res.ValueOrDie();
+      out.rows = t->row_count();
+      out.row_width_bytes = t->RowWidthBytes();
+      for (const auto& col : t->columns()) {
+        ColumnStat cs;
+        cs.column = ColumnRef(op.alias, col.name);
+        // Catalog distinct counts may exceed the row count to model sparse
+        // key domains (join selectivity 1/max(V) then yields selective joins).
+        cs.distinct = col.distinct_values;
+        cs.min_value = col.min_value;
+        cs.max_value = col.max_value;
+        cs.numeric = col.type != ColumnType::kString;
+        cs.width_bytes = col.width_bytes;
+        out.columns.push_back(cs);
+      }
+      break;
+    }
+    case LogicalOp::kSelect: {
+      const RelStats& in = ClassStats(op.children[0]);
+      out = in;
+      const double sel = Selectivity(op.predicate, in);
+      out.rows = std::max(1.0, in.rows * sel);
+      for (auto& cs : out.columns) {
+        // Per-column adjustments for predicates on that column.
+        for (const auto& cmp : op.predicate.conjuncts()) {
+          if (!(cmp.column == cs.column)) continue;
+          if (cmp.op == CompareOp::kEq) {
+            cs.distinct = 1.0;
+            if (cmp.literal.is_number()) {
+              cs.min_value = cs.max_value = cmp.literal.number();
+            }
+          } else if (cs.numeric && cmp.literal.is_number()) {
+            const double v = cmp.literal.number();
+            switch (cmp.op) {
+              case CompareOp::kLt:
+              case CompareOp::kLe:
+                cs.max_value = std::min(cs.max_value, v);
+                break;
+              case CompareOp::kGt:
+              case CompareOp::kGe:
+                cs.min_value = std::max(cs.min_value, v);
+                break;
+              default:
+                break;
+            }
+            const double c_sel = Selectivity(cmp, in);
+            cs.distinct = std::max(1.0, cs.distinct * c_sel);
+          }
+        }
+        cs.distinct = std::min(cs.distinct, out.rows);
+      }
+      break;
+    }
+    case LogicalOp::kJoin: {
+      const RelStats& l = ClassStats(op.children[0]);
+      const RelStats& r = ClassStats(op.children[1]);
+      double rows = l.rows * r.rows;
+      for (const auto& cond : op.join_predicate.conditions()) {
+        const ColumnStat* a = l.Find(cond.left);
+        if (a == nullptr) a = r.Find(cond.left);
+        const ColumnStat* b = r.Find(cond.right);
+        if (b == nullptr) b = l.Find(cond.right);
+        double da = a != nullptr ? a->distinct : 10.0;
+        double db = b != nullptr ? b->distinct : 10.0;
+        rows /= std::max(1.0, std::max(da, db));
+      }
+      out.rows = std::max(1.0, rows);
+      out.row_width_bytes = l.row_width_bytes + r.row_width_bytes;
+      out.columns = l.columns;
+      out.columns.insert(out.columns.end(), r.columns.begin(), r.columns.end());
+      for (auto& cs : out.columns) cs.distinct = std::min(cs.distinct, out.rows);
+      break;
+    }
+    case LogicalOp::kProject: {
+      const RelStats& in = ClassStats(op.children[0]);
+      out.rows = in.rows;
+      for (const auto& col : op.project_columns) {
+        const ColumnStat* cs = in.Find(col);
+        if (cs != nullptr) {
+          out.columns.push_back(*cs);
+          out.row_width_bytes += cs->width_bytes;
+        } else {
+          ColumnStat fallback;
+          fallback.column = col;
+          fallback.distinct = in.rows;
+          fallback.width_bytes = 8;
+          out.columns.push_back(fallback);
+          out.row_width_bytes += 8;
+        }
+      }
+      out.row_width_bytes = std::max(out.row_width_bytes, 4.0);
+      break;
+    }
+    case LogicalOp::kAggregate: {
+      const RelStats& in = ClassStats(op.children[0]);
+      double groups = 1.0;
+      for (const auto& g : op.group_by) {
+        const ColumnStat* cs = in.Find(g);
+        groups *= cs != nullptr ? std::max(1.0, cs->distinct) : 10.0;
+      }
+      out.rows = op.group_by.empty() ? 1.0 : std::max(1.0, std::min(groups, in.rows));
+      for (const auto& g : op.group_by) {
+        const ColumnStat* cs = in.Find(g);
+        ColumnStat gs;
+        if (cs != nullptr) {
+          gs = *cs;
+        } else {
+          gs.column = g;
+          gs.distinct = out.rows;
+          gs.width_bytes = 8;
+        }
+        gs.distinct = std::min(gs.distinct, out.rows);
+        out.columns.push_back(gs);
+        out.row_width_bytes += gs.width_bytes;
+      }
+      for (size_t i = 0; i < op.aggregates.size(); ++i) {
+        ColumnStat as;
+        if (i < op.output_renames.size() && !op.output_renames[i].empty()) {
+          as.column = ColumnRef("", op.output_renames[i]);
+        } else {
+          as.column = op.aggregates[i].OutputColumn();
+        }
+        as.distinct = out.rows;
+        as.numeric = true;
+        as.width_bytes = 8;
+        // Aggregate value ranges: propagate the argument's range for MIN/MAX;
+        // leave 0 bounds otherwise (rarely used above aggregates).
+        const ColumnStat* arg = ClassStats(op.children[0]).Find(op.aggregates[i].arg);
+        if (arg != nullptr &&
+            (op.aggregates[i].func == AggFunc::kMin ||
+             op.aggregates[i].func == AggFunc::kMax)) {
+          as.min_value = arg->min_value;
+          as.max_value = arg->max_value;
+        }
+        out.columns.push_back(as);
+        out.row_width_bytes += 8;
+      }
+      out.row_width_bytes = std::max(out.row_width_bytes, 4.0);
+      break;
+    }
+    case LogicalOp::kBatch: {
+      out.rows = 0.0;
+      out.row_width_bytes = 0.0;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mqo

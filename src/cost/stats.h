@@ -1,0 +1,71 @@
+// Cardinality and statistics estimation over LQDAG equivalence classes.
+//
+// System-R style: equality selectivity 1/V(col), range selectivity from
+// min/max bounds (1/3 default when unbounded), equijoin selectivity
+// 1/max(V(left), V(right)), aggregate output min(prod V(group), input rows).
+// Statistics are per equivalence class (every operator in a class produces
+// the same result set) and are computed once, bottom-up, from the first
+// operator of the class.
+
+#ifndef MQO_COST_STATS_H_
+#define MQO_COST_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "lqdag/memo.h"
+
+namespace mqo {
+
+/// Statistics for one column of a derived result.
+struct ColumnStat {
+  ColumnRef column;
+  double distinct = 1.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  bool numeric = false;  ///< min/max meaningful (numbers and dates)
+  int width_bytes = 4;
+};
+
+/// Statistics for one equivalence class's result.
+struct RelStats {
+  double rows = 0.0;
+  double row_width_bytes = 0.0;
+  std::vector<ColumnStat> columns;
+
+  double SizeBytes() const { return rows * row_width_bytes; }
+  double Blocks(const CostModel& cm) const { return cm.Blocks(SizeBytes()); }
+
+  /// Column stat lookup; nullptr if unknown.
+  const ColumnStat* Find(const ColumnRef& c) const;
+};
+
+/// Estimates and caches RelStats per equivalence class.
+class StatsEstimator {
+ public:
+  explicit StatsEstimator(Memo* memo) : memo_(memo) {}
+
+  /// Statistics of class `eq` (canonicalized). Cached.
+  const RelStats& ClassStats(EqId eq);
+
+  /// Selectivity of one comparison against `input` statistics.
+  double Selectivity(const Comparison& cmp, const RelStats& input) const;
+
+  /// Selectivity of a conjunctive predicate (independence assumption).
+  double Selectivity(const Predicate& pred, const RelStats& input) const;
+
+  /// Drops all cached statistics (e.g. after further memo expansion).
+  void InvalidateAll() { cache_.clear(); }
+
+ private:
+  RelStats Compute(EqId eq);
+  RelStats ComputeForOp(const MemoOp& op);
+
+  Memo* memo_;
+  std::unordered_map<EqId, RelStats> cache_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_COST_STATS_H_

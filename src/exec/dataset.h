@@ -1,0 +1,76 @@
+// Synthetic datasets for semantic validation of the LQDAG.
+//
+// The optimizer never executes queries (neither does the paper's), but the
+// transformation rules make semantic-equality claims — every operator in an
+// equivalence class must produce the same result set. This module generates
+// small deterministic datasets from a catalog's statistics so the evaluator
+// (evaluator.h) can check those claims on real rows.
+//
+// Numeric values are quantized to integers (exactly representable in double),
+// so SUM/AVG results are independent of evaluation order and result
+// comparison can be exact.
+
+#ifndef MQO_EXEC_DATASET_H_
+#define MQO_EXEC_DATASET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mqo {
+
+/// A runtime value: reuses Literal (number or string).
+using Value = Literal;
+
+/// A table of rows with named, qualified columns.
+struct NamedRows {
+  std::vector<ColumnRef> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Index of `col` in `columns`, or -1.
+  int ColumnIndex(const ColumnRef& col) const;
+};
+
+/// Generated base-table data, keyed by table name (unqualified — scans apply
+/// their alias when reading).
+class DataSet {
+ public:
+  void AddTable(std::string name, NamedRows rows) {
+    tables_[std::move(name)] = std::move(rows);
+  }
+  Result<const NamedRows*> GetTable(const std::string& name) const;
+
+ private:
+  std::map<std::string, NamedRows> tables_;
+};
+
+/// Options for data generation.
+struct DataGenOptions {
+  int max_rows_per_table = 60;  ///< Rows generated per table (at most).
+  /// Integer/date domains are clamped to [min, min + domain_cap) so that
+  /// key/foreign-key columns of different (small) tables actually overlap
+  /// and joins are non-empty.
+  int domain_cap = 200;
+};
+
+/// Generates deterministic data for every table in `catalog`.
+DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
+                     Rng* rng);
+
+/// Total order on Values (numbers before strings) used for canonical row
+/// sorting.
+bool ValueLess(const Value& a, const Value& b);
+
+/// Canonicalizes in place: projects onto `columns` (which must be a subset of
+/// rows.columns), then sorts rows lexicographically. Two results are
+/// semantically equal iff their canonical forms are equal.
+Status Canonicalize(const std::vector<ColumnRef>& columns, NamedRows* rows);
+
+}  // namespace mqo
+
+#endif  // MQO_EXEC_DATASET_H_

@@ -1,0 +1,49 @@
+// Reference evaluator for LQDAG operators over generated data.
+//
+// Evaluates any memo operator (and hence any equivalence class) to a bag of
+// rows with bag semantics matching the algebra: scans read base data under an
+// alias, selections filter, joins are equijoins, projections drop columns,
+// and aggregates group + fold (COUNT counts rows; re-aggregation renames
+// apply). It exists to *test* the optimizer, not to run queries fast: the
+// class-consistency check — every operator of a class yields the same
+// canonical result — is the semantic ground truth for the transformation
+// rules.
+
+#ifndef MQO_EXEC_EVALUATOR_H_
+#define MQO_EXEC_EVALUATOR_H_
+
+#include "exec/dataset.h"
+#include "lqdag/memo.h"
+
+namespace mqo {
+
+/// Evaluates memo operators against a dataset.
+class Evaluator {
+ public:
+  Evaluator(Memo* memo, const DataSet* data) : memo_(memo), data_(data) {}
+
+  /// Result of one operator, canonicalized to its class's attribute order.
+  Result<NamedRows> EvaluateOp(OpId op);
+
+  /// Result of a class (via its first operator), canonicalized.
+  Result<NamedRows> EvaluateClass(EqId eq);
+
+  /// Checks that every live operator of `eq` produces the identical
+  /// canonical result. Returns the number of operators checked, or an error
+  /// describing the first mismatch.
+  Result<int> CheckClassConsistency(EqId eq);
+
+  /// Runs CheckClassConsistency on every class except the batch root.
+  /// Returns the total number of operators validated.
+  Result<int> CheckAllClasses();
+
+ private:
+  Result<NamedRows> EvaluateUncanonicalized(const MemoOp& op);
+
+  Memo* memo_;
+  const DataSet* data_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_EXEC_EVALUATOR_H_

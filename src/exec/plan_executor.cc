@@ -1,0 +1,129 @@
+#include "exec/plan_executor.h"
+
+#include <algorithm>
+
+#include "exec/row_ops.h"
+
+namespace mqo {
+
+Result<NamedRows> PlanExecutor::SideInput(EqId eq) {
+  eq = memo_->Find(eq);
+  auto it = store_.find(eq);
+  if (it != store_.end()) return it->second;
+  return evaluator_.EvaluateClass(eq);
+}
+
+Result<NamedRows> PlanExecutor::ExecuteUncanonicalized(const PlanNodePtr& plan) {
+  const MemoOp* op =
+      plan->logical_op >= 0 ? &memo_->op(plan->logical_op) : nullptr;
+  switch (plan->op) {
+    case PhysOp::kTableScan: {
+      if (op == nullptr) return Status::Internal("scan without logical op");
+      return ScanRows(*data_, op->table, op->alias);
+    }
+    case PhysOp::kIndexScan: {
+      // Indexed selection: logical op is the Select; its child is the base
+      // relation it probes.
+      if (op == nullptr) return Status::Internal("index scan without op");
+      MQO_ASSIGN_OR_RETURN(NamedRows in,
+                           evaluator_.EvaluateClass(op->children[0]));
+      return FilterRows(in, op->predicate);
+    }
+    case PhysOp::kFilter: {
+      if (op == nullptr) return Status::Internal("filter without op");
+      MQO_ASSIGN_OR_RETURN(NamedRows in, Execute(plan->children[0]));
+      return FilterRows(in, op->predicate);
+    }
+    case PhysOp::kBlockNLJoin:
+    case PhysOp::kIndexNLJoin:
+    case PhysOp::kMergeJoin: {
+      if (op == nullptr) return Status::Internal("join without op");
+      MQO_ASSIGN_OR_RETURN(NamedRows left, Execute(plan->children[0]));
+      NamedRows right;
+      if (plan->children.size() > 1) {
+        MQO_ASSIGN_OR_RETURN(right, Execute(plan->children[1]));
+      } else {
+        // BNL/index probes rescan a base relation or materialized node that
+        // is not part of the plan tree.
+        MQO_ASSIGN_OR_RETURN(right, SideInput(op->children[1]));
+      }
+      return JoinRows(left, right, op->join_predicate);
+    }
+    case PhysOp::kSort:
+      // Bag semantics: sorting does not change the result relation.
+      return Execute(plan->children[0]);
+    case PhysOp::kSortAggregate: {
+      if (op == nullptr) return Status::Internal("aggregate without op");
+      MQO_ASSIGN_OR_RETURN(NamedRows in, Execute(plan->children[0]));
+      return AggregateRows(in, op->group_by, op->aggregates,
+                           op->output_renames);
+    }
+    case PhysOp::kProject: {
+      if (op == nullptr) return Status::Internal("project without op");
+      MQO_ASSIGN_OR_RETURN(NamedRows in, Execute(plan->children[0]));
+      NamedRows out = in;
+      MQO_RETURN_NOT_OK(Canonicalize(op->project_columns, &out));
+      return out;
+    }
+    case PhysOp::kReadMaterialized: {
+      const EqId eq = memo_->Find(plan->eq);
+      auto it = store_.find(eq);
+      if (it == store_.end()) {
+        return Status::Internal("materialized node E" + std::to_string(eq) +
+                                " not in store");
+      }
+      return it->second;
+    }
+    case PhysOp::kBatchRoot:
+      return Status::Unimplemented("execute batch roots via ExecuteConsolidated");
+  }
+  return Status::Internal("unknown physical operator");
+}
+
+Result<NamedRows> PlanExecutor::Execute(const PlanNodePtr& plan) {
+  MQO_ASSIGN_OR_RETURN(NamedRows raw, ExecuteUncanonicalized(plan));
+  const auto& attrs = memo_->Attributes(memo_->Find(plan->eq));
+  MQO_RETURN_NOT_OK(Canonicalize(attrs, &raw));
+  return raw;
+}
+
+Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
+  MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(compute_plan));
+  store_[memo_->Find(eq)] = std::move(rows);
+  return Status::OK();
+}
+
+Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
+    const ConsolidatedPlan& plan) {
+  // Materialize chosen nodes children-first (a node's compute plan may read
+  // materialized descendants).
+  std::vector<EqId> topo = memo_->TopologicalClasses();
+  auto position = [&](EqId e) {
+    e = memo_->Find(e);
+    for (size_t i = 0; i < topo.size(); ++i) {
+      if (topo[i] == e) return i;
+    }
+    return topo.size();
+  };
+  std::vector<const ConsolidatedPlan::MatNode*> ordered;
+  for (const auto& m : plan.materialized) ordered.push_back(&m);
+  std::sort(ordered.begin(), ordered.end(),
+            [&](const ConsolidatedPlan::MatNode* a,
+                const ConsolidatedPlan::MatNode* b) {
+              return position(a->eq) < position(b->eq);
+            });
+  for (const auto* m : ordered) {
+    MQO_RETURN_NOT_OK(MaterializeNode(m->eq, m->compute_plan));
+  }
+  if (plan.root_plan->op != PhysOp::kBatchRoot) {
+    return Status::InvalidArgument("root plan is not a batch root");
+  }
+  std::vector<NamedRows> results;
+  for (const auto& child : plan.root_plan->children) {
+    MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(child));
+    results.push_back(std::move(rows));
+  }
+  return results;
+}
+
+}  // namespace mqo

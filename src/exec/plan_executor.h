@@ -1,0 +1,56 @@
+// Physical plan executor over generated data.
+//
+// Executes the optimizer's chosen plan trees — including the consolidated
+// MQO plans with materialized intermediates — with bag semantics, to verify
+// end-to-end that sharing decisions never change query results: for any
+// materialized set, executing ConsolidatedPlan must produce exactly the
+// results of evaluating each query class directly.
+//
+// Materialized nodes are executed once (their compute plans, in dependency
+// order) into an in-memory store that ReadMaterialized leaves consult —
+// mirroring the cost model's execute-once/read-many accounting.
+
+#ifndef MQO_EXEC_PLAN_EXECUTOR_H_
+#define MQO_EXEC_PLAN_EXECUTOR_H_
+
+#include <map>
+
+#include "exec/evaluator.h"
+#include "optimizer/batch_optimizer.h"
+
+namespace mqo {
+
+/// Executes physical plans against a dataset.
+class PlanExecutor {
+ public:
+  PlanExecutor(Memo* memo, const DataSet* data)
+      : memo_(memo), data_(data), evaluator_(memo, data) {}
+
+  /// Executes one plan tree; the result is canonicalized to the plan's class
+  /// attributes. ReadMaterialized leaves require the node to be present in
+  /// the store (see MaterializeNode / ExecuteConsolidated).
+  Result<NamedRows> Execute(const PlanNodePtr& plan);
+
+  /// Executes `compute_plan` and stores the result for class `eq`.
+  Status MaterializeNode(EqId eq, const PlanNodePtr& compute_plan);
+
+  /// Executes a full consolidated plan: materializes every chosen node (in
+  /// the order given, which BatchOptimizer emits dependency-compatible),
+  /// then executes the root and returns one result per batched query.
+  Result<std::vector<NamedRows>> ExecuteConsolidated(const ConsolidatedPlan& plan);
+
+ private:
+  Result<NamedRows> ExecuteUncanonicalized(const PlanNodePtr& plan);
+  /// Input rows for a join's inner side that is not a plan child (base
+  /// relation or materialized node, rescanned by BNL/index probes).
+  Result<NamedRows> SideInput(EqId eq);
+
+  Memo* memo_;
+  const DataSet* data_;
+  Evaluator evaluator_;
+  std::map<EqId, NamedRows> store_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_EXEC_PLAN_EXECUTOR_H_

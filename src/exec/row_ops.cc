@@ -1,0 +1,228 @@
+#include "exec/row_ops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mqo {
+
+bool ValueEq(const Value& a, const Value& b) {
+  if (a.is_number() != b.is_number()) return false;
+  if (a.is_number()) return a.number() == b.number();
+  return a.str() == b.str();
+}
+
+bool CompareValues(const Value& v, CompareOp op, const Literal& lit) {
+  if (v.is_number() != lit.is_number()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return ValueEq(v, lit);
+    case CompareOp::kLt:
+      return ValueLess(v, lit);
+    case CompareOp::kLe:
+      return ValueLess(v, lit) || ValueEq(v, lit);
+    case CompareOp::kGt:
+      return ValueLess(lit, v);
+    case CompareOp::kGe:
+      return ValueLess(lit, v) || ValueEq(v, lit);
+  }
+  return false;
+}
+
+namespace {
+
+/// Fold state for one aggregate.
+struct AggState {
+  double sum = 0.0;
+  double count = 0.0;
+  bool any = false;
+  Value min;
+  Value max;
+
+  void Fold(const Value* arg) {
+    count += 1.0;
+    if (arg == nullptr) return;
+    if (arg->is_number()) sum += arg->number();
+    if (!any || ValueLess(*arg, min)) min = *arg;
+    if (!any || ValueLess(max, *arg)) max = *arg;
+    any = true;
+  }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kSum:
+        return Value(sum);
+      case AggFunc::kCount:
+        return Value(count);
+      case AggFunc::kAvg:
+        return Value(count > 0 ? sum / count : 0.0);
+      case AggFunc::kMin:
+        return any ? min : Value(0.0);
+      case AggFunc::kMax:
+        return any ? max : Value(0.0);
+    }
+    return Value(0.0);
+  }
+};
+
+}  // namespace
+
+Result<NamedRows> ScanRows(const DataSet& data, const std::string& table,
+                           const std::string& alias) {
+  MQO_ASSIGN_OR_RETURN(const NamedRows* base, data.GetTable(table));
+  NamedRows out;
+  for (const auto& col : base->columns) {
+    out.columns.emplace_back(alias, col.name);
+  }
+  out.rows = base->rows;
+  return out;
+}
+
+Result<NamedRows> FilterRows(const NamedRows& in, const Predicate& predicate) {
+  NamedRows out;
+  out.columns = in.columns;
+  std::vector<int> idx;
+  for (const auto& cmp : predicate.conjuncts()) {
+    const int i = in.ColumnIndex(cmp.column);
+    if (i < 0) {
+      return Status::Internal("predicate column missing: " +
+                              cmp.column.ToString());
+    }
+    idx.push_back(i);
+  }
+  for (const auto& row : in.rows) {
+    bool pass = true;
+    const auto& conjuncts = predicate.conjuncts();
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (!CompareValues(row[idx[c]], conjuncts[c].op, conjuncts[c].literal)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<NamedRows> JoinRows(const NamedRows& left, const NamedRows& right,
+                           const JoinPredicate& predicate) {
+  NamedRows out;
+  out.columns = left.columns;
+  out.columns.insert(out.columns.end(), right.columns.begin(),
+                     right.columns.end());
+  // Reject result schemas with duplicate columns (overlapping aliases on
+  // both sides): projection onto class attributes would be ambiguous.
+  {
+    std::vector<ColumnRef> sorted = out.columns;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::Unimplemented("join with overlapping aliases");
+    }
+  }
+  struct CondIdx {
+    int left;
+    int right;
+  };
+  std::vector<CondIdx> conds;
+  for (const auto& cond : predicate.conditions()) {
+    int li = left.ColumnIndex(cond.left);
+    int ri = right.ColumnIndex(cond.right);
+    if (li < 0 || ri < 0) {
+      li = left.ColumnIndex(cond.right);
+      ri = right.ColumnIndex(cond.left);
+    }
+    if (li < 0 || ri < 0) {
+      return Status::Internal("join condition unresolvable: " + cond.ToString());
+    }
+    conds.push_back({li, ri});
+  }
+  for (const auto& lrow : left.rows) {
+    for (const auto& rrow : right.rows) {
+      bool match = true;
+      for (const auto& c : conds) {
+        if (!ValueEq(lrow[c.left], rrow[c.right])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> row = lrow;
+      row.insert(row.end(), rrow.begin(), rrow.end());
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<NamedRows> AggregateRows(const NamedRows& in,
+                                const std::vector<ColumnRef>& group_by,
+                                const std::vector<AggExpr>& aggs,
+                                const std::vector<std::string>& renames) {
+  std::vector<int> group_idx;
+  for (const auto& g : group_by) {
+    const int i = in.ColumnIndex(g);
+    if (i < 0) {
+      return Status::Internal("group column missing: " + g.ToString());
+    }
+    group_idx.push_back(i);
+  }
+  std::vector<int> arg_idx;
+  for (const auto& agg : aggs) {
+    if (agg.arg.name.empty()) {
+      arg_idx.push_back(-1);  // COUNT(*)
+      continue;
+    }
+    const int i = in.ColumnIndex(agg.arg);
+    if (i < 0) {
+      return Status::Internal("aggregate argument missing: " +
+                              agg.arg.ToString());
+    }
+    arg_idx.push_back(i);
+  }
+  auto key_less = [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (ValueLess(a[i], b[i])) return true;
+      if (ValueLess(b[i], a[i])) return false;
+    }
+    return false;
+  };
+  std::map<std::vector<Value>, std::vector<AggState>, decltype(key_less)> groups(
+      key_less);
+  for (const auto& row : in.rows) {
+    std::vector<Value> key;
+    key.reserve(group_idx.size());
+    for (int i : group_idx) key.push_back(row[i]);
+    auto [it, inserted] = groups.try_emplace(std::move(key), aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Value* arg = arg_idx[a] >= 0 ? &row[arg_idx[a]] : nullptr;
+      it->second[a].Fold(arg);
+    }
+  }
+  NamedRows out;
+  out.columns = group_by;
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (a < renames.size() && !renames[a].empty()) {
+      out.columns.emplace_back("", renames[a]);
+    } else {
+      out.columns.push_back(aggs[a].OutputColumn());
+    }
+  }
+  if (groups.empty() && group_by.empty()) {
+    std::vector<Value> row;
+    std::vector<AggState> zero(aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(zero[a].Finish(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row = key;
+    for (size_t a = 0; a < states.size(); ++a) {
+      row.push_back(states[a].Finish(aggs[a].func));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mqo

@@ -1,0 +1,43 @@
+// Row-level operator semantics shared by the logical reference evaluator and
+// the physical plan executor: scan qualification, predicate filtering,
+// equijoin, projection, and grouped aggregation over NamedRows.
+
+#ifndef MQO_EXEC_ROW_OPS_H_
+#define MQO_EXEC_ROW_OPS_H_
+
+#include "algebra/logical_expr.h"
+#include "exec/dataset.h"
+
+namespace mqo {
+
+/// Exact value equality (numbers by value, strings by content).
+bool ValueEq(const Value& a, const Value& b);
+
+/// Evaluates `value <op> literal`.
+bool CompareValues(const Value& v, CompareOp op, const Literal& lit);
+
+/// Base-table rows re-qualified under a scan alias.
+Result<NamedRows> ScanRows(const DataSet& data, const std::string& table,
+                           const std::string& alias);
+
+/// Rows of `in` satisfying every conjunct.
+Result<NamedRows> FilterRows(const NamedRows& in, const Predicate& predicate);
+
+/// Equijoin of `left` and `right` (nested loops, bag semantics). Fails with
+/// Unimplemented if the combined schema has duplicate columns (overlapping
+/// aliases), since projection onto class attributes would be ambiguous.
+Result<NamedRows> JoinRows(const NamedRows& left, const NamedRows& right,
+                           const JoinPredicate& predicate);
+
+/// Grouped aggregation; `renames` (parallel to `aggs`, may be shorter)
+/// overrides output column names — the aggregate-subsumption convention.
+/// A scalar aggregate (empty `group_by`) over empty input yields one row of
+/// fold identities.
+Result<NamedRows> AggregateRows(const NamedRows& in,
+                                const std::vector<ColumnRef>& group_by,
+                                const std::vector<AggExpr>& aggs,
+                                const std::vector<std::string>& renames);
+
+}  // namespace mqo
+
+#endif  // MQO_EXEC_ROW_OPS_H_

@@ -1,0 +1,21 @@
+// Graphviz DOT export of the AND-OR DAG, for inspecting the expanded memo:
+// equivalence classes render as boxes (OR-nodes), operators as ellipses
+// (AND-nodes), matching the paper's Figure 2/3 drawing convention.
+
+#ifndef MQO_LQDAG_DOT_EXPORT_H_
+#define MQO_LQDAG_DOT_EXPORT_H_
+
+#include <set>
+#include <string>
+
+#include "lqdag/memo.h"
+
+namespace mqo {
+
+/// Renders the whole memo as a DOT digraph. Classes in `highlight` (e.g. a
+/// chosen materialization set) are filled; the root class is double-framed.
+std::string MemoToDot(const Memo& memo, const std::set<EqId>& highlight = {});
+
+}  // namespace mqo
+
+#endif  // MQO_LQDAG_DOT_EXPORT_H_

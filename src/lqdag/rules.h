@@ -1,0 +1,42 @@
+// Logical transformation rules and the memo expansion driver.
+//
+// The rule set matches the paper's experimental setup (Section 6): select
+// push-down (done at normalization and preserved here), join commutativity
+// and associativity (generating bushy join trees), and select and aggregate
+// subsumption (which create the cross-query sharing opportunities when a
+// query is repeated with different selection constants).
+
+#ifndef MQO_LQDAG_RULES_H_
+#define MQO_LQDAG_RULES_H_
+
+#include "common/status.h"
+#include "lqdag/memo.h"
+
+namespace mqo {
+
+/// Knobs for memo expansion. All rules default to on; `max_ops` bounds the
+/// DAG size defensively (expansion fails with OutOfRange when exceeded).
+struct ExpansionOptions {
+  bool join_commutativity = true;
+  bool join_associativity = true;
+  bool select_subsumption = true;
+  bool aggregate_subsumption = true;
+  int max_ops = 500000;
+};
+
+/// Statistics about one expansion run.
+struct ExpansionStats {
+  int passes = 0;
+  int ops_before = 0;
+  int ops_after = 0;
+  int classes_after = 0;
+  int merges = 0;
+};
+
+/// Applies all enabled transformation rules to fixpoint (the "expanded
+/// LQDAG"). Idempotent: a second call adds nothing.
+Result<ExpansionStats> ExpandMemo(Memo* memo, const ExpansionOptions& options = {});
+
+}  // namespace mqo
+
+#endif  // MQO_LQDAG_RULES_H_

@@ -1,0 +1,74 @@
+#include "mqo/facade.h"
+
+#include "common/string_util.h"
+#include "lqdag/rules.h"
+
+namespace mqo {
+
+void MqoOutcome::Print(std::ostream& os) const {
+  os << "algorithm        : " << result.algorithm << "\n";
+  os << "DAG              : " << dag_classes << " classes, " << dag_ops
+     << " operators, " << shareable_nodes << " shareable\n";
+  os << "no-MQO cost      : " << FormatCost(result.volcano_cost / 1000.0)
+     << " s\n";
+  os << "consolidated cost: " << FormatCost(result.total_cost / 1000.0)
+     << " s (" << FormatDouble(100.0 * result.benefit /
+                                   std::max(result.volcano_cost, 1e-9), 1)
+     << "% benefit, " << result.num_materialized << " node(s) materialized)\n";
+  os << "optimization time: " << FormatDouble(result.optimization_time_ms, 2)
+     << " ms (" << result.optimizations << " plan searches)\n";
+  os << "\nconsolidated plan:\n" << consolidated_plan;
+  for (const auto& p : materialized_plans) {
+    os << "\nmaterialized node plan:\n" << p;
+  }
+}
+
+Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
+                                 const std::vector<LogicalExprPtr>& queries,
+                                 const MqoOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  Memo memo(&catalog);
+  memo.InsertBatch(queries);
+  auto expanded = ExpandMemo(&memo, options.expansion);
+  MQO_RETURN_NOT_OK(expanded.status());
+
+  BatchOptimizer optimizer(&memo, CostModel(options.cost_params));
+  MaterializationProblem problem(&optimizer);
+
+  MqoOutcome outcome;
+  outcome.dag_classes = expanded.ValueOrDie().classes_after;
+  outcome.dag_ops = expanded.ValueOrDie().ops_after;
+  outcome.shareable_nodes = problem.universe_size();
+  switch (options.algorithm) {
+    case MqoOptions::Algorithm::kMarginalGreedy:
+      outcome.result = RunMarginalGreedy(&problem, options.marginal_options);
+      break;
+    case MqoOptions::Algorithm::kGreedy:
+      outcome.result = RunGreedy(&problem);
+      break;
+    case MqoOptions::Algorithm::kVolcano:
+      outcome.result = RunVolcano(&problem);
+      break;
+  }
+  ConsolidatedPlan plan = optimizer.Plan(outcome.result.materialized);
+  outcome.consolidated_plan = PlanToString(plan.root_plan);
+  for (const auto& m : plan.materialized) {
+    outcome.materialized_plans.push_back(PlanToString(m.compute_plan));
+  }
+  return outcome;
+}
+
+Result<MqoOutcome> OptimizeSqlBatch(const Catalog& catalog,
+                                    const std::vector<std::string>& sql_batch,
+                                    const MqoOptions& options) {
+  std::vector<LogicalExprPtr> queries;
+  for (const auto& sql : sql_batch) {
+    MQO_ASSIGN_OR_RETURN(LogicalExprPtr tree, ParseQuery(sql, catalog));
+    queries.push_back(std::move(tree));
+  }
+  return OptimizeBatch(catalog, queries, options);
+}
+
+}  // namespace mqo

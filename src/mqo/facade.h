@@ -1,0 +1,61 @@
+// One-call convenience facade: SQL batch in, consolidated MQO plan out.
+//
+//   Catalog catalog = MakeTpcdCatalog(1);
+//   auto outcome = OptimizeSqlBatch(catalog, {"SELECT ...", "SELECT ..."});
+//   outcome.ValueOrDie().Print();
+//
+// Wires together the parser, memo, transformation rules, batch optimizer and
+// the MarginalGreedy algorithm with sensible defaults; every knob is still
+// reachable through the lower layers.
+
+#ifndef MQO_MQO_FACADE_H_
+#define MQO_MQO_FACADE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+#include "parser/parser.h"
+
+namespace mqo {
+
+/// Options for OptimizeSqlBatch / OptimizeBatch.
+struct MqoOptions {
+  CostParams cost_params;
+  /// Which selection algorithm to run.
+  enum class Algorithm { kMarginalGreedy, kGreedy, kVolcano } algorithm =
+      Algorithm::kMarginalGreedy;
+  MarginalGreedyMqoOptions marginal_options;
+  ExpansionOptions expansion;
+};
+
+/// Result of a facade optimization.
+struct MqoOutcome {
+  MqoResult result;                    ///< Costs, chosen nodes, timings.
+  std::string consolidated_plan;       ///< Rendered root plan.
+  std::vector<std::string> materialized_plans;  ///< One per materialized node.
+  int dag_classes = 0;
+  int dag_ops = 0;
+  int shareable_nodes = 0;
+
+  /// Writes a human-readable report to `os`.
+  void Print(std::ostream& os = std::cout) const;
+};
+
+/// Parses each SQL string against `catalog`, builds and expands the combined
+/// LQDAG, and runs the selected MQO algorithm. Fails on the first parse or
+/// bind error.
+Result<MqoOutcome> OptimizeSqlBatch(const Catalog& catalog,
+                                    const std::vector<std::string>& sql_batch,
+                                    const MqoOptions& options = {});
+
+/// Same, starting from already-built logical trees.
+Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
+                                 const std::vector<LogicalExprPtr>& queries,
+                                 const MqoOptions& options = {});
+
+}  // namespace mqo
+
+#endif  // MQO_MQO_FACADE_H_

@@ -1,0 +1,43 @@
+#include "mqo/materialization_problem.h"
+
+namespace mqo {
+
+MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
+    : optimizer_(optimizer), universe_(ShareableNodes(*optimizer->memo())) {
+  const int n = static_cast<int>(universe_.size());
+  benefit_ = std::make_unique<LambdaSetFunction>(
+      n, [this](const ElementSet& s) {
+        return optimizer_->BestCost({}) - optimizer_->BestCost(ToEqIds(s));
+      });
+  best_cost_ = std::make_unique<LambdaSetFunction>(
+      n, [this](const ElementSet& s) {
+        return optimizer_->BestCost(ToEqIds(s));
+      });
+}
+
+std::set<EqId> MaterializationProblem::ToEqIds(const ElementSet& s) const {
+  std::set<EqId> out;
+  for (int i : s.ToVector()) out.insert(universe_[i]);
+  return out;
+}
+
+Decomposition MaterializationProblem::CanonicalDecomposition() {
+  // c*(e) needs bc(U) and bc(U \ {e}) for every e: pin the full universe as
+  // the incremental base so each bc(U \ {e}) re-plans only e's ancestors.
+  std::set<EqId> full(universe_.begin(), universe_.end());
+  optimizer_->SetIncrementalBase(full);
+  Decomposition d = ::mqo::CanonicalDecomposition(*benefit_);
+  optimizer_->SetIncrementalBase({});
+  return d;
+}
+
+Decomposition MaterializationProblem::UseBenefitDecomposition() {
+  Decomposition d;
+  d.costs.resize(universe_.size());
+  for (size_t i = 0; i < universe_.size(); ++i) {
+    d.costs[i] = optimizer_->StandaloneMatCost(universe_[i]);
+  }
+  return d;
+}
+
+}  // namespace mqo

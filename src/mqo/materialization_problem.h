@@ -1,0 +1,60 @@
+// Bridges the batch optimizer's bc(S) oracle and the submodular layer: the
+// materialization-benefit function mb(S) = bc(∅) − bc(S) over the universe of
+// shareable equivalence nodes (Section 2.4).
+
+#ifndef MQO_MQO_MATERIALIZATION_PROBLEM_H_
+#define MQO_MQO_MATERIALIZATION_PROBLEM_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "optimizer/batch_optimizer.h"
+#include "submodular/decomposition.h"
+#include "submodular/set_function.h"
+
+namespace mqo {
+
+/// The MQO instance as a submodular-maximization problem. Universe element i
+/// corresponds to shareable node universe()[i].
+class MaterializationProblem {
+ public:
+  explicit MaterializationProblem(BatchOptimizer* optimizer);
+
+  /// Shareable equivalence nodes, index-aligned with the set functions.
+  const std::vector<EqId>& universe() const { return universe_; }
+  int universe_size() const { return static_cast<int>(universe_.size()); }
+
+  /// Translates an index set into equivalence-node ids.
+  std::set<EqId> ToEqIds(const ElementSet& s) const;
+
+  /// mb(S) = bc(∅) − bc(S); normalized (mb(∅)=0), submodular under the
+  /// monotonicity heuristic.
+  const SetFunction& benefit() const { return *benefit_; }
+
+  /// bc(S) itself, for the cost-minimizing Greedy of Roy et al.
+  const SetFunction& best_cost() const { return *best_cost_; }
+
+  /// bc(∅): the stand-alone Volcano (no-MQO) plan cost.
+  double VolcanoCost() { return optimizer_->BestCost({}); }
+
+  /// Proposition 1 decomposition c*(e) = mb(U\{e}) − mb(U); n+1 bc calls.
+  Decomposition CanonicalDecomposition();
+
+  /// Heuristic "use-benefit" decomposition: c(e) = cost of computing and
+  /// writing node e with nothing else materialized. Cheap (n standalone
+  /// optimizations of single nodes) but without the Prop 2 optimality.
+  Decomposition UseBenefitDecomposition();
+
+  BatchOptimizer* optimizer() { return optimizer_; }
+
+ private:
+  BatchOptimizer* optimizer_;
+  std::vector<EqId> universe_;
+  std::unique_ptr<SetFunction> benefit_;
+  std::unique_ptr<SetFunction> best_cost_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_MQO_MATERIALIZATION_PROBLEM_H_

@@ -1,0 +1,88 @@
+#include "mqo/mqo_algorithms.h"
+
+#include "common/timer.h"
+
+namespace mqo {
+
+namespace {
+
+MqoResult Finalize(MaterializationProblem* problem, std::string name,
+                   const ElementSet& selected, double elapsed_ms,
+                   int64_t optimizations_before, int64_t evals) {
+  MqoResult r;
+  r.algorithm = std::move(name);
+  r.materialized = problem->ToEqIds(selected);
+  r.total_cost = problem->optimizer()->BestCost(r.materialized);
+  r.volcano_cost = problem->VolcanoCost();
+  r.benefit = r.volcano_cost - r.total_cost;
+  r.num_materialized = static_cast<int>(r.materialized.size());
+  r.optimization_time_ms = elapsed_ms;
+  r.optimizations =
+      problem->optimizer()->num_optimizations() - optimizations_before;
+  r.function_evals = evals;
+  return r;
+}
+
+}  // namespace
+
+MqoResult RunVolcano(MaterializationProblem* problem) {
+  WallTimer timer;
+  const int64_t before = problem->optimizer()->num_optimizations();
+  ElementSet empty(problem->universe_size());
+  return Finalize(problem, "Volcano", empty, timer.ElapsedMillis(), before, 0);
+}
+
+MqoResult RunGreedy(MaterializationProblem* problem, bool lazy) {
+  WallTimer timer;
+  const int64_t before = problem->optimizer()->num_optimizations();
+  std::vector<int> candidates(problem->universe_size());
+  for (int i = 0; i < problem->universe_size(); ++i) candidates[i] = i;
+  // Pin the incremental re-optimization base to the committed set X, so each
+  // trial bc(X ∪ {x}) re-plans only the ancestors of x.
+  problem->optimizer()->SetIncrementalBase({});
+  auto on_pick = [problem](const ElementSet& x) {
+    problem->optimizer()->SetIncrementalBase(problem->ToEqIds(x));
+  };
+  CostGreedyResult greedy =
+      CostGreedyMin(problem->best_cost(), candidates, lazy, on_pick);
+  return Finalize(problem, "Greedy", greedy.selected, timer.ElapsedMillis(),
+                  before, greedy.function_evals);
+}
+
+MqoResult RunMarginalGreedy(MaterializationProblem* problem,
+                            const MarginalGreedyMqoOptions& options) {
+  WallTimer timer;
+  const int64_t before = problem->optimizer()->num_optimizations();
+  Decomposition d = options.decomposition == DecompositionKind::kCanonical
+                        ? problem->CanonicalDecomposition()
+                        : problem->UseBenefitDecomposition();
+  MarginalGreedyOptions greedy_options;
+  greedy_options.lazy = options.lazy;
+  greedy_options.cardinality_limit = options.cardinality_limit;
+  greedy_options.universe_reduction = options.universe_reduction;
+  problem->optimizer()->SetIncrementalBase({});
+  greedy_options.on_pick = [problem](const ElementSet& x) {
+    problem->optimizer()->SetIncrementalBase(problem->ToEqIds(x));
+  };
+  GreedyResult greedy = MarginalGreedy(problem->benefit(), d, greedy_options);
+  return Finalize(problem, "MarginalGreedy", greedy.selected,
+                  timer.ElapsedMillis(), before, greedy.function_evals);
+}
+
+MqoResult RunMaterializeAll(MaterializationProblem* problem) {
+  WallTimer timer;
+  const int64_t before = problem->optimizer()->num_optimizations();
+  ElementSet all = ElementSet::Full(problem->universe_size());
+  return Finalize(problem, "MaterializeAll", all, timer.ElapsedMillis(), before,
+                  0);
+}
+
+MqoResult RunExhaustive(MaterializationProblem* problem) {
+  WallTimer timer;
+  const int64_t before = problem->optimizer()->num_optimizations();
+  GreedyResult best = ExhaustiveMax(problem->benefit());
+  return Finalize(problem, "Exhaustive", best.selected, timer.ElapsedMillis(),
+                  before, best.function_evals);
+}
+
+}  // namespace mqo

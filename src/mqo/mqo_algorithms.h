@@ -1,0 +1,66 @@
+// High-level MQO drivers: stand-alone Volcano (no MQO), the Greedy of Roy et
+// al. [23], the paper's MarginalGreedy (with decomposition/lazy options), a
+// materialize-everything baseline (Silva et al.-style), and exhaustive search
+// for small DAGs. Each returns the consolidated plan cost and bookkeeping
+// the experiment harness prints.
+
+#ifndef MQO_MQO_MQO_ALGORITHMS_H_
+#define MQO_MQO_MQO_ALGORITHMS_H_
+
+#include <set>
+#include <string>
+
+#include "mqo/materialization_problem.h"
+#include "submodular/algorithms.h"
+
+namespace mqo {
+
+/// Which f = fM − c decomposition MarginalGreedy runs with.
+enum class DecompositionKind {
+  kCanonical,   ///< Proposition 1 (n+1 bc calls; provably best ratio).
+  kUseBenefit,  ///< c(e) = standalone materialization cost of e (heuristic).
+};
+
+/// Result of one MQO algorithm run.
+struct MqoResult {
+  std::string algorithm;
+  std::set<EqId> materialized;
+  double total_cost = 0.0;        ///< bc(materialized), ms of estimated work.
+  double volcano_cost = 0.0;      ///< bc(∅).
+  double benefit = 0.0;           ///< volcano_cost − total_cost.
+  int num_materialized = 0;
+  double optimization_time_ms = 0.0;  ///< Wall-clock optimization time.
+  int64_t optimizations = 0;      ///< bc() cache misses attributable to run.
+  int64_t function_evals = 0;     ///< Greedy-level marginal evaluations.
+};
+
+/// Options for RunMarginalGreedy.
+struct MarginalGreedyMqoOptions {
+  DecompositionKind decomposition = DecompositionKind::kCanonical;
+  bool lazy = true;
+  int cardinality_limit = -1;
+  bool universe_reduction = false;
+};
+
+/// No MQO: locally optimal plans only (bc(∅)).
+MqoResult RunVolcano(MaterializationProblem* problem);
+
+/// Algorithm 1 (Roy et al.): iteratively materialize the node minimizing
+/// bc(X ∪ {x}). `lazy` applies their heap optimization (the monotonicity
+/// heuristic).
+MqoResult RunGreedy(MaterializationProblem* problem, bool lazy = true);
+
+/// Algorithm 2 (this paper): MarginalGreedy over the chosen decomposition.
+MqoResult RunMarginalGreedy(MaterializationProblem* problem,
+                            const MarginalGreedyMqoOptions& options = {});
+
+/// Materialize every shareable node (the heuristic of Silva et al. [26],
+/// which the paper notes "can be horribly inefficient").
+MqoResult RunMaterializeAll(MaterializationProblem* problem);
+
+/// Exhaustive optimum over all subsets of shareable nodes (universe ≤ 20).
+MqoResult RunExhaustive(MaterializationProblem* problem);
+
+}  // namespace mqo
+
+#endif  // MQO_MQO_MQO_ALGORITHMS_H_

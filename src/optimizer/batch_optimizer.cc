@@ -1,0 +1,167 @@
+#include "optimizer/batch_optimizer.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+BatchOptimizer::BatchOptimizer(Memo* memo, CostModel cost_model,
+                               BatchOptimizerOptions options)
+    : memo_(memo), cm_(cost_model), options_(options), stats_(memo) {
+  assert(memo_->root() >= 0 && "InsertBatch must run before optimization");
+}
+
+std::set<EqId> BatchOptimizer::Canonical(const std::set<EqId>& mat) const {
+  std::set<EqId> out;
+  for (EqId e : mat) out.insert(memo_->Find(e));
+  return out;
+}
+
+uint64_t BatchOptimizer::SetKey(const std::set<EqId>& canonical) const {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (EqId e : canonical) h = HashCombine(h, static_cast<uint64_t>(e));
+  return h;
+}
+
+std::pair<double, double> BatchOptimizer::Evaluate(PlanSearch* search,
+                                                   const std::set<EqId>& mat) {
+  const int64_t costings_before = search->num_costings();
+  PlanNodePtr root = search->UsePlan(memo_->root(), {});
+  assert(root != nullptr);
+  double buc = root->total_cost;
+  double bc = buc;
+  for (EqId e : mat) {
+    PlanNodePtr compute = search->ComputePlan(e, {});
+    assert(compute != nullptr);
+    bc += compute->total_cost + search->WriteCost(e);
+  }
+  num_costings_ += search->num_costings() - costings_before;
+  return {bc, buc};
+}
+
+namespace {
+
+/// Returns the single differing element if |a Δ b| == 1, else -1. `added` is
+/// set to true when the element is in `a` but not `b`.
+EqId SymmetricDiffOne(const std::set<EqId>& a, const std::set<EqId>& b,
+                      bool* added) {
+  if (a.size() == b.size() + 1) {
+    for (EqId e : a) {
+      if (b.count(e) == 0) {
+        std::set<EqId> check = b;
+        check.insert(e);
+        if (check == a) {
+          *added = true;
+          return e;
+        }
+        return -1;
+      }
+    }
+  } else if (b.size() == a.size() + 1) {
+    bool dummy;
+    EqId e = SymmetricDiffOne(b, a, &dummy);
+    if (e >= 0) *added = false;
+    return e;
+  }
+  return -1;
+}
+
+}  // namespace
+
+PlanSearch* BatchOptimizer::AcquireSearch(const std::set<EqId>& mat) {
+  if (options_.incremental) {
+    for (PlanSearch* candidate : {base_.get(), scratch_.get()}) {
+      if (candidate == nullptr) continue;
+      if (candidate->materialized() == mat) {
+        ++num_incremental_;
+        if (candidate == base_.get()) {
+          // Work on a copy so the pinned base stays clean for future deltas.
+          scratch_ = std::make_unique<PlanSearch>(*candidate);
+          return scratch_.get();
+        }
+        return candidate;
+      }
+      bool added = false;
+      EqId delta = SymmetricDiffOne(mat, candidate->materialized(), &added);
+      if (delta >= 0) {
+        ++num_incremental_;
+        if (candidate == base_.get()) {
+          scratch_ = std::make_unique<PlanSearch>(*candidate);
+          scratch_->ToggleMaterialized(delta, added);
+          return scratch_.get();
+        }
+        candidate->ToggleMaterialized(delta, added);
+        return candidate;
+      }
+    }
+  }
+  scratch_ = std::make_unique<PlanSearch>(memo_, &stats_, cm_, mat, options_.search);
+  return scratch_.get();
+}
+
+void BatchOptimizer::SetIncrementalBase(const std::set<EqId>& mat) {
+  if (!options_.incremental) return;
+  std::set<EqId> s = Canonical(mat);
+  if (base_ != nullptr && base_->materialized() == s) return;
+  if (scratch_ != nullptr && scratch_->materialized() == s) {
+    base_ = std::make_unique<PlanSearch>(*scratch_);
+    return;
+  }
+  base_ = std::make_unique<PlanSearch>(memo_, &stats_, cm_, s, options_.search);
+  (void)Evaluate(base_.get(), s);  // warm the caches for future deltas
+}
+
+double BatchOptimizer::BestCost(const std::set<EqId>& mat) {
+  std::set<EqId> s = Canonical(mat);
+  const uint64_t key = SetKey(s);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.first;
+
+  ++num_optimizations_;
+  PlanSearch* search = AcquireSearch(s);
+  auto [bc, buc] = Evaluate(search, s);
+  cache_.emplace(key, std::make_pair(bc, buc));
+  return bc;
+}
+
+double BatchOptimizer::BestUseCost(const std::set<EqId>& mat) {
+  std::set<EqId> s = Canonical(mat);
+  const uint64_t key = SetKey(s);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    BestCost(mat);
+    it = cache_.find(key);
+  }
+  return it->second.second;
+}
+
+ConsolidatedPlan BatchOptimizer::Plan(const std::set<EqId>& mat) {
+  std::set<EqId> s = Canonical(mat);
+  PlanSearch search(memo_, &stats_, cm_, s, options_.search);
+  ConsolidatedPlan out;
+  out.root_plan = search.UsePlan(memo_->root(), {});
+  assert(out.root_plan != nullptr);
+  out.best_use_cost = out.root_plan->total_cost;
+  out.best_cost = out.best_use_cost;
+  for (EqId e : s) {
+    ConsolidatedPlan::MatNode node;
+    node.eq = e;
+    node.compute_plan = search.ComputePlan(e, {});
+    assert(node.compute_plan != nullptr);
+    node.write_cost = search.WriteCost(e);
+    out.best_cost += node.compute_plan->total_cost + node.write_cost;
+    out.materialized.push_back(std::move(node));
+  }
+  out.mat_cost = out.best_cost - out.best_use_cost;
+  return out;
+}
+
+double BatchOptimizer::StandaloneMatCost(EqId eq) {
+  PlanSearch search(memo_, &stats_, cm_, {});
+  PlanNodePtr compute = search.ComputePlan(memo_->Find(eq), {});
+  assert(compute != nullptr);
+  return compute->total_cost + search.WriteCost(eq);
+}
+
+}  // namespace mqo

@@ -1,0 +1,113 @@
+// bestCost / bestUseCost over the combined query DAG (Section 2.2/2.4).
+//
+// For a set S of equivalence nodes to materialize:
+//   bestUseCost(Q, S) = cost of the best plan for the batch root where any
+//                       node of S may be read from disk (buc in the paper),
+//   bestCost(Q, S)    = buc(S) + the cost of computing and writing out every
+//                       node of S (each node's own plan may read other
+//                       materialized nodes below it),
+//   mb(S)             = bestCost(Q, ∅) − bestCost(Q, S), the materialization
+//                       benefit the MQO algorithms maximize.
+
+#ifndef MQO_OPTIMIZER_BATCH_OPTIMIZER_H_
+#define MQO_OPTIMIZER_BATCH_OPTIMIZER_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "common/element_set.h"
+#include "optimizer/plan_search.h"
+
+namespace mqo {
+
+/// Full report of a consolidated best plan for one materialized set.
+struct ConsolidatedPlan {
+  double best_cost = 0.0;      ///< bc(S): use cost + materialization costs.
+  double best_use_cost = 0.0;  ///< buc(S).
+  double mat_cost = 0.0;       ///< bc(S) − buc(S).
+  PlanNodePtr root_plan;       ///< Plan for the batch root under S.
+  /// Per materialized node: (class, plan computing it, write cost).
+  struct MatNode {
+    EqId eq = -1;
+    PlanNodePtr compute_plan;
+    double write_cost = 0.0;
+  };
+  std::vector<MatNode> materialized;
+};
+
+/// Options for the batch optimizer.
+struct BatchOptimizerOptions {
+  /// Reuse the plan search across bc() calls that differ by one materialized
+  /// node, invalidating only ancestor classes (Roy et al.'s incremental
+  /// re-optimization; the paper reuses it in Section 5.1). Off = every bc()
+  /// runs a fresh search.
+  bool incremental = true;
+  /// Physical search knobs (e.g. the index nested-loops join extension).
+  SearchOptions search;
+};
+
+/// Cost oracle for the MQO algorithms. Evaluations are cached per set, and
+/// instrumentation counters expose how many full optimizations were run.
+class BatchOptimizer {
+ public:
+  /// The memo must already contain the batch (InsertBatch) and be expanded.
+  BatchOptimizer(Memo* memo, CostModel cost_model,
+                 BatchOptimizerOptions options = {});
+
+  /// bc(S). S holds equivalence class ids (any representatives).
+  double BestCost(const std::set<EqId>& mat);
+
+  /// buc(S).
+  double BestUseCost(const std::set<EqId>& mat);
+
+  /// Full consolidated plan for S (uncached; use for final reporting).
+  ConsolidatedPlan Plan(const std::set<EqId>& mat);
+
+  /// Cost of computing node `eq` with nothing else materialized, plus the
+  /// write; the "standalone materialization cost" used by the use-benefit
+  /// decomposition.
+  double StandaloneMatCost(EqId eq);
+
+  /// Pins S as the incremental base: subsequent bc(S ∪ {x}) / bc(S \ {x})
+  /// calls clone the pinned search and re-plan only the ancestor classes of
+  /// x. The MQO greedy drivers call this after each committed pick.
+  void SetIncrementalBase(const std::set<EqId>& mat);
+
+  /// Number of distinct bc() optimizations actually executed (cache misses).
+  int64_t num_optimizations() const { return num_optimizations_; }
+
+  /// How many of those were served by delta-reuse of a prior search.
+  int64_t num_incremental() const { return num_incremental_; }
+
+  /// Total operator costings across all optimizations (work proxy).
+  int64_t num_costings() const { return num_costings_; }
+
+  Memo* memo() { return memo_; }
+  StatsEstimator* stats() { return &stats_; }
+  const CostModel& cost_model() const { return cm_; }
+
+ private:
+  std::set<EqId> Canonical(const std::set<EqId>& mat) const;
+  uint64_t SetKey(const std::set<EqId>& canonical) const;
+  /// Runs bc+buc on `search`, charging only the costings delta.
+  std::pair<double, double> Evaluate(PlanSearch* search,
+                                     const std::set<EqId>& mat);
+  /// Obtains a search for `mat`, via delta-reuse when possible. The returned
+  /// pointer stays owned by the optimizer (scratch_ slot).
+  PlanSearch* AcquireSearch(const std::set<EqId>& mat);
+
+  Memo* memo_;
+  CostModel cm_;
+  BatchOptimizerOptions options_;
+  StatsEstimator stats_;
+  std::unordered_map<uint64_t, std::pair<double, double>> cache_;  // key -> {bc, buc}
+  std::unique_ptr<PlanSearch> base_;     // pinned committed base (greedy's X)
+  std::unique_ptr<PlanSearch> scratch_;  // most recent evaluated search
+  int64_t num_optimizations_ = 0;
+  int64_t num_incremental_ = 0;
+  int64_t num_costings_ = 0;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_OPTIMIZER_BATCH_OPTIMIZER_H_

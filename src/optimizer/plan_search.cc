@@ -1,0 +1,409 @@
+#include "optimizer/plan_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+namespace {
+
+/// Picks the cheapest candidate; nullptr when none.
+PlanNodePtr Cheapest(const std::vector<PlanNodePtr>& candidates) {
+  PlanNodePtr best;
+  for (const auto& c : candidates) {
+    if (c == nullptr) continue;
+    if (best == nullptr || c->total_cost < best->total_cost) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+PlanSearch::PlanSearch(Memo* memo, StatsEstimator* stats,
+                       const CostModel& cost_model, std::set<EqId> materialized,
+                       SearchOptions options)
+    : memo_(memo), stats_(stats), cm_(cost_model), options_(options) {
+  for (EqId e : materialized) mat_.insert(memo_->Find(e));
+}
+
+uint64_t PlanSearch::Key(EqId eq, const SortOrder& order) const {
+  uint64_t h = static_cast<uint64_t>(memo_->Find(eq));
+  for (const auto& c : order) h = HashCombine(h, c.Hash());
+  return h;
+}
+
+void PlanSearch::ToggleMaterialized(EqId eq, bool materialized) {
+  eq = memo_->Find(eq);
+  if (materialized) {
+    mat_.insert(eq);
+  } else {
+    mat_.erase(eq);
+  }
+  for (EqId ancestor : memo_->AncestorClasses(eq)) {
+    use_cache_.erase(ancestor);
+    compute_cache_.erase(ancestor);
+    mat_order_cache_.erase(ancestor);
+  }
+}
+
+double PlanSearch::WriteCost(EqId eq) {
+  const RelStats& s = stats_->ClassStats(eq);
+  return cm_.SeqWriteCost(s.Blocks(cm_));
+}
+
+double PlanSearch::ReadCost(EqId eq) {
+  const RelStats& s = stats_->ClassStats(eq);
+  return cm_.SeqReadCost(s.Blocks(cm_));
+}
+
+const SortOrder& PlanSearch::MaterializedOrder(EqId eq) {
+  eq = memo_->Find(eq);
+  auto it = mat_order_cache_.find(eq);
+  if (it != mat_order_cache_.end()) return it->second;
+  // Reserve the slot first: the compute search below may consult other
+  // materialized nodes but never this one at its own root.
+  auto [ins, _] = mat_order_cache_.emplace(eq, SortOrder{});
+  PlanNodePtr compute = ComputePlan(eq, {});
+  if (compute != nullptr) ins->second = compute->output_order;
+  return ins->second;
+}
+
+PlanNodePtr PlanSearch::UsePlan(EqId eq, const SortOrder& required) {
+  eq = memo_->Find(eq);
+  const uint64_t key = Key(eq, required);
+  {
+    auto bucket = use_cache_.find(eq);
+    if (bucket != use_cache_.end()) {
+      auto it = bucket->second.find(key);
+      if (it != bucket->second.end()) return it->second;
+    }
+  }
+
+  std::vector<PlanNodePtr> candidates;
+  candidates.push_back(ComputePlan(eq, required));
+  if (mat_.count(eq) > 0) {
+    // Read the materialized result, which is stored in its compute plan's
+    // order; sort on top only if the required order is not satisfied.
+    const SortOrder stored = MaterializedOrder(eq);
+    PlanNodePtr read = MakePlanNode(PhysOp::kReadMaterialized, eq, stored,
+                                    ReadCost(eq), "E" + std::to_string(eq), {});
+    if (!OrderSatisfies(stored, required)) {
+      const double sort_cost = cm_.SortCost(stats_->ClassStats(eq).Blocks(cm_));
+      read = MakePlanNode(PhysOp::kSort, eq, required, sort_cost,
+                          SortOrderToString(required), {read});
+    }
+    candidates.push_back(read);
+  }
+  PlanNodePtr best = Cheapest(candidates);
+  use_cache_[eq].emplace(key, best);
+  return best;
+}
+
+PlanNodePtr PlanSearch::ComputePlan(EqId eq, const SortOrder& required) {
+  eq = memo_->Find(eq);
+  const uint64_t key = Key(eq, required);
+  {
+    auto bucket = compute_cache_.find(eq);
+    if (bucket != compute_cache_.end()) {
+      auto it = bucket->second.find(key);
+      if (it != bucket->second.end()) return it->second;
+    }
+  }
+  if (in_progress_.count(key) > 0) {
+    // Cycle guard; a well-formed LQDAG is acyclic so this never fires.
+    return nullptr;
+  }
+  in_progress_.insert(key);
+  PlanNodePtr best = ComputePlanUncached(eq, required);
+  in_progress_.erase(key);
+  compute_cache_[eq].emplace(key, best);
+  return best;
+}
+
+PlanNodePtr PlanSearch::ComputePlanUncached(EqId eq, const SortOrder& required) {
+  std::vector<PlanNodePtr> raw;
+  for (OpId oid : memo_->ClassOps(eq)) {
+    const MemoOp& op = memo_->op(oid);
+    switch (op.kind) {
+      case LogicalOp::kScan:
+        AddScanCandidates(op, oid, eq, &raw);
+        break;
+      case LogicalOp::kSelect:
+        AddSelectCandidates(op, oid, eq, &raw);
+        break;
+      case LogicalOp::kJoin:
+        AddJoinCandidates(op, oid, eq, &raw);
+        break;
+      case LogicalOp::kAggregate:
+        AddAggregateCandidates(op, oid, eq, &raw);
+        break;
+      case LogicalOp::kProject:
+        AddProjectCandidates(op, oid, eq, required, &raw);
+        break;
+      case LogicalOp::kBatch:
+        AddBatchCandidates(op, oid, eq, &raw);
+        break;
+    }
+  }
+
+  // Keep candidates that satisfy the required order natively...
+  std::vector<PlanNodePtr> candidates;
+  for (const auto& c : raw) {
+    if (c != nullptr && OrderSatisfies(c->output_order, required)) {
+      candidates.push_back(c);
+    }
+  }
+  // ... and offer the external-sort enforcer on the best unordered plan.
+  if (!required.empty()) {
+    PlanNodePtr unordered = ComputePlan(eq, {});
+    if (unordered != nullptr) {
+      const double sort_cost = cm_.SortCost(stats_->ClassStats(eq).Blocks(cm_));
+      candidates.push_back(MakePlanNode(PhysOp::kSort, eq, required, sort_cost,
+                                        SortOrderToString(required), {unordered}));
+    }
+  }
+  return Cheapest(candidates);
+}
+
+void PlanSearch::AddScanCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                   std::vector<PlanNodePtr>* out) {
+  ++num_costings_;
+  auto table_res = memo_->catalog()->GetTable(op.table);
+  assert(table_res.ok());
+  const Table* table = table_res.ValueOrDie();
+  const double blocks = stats_->ClassStats(eq).Blocks(cm_);
+  SortOrder order;
+  if (const IndexDef* idx = table->clustered_index()) {
+    for (const auto& col : idx->key_columns) order.emplace_back(op.alias, col);
+  }
+  out->push_back(MakePlanNode(PhysOp::kTableScan, eq, std::move(order),
+                              cm_.SeqReadCost(blocks), op.table, {}, oid));
+}
+
+void PlanSearch::AddSelectCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                     std::vector<PlanNodePtr>* out) {
+  const EqId child = memo_->Find(op.children[0]);
+  const RelStats& child_stats = stats_->ClassStats(child);
+  const double in_blocks = child_stats.Blocks(cm_);
+
+  // Pipelined filter over the child (any producing order is preserved; we
+  // materialize candidates for the unordered requirement and for each child
+  // order reachable natively via UsePlan({}), which keeps the search simple
+  // and sound: ordered requirements are additionally served by the enforcer).
+  {
+    ++num_costings_;
+    PlanNodePtr child_plan = UsePlan(child, {});
+    if (child_plan != nullptr) {
+      out->push_back(MakePlanNode(PhysOp::kFilter, eq, child_plan->output_order,
+                                  cm_.CpuPassCost(in_blocks),
+                                  op.predicate.ToString(), {child_plan}, oid));
+    }
+  }
+
+  // Indexed selection on a base relation's clustered index when some
+  // conjunct constrains the leading key column.
+  if (memo_->IsBaseRelation(child)) {
+    for (OpId cid : memo_->ClassOps(child)) {
+      const MemoOp& scan = memo_->op(cid);
+      if (scan.kind != LogicalOp::kScan) continue;
+      auto table_res = memo_->catalog()->GetTable(scan.table);
+      assert(table_res.ok());
+      const IndexDef* idx = table_res.ValueOrDie()->clustered_index();
+      if (idx == nullptr) continue;
+      const ColumnRef leading(scan.alias, idx->key_columns[0]);
+      double lead_sel = 1.0;
+      bool sargable = false;
+      for (const auto& cmp : op.predicate.conjuncts()) {
+        if (cmp.column == leading) {
+          lead_sel *= stats_->Selectivity(cmp, child_stats);
+          sargable = true;
+        }
+      }
+      if (!sargable) continue;
+      ++num_costings_;
+      SortOrder order;
+      for (const auto& col : idx->key_columns) order.emplace_back(scan.alias, col);
+      const double matching_blocks = std::max(1.0, lead_sel * in_blocks);
+      out->push_back(MakePlanNode(PhysOp::kIndexScan, eq, std::move(order),
+                                  cm_.IndexedSelectionCost(matching_blocks),
+                                  scan.table + ": " + op.predicate.ToString(),
+                                  {}, oid));
+      break;
+    }
+  }
+}
+
+void PlanSearch::AddJoinCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                   std::vector<PlanNodePtr>* out) {
+  const EqId left = memo_->Find(op.children[0]);
+  const EqId right = memo_->Find(op.children[1]);
+  const RelStats& ls = stats_->ClassStats(left);
+  const RelStats& rs = stats_->ClassStats(right);
+  const RelStats& os = stats_->ClassStats(eq);
+  const double lb = ls.Blocks(cm_);
+  const double rb = rs.Blocks(cm_);
+  const double ob = os.Blocks(cm_);
+
+  // Resolve which side each join-condition column belongs to.
+  SortOrder left_keys;
+  SortOrder right_keys;
+  bool resolvable = true;
+  for (const auto& cond : op.join_predicate.conditions()) {
+    if (ls.Find(cond.left) != nullptr && rs.Find(cond.right) != nullptr) {
+      left_keys.push_back(cond.left);
+      right_keys.push_back(cond.right);
+    } else if (ls.Find(cond.right) != nullptr && rs.Find(cond.left) != nullptr) {
+      left_keys.push_back(cond.right);
+      right_keys.push_back(cond.left);
+    } else {
+      resolvable = false;
+      break;
+    }
+  }
+  if (!resolvable) return;
+
+  const std::string detail = op.join_predicate.ToString();
+
+  // Block nested-loops join: outer = left (commutativity supplies the swap as
+  // a separate memo operator). The inner must be rescannable: base relations
+  // and materialized nodes are; otherwise it is computed once and spooled to
+  // a temporary file.
+  {
+    ++num_costings_;
+    PlanNodePtr outer = UsePlan(left, {});
+    if (outer != nullptr) {
+      const double passes = cm_.BnlPasses(lb);
+      double inner_cost;
+      std::vector<PlanNodePtr> children = {outer};
+      if (mat_.count(right) > 0 || memo_->IsBaseRelation(right)) {
+        inner_cost = passes * cm_.SeqReadCost(rb);
+      } else {
+        PlanNodePtr inner = UsePlan(right, {});
+        if (inner == nullptr) return;
+        children.push_back(inner);
+        inner_cost = cm_.SeqWriteCost(rb) + passes * cm_.SeqReadCost(rb);
+      }
+      out->push_back(MakePlanNode(PhysOp::kBlockNLJoin, eq, {},
+                                  inner_cost + cm_.CpuPassCost(ob), detail,
+                                  std::move(children), oid));
+    }
+  }
+
+  // Index nested-loops join (optional extension): probe the inner's
+  // clustered index once per outer row. Wins when the outer is small.
+  if (options_.enable_index_nl_join && !right_keys.empty() &&
+      memo_->IsBaseRelation(right)) {
+    for (OpId cid : memo_->ClassOps(right)) {
+      const MemoOp& scan = memo_->op(cid);
+      if (scan.kind != LogicalOp::kScan) continue;
+      auto table_res = memo_->catalog()->GetTable(scan.table);
+      assert(table_res.ok());
+      const IndexDef* idx = table_res.ValueOrDie()->clustered_index();
+      if (idx == nullptr) continue;
+      const ColumnRef leading(scan.alias, idx->key_columns[0]);
+      if (!(right_keys.front() == leading)) continue;
+      ++num_costings_;
+      PlanNodePtr outer = UsePlan(left, {});
+      if (outer == nullptr) break;
+      // Per probe: two random index-node reads plus the matching leaf data.
+      const ColumnStat* key_stat = rs.Find(leading);
+      const double matches =
+          rs.rows / std::max(1.0, key_stat != nullptr ? key_stat->distinct : 1.0);
+      const double blocks_per_probe = std::max(
+          1.0, matches * rs.row_width_bytes / cm_.params().block_size_bytes);
+      const double probe_cost =
+          2.0 * (cm_.params().seek_ms + cm_.params().read_ms_per_block) +
+          blocks_per_probe *
+              (cm_.params().read_ms_per_block + cm_.params().cpu_ms_per_block);
+      out->push_back(MakePlanNode(PhysOp::kIndexNLJoin, eq, outer->output_order,
+                                  ls.rows * probe_cost + cm_.CpuPassCost(ob),
+                                  detail, {outer}, oid));
+      break;
+    }
+  }
+
+  // Merge join: both inputs in join-key order (enforcers inserted by the
+  // children's own searches when needed). Output keeps the left key order.
+  if (!left_keys.empty()) {
+    ++num_costings_;
+    PlanNodePtr lp = UsePlan(left, left_keys);
+    PlanNodePtr rp = UsePlan(right, right_keys);
+    if (lp != nullptr && rp != nullptr) {
+      out->push_back(MakePlanNode(PhysOp::kMergeJoin, eq, left_keys,
+                                  cm_.CpuPassCost(lb + rb + ob), detail,
+                                  {lp, rp}, oid));
+    }
+  }
+}
+
+void PlanSearch::AddAggregateCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                        std::vector<PlanNodePtr>* out) {
+  ++num_costings_;
+  const EqId child = memo_->Find(op.children[0]);
+  const double in_blocks = stats_->ClassStats(child).Blocks(cm_);
+  std::string detail;
+  for (const auto& g : op.group_by) {
+    if (!detail.empty()) detail += ", ";
+    detail += g.ToString();
+  }
+  if (op.group_by.empty()) {
+    // Scalar aggregate: single CPU pass, no order requirement.
+    PlanNodePtr child_plan = UsePlan(child, {});
+    if (child_plan != nullptr) {
+      out->push_back(MakePlanNode(PhysOp::kSortAggregate, eq, {},
+                                  cm_.CpuPassCost(in_blocks), detail,
+                                  {child_plan}, oid));
+    }
+    return;
+  }
+  // Sort-based aggregation: input in group-by order, output stays in it.
+  SortOrder group_order(op.group_by.begin(), op.group_by.end());
+  PlanNodePtr child_plan = UsePlan(child, group_order);
+  if (child_plan != nullptr) {
+    out->push_back(MakePlanNode(PhysOp::kSortAggregate, eq, group_order,
+                                cm_.CpuPassCost(in_blocks), detail,
+                                {child_plan}, oid));
+  }
+}
+
+void PlanSearch::AddProjectCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                      const SortOrder& required,
+                                      std::vector<PlanNodePtr>* out) {
+  ++num_costings_;
+  const EqId child = memo_->Find(op.children[0]);
+  const double out_blocks = stats_->ClassStats(eq).Blocks(cm_);
+  // Projection preserves its child's order over surviving columns; pass the
+  // requirement straight down (required columns are produced by this class,
+  // hence also by the child).
+  PlanNodePtr child_plan = UsePlan(child, required);
+  if (child_plan == nullptr) return;
+  SortOrder order = child_plan->output_order;
+  // Truncate the order at the first projected-away column.
+  size_t keep = 0;
+  for (; keep < order.size(); ++keep) {
+    if (std::find(op.project_columns.begin(), op.project_columns.end(),
+                  order[keep]) == op.project_columns.end()) {
+      break;
+    }
+  }
+  order.resize(keep);
+  out->push_back(MakePlanNode(PhysOp::kProject, eq, std::move(order),
+                              cm_.CpuPassCost(out_blocks), "", {child_plan}, oid));
+}
+
+void PlanSearch::AddBatchCandidates(const MemoOp& op, OpId oid, EqId eq,
+                                    std::vector<PlanNodePtr>* out) {
+  ++num_costings_;
+  std::vector<PlanNodePtr> children;
+  for (EqId c : op.children) {
+    PlanNodePtr plan = UsePlan(c, {});
+    if (plan == nullptr) return;
+    children.push_back(std::move(plan));
+  }
+  out->push_back(MakePlanNode(PhysOp::kBatchRoot, eq, {}, 0.0, "",
+                              std::move(children), oid));
+}
+
+}  // namespace mqo

@@ -1,0 +1,109 @@
+// Volcano-style physical plan search over the expanded LQDAG, aware of a set
+// of materialized equivalence nodes.
+//
+// For a fixed materialized set S, a PlanSearch instance memoizes
+//   UsePlan(eq, order)     — best plan that may read eq (or any descendant)
+//                            from its materialization, and
+//   ComputePlan(eq, order) — best plan that computes eq at its root (used to
+//                            cost producing a node of S itself).
+// Sort-order requirements are satisfied either natively (clustered scans,
+// merge joins, sort-based aggregation) or by an external-sort enforcer.
+
+#ifndef MQO_OPTIMIZER_PLAN_SEARCH_H_
+#define MQO_OPTIMIZER_PLAN_SEARCH_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "physical/plan.h"
+
+namespace mqo {
+
+/// Physical search knobs beyond the cost constants.
+struct SearchOptions {
+  /// Enables the index nested-loops join alternative (probe a base
+  /// relation's clustered index per outer row). Off by default: the paper's
+  /// operator set (Section 6) does not include it; bench_inlj ablates it.
+  bool enable_index_nl_join = false;
+};
+
+/// One plan search, valid for a fixed materialized set.
+class PlanSearch {
+ public:
+  /// `materialized` holds canonical EqIds. The memo must be fully expanded.
+  PlanSearch(Memo* memo, StatsEstimator* stats, const CostModel& cost_model,
+             std::set<EqId> materialized, SearchOptions options = {});
+
+  /// Best plan producing `eq` in `required` order, allowed to read any
+  /// materialized node (including eq itself). Never returns null for a
+  /// well-formed DAG.
+  PlanNodePtr UsePlan(EqId eq, const SortOrder& required);
+
+  /// Best plan that computes `eq` with a real operator at the root (its
+  /// descendants may still read materialized nodes). Used to cost the
+  /// one-time computation of a node chosen for materialization.
+  PlanNodePtr ComputePlan(EqId eq, const SortOrder& required);
+
+  /// Cost of writing out class `eq` for sharing (sequential write).
+  double WriteCost(EqId eq);
+
+  /// Cost of one sequential read of the materialized class `eq`.
+  double ReadCost(EqId eq);
+
+  /// Sort order a materialized node is stored in: the output order of its
+  /// chosen compute plan (materialization writes the stream sequentially, so
+  /// the order survives on disk — Roy et al. track physical properties of
+  /// intermediate results the same way).
+  const SortOrder& MaterializedOrder(EqId eq);
+
+  /// Number of operator-implementation costings performed (instrumentation
+  /// for the lazy-evaluation ablation).
+  int64_t num_costings() const { return num_costings_; }
+
+  /// Incremental re-optimization (Roy et al.'s second optimization, reused
+  /// by the paper's Section 5.1): flips the materialization status of `eq`
+  /// and drops cached plans only for `eq` and its ancestor classes — every
+  /// other cached plan is unaffected by the change and is kept. The search
+  /// is copyable, so a base search for X can be cloned and toggled to
+  /// evaluate X ∪ {x} cheaply.
+  void ToggleMaterialized(EqId eq, bool materialized);
+
+  const std::set<EqId>& materialized() const { return mat_; }
+
+ private:
+  uint64_t Key(EqId eq, const SortOrder& order) const;
+  PlanNodePtr ComputePlanUncached(EqId eq, const SortOrder& required);
+  void AddScanCandidates(const MemoOp& op, OpId oid, EqId eq,
+                         std::vector<PlanNodePtr>* out);
+  void AddSelectCandidates(const MemoOp& op, OpId oid, EqId eq,
+                           std::vector<PlanNodePtr>* out);
+  void AddJoinCandidates(const MemoOp& op, OpId oid, EqId eq,
+                         std::vector<PlanNodePtr>* out);
+  void AddAggregateCandidates(const MemoOp& op, OpId oid, EqId eq,
+                              std::vector<PlanNodePtr>* out);
+  void AddProjectCandidates(const MemoOp& op, OpId oid, EqId eq,
+                            const SortOrder& required,
+                            std::vector<PlanNodePtr>* out);
+  void AddBatchCandidates(const MemoOp& op, OpId oid, EqId eq,
+                          std::vector<PlanNodePtr>* out);
+
+  Memo* memo_;
+  StatsEstimator* stats_;
+  CostModel cm_;
+  SearchOptions options_;
+  std::set<EqId> mat_;
+  // Caches are nested per class so incremental invalidation can drop exactly
+  // the ancestor classes of a toggled node.
+  using OrderedPlans = std::unordered_map<uint64_t, PlanNodePtr>;
+  std::unordered_map<EqId, OrderedPlans> use_cache_;
+  std::unordered_map<EqId, OrderedPlans> compute_cache_;
+  std::unordered_map<EqId, SortOrder> mat_order_cache_;
+  std::set<uint64_t> in_progress_;
+  int64_t num_costings_ = 0;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_OPTIMIZER_PLAN_SEARCH_H_

@@ -1,0 +1,155 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mqo {
+
+const char* TokenKindToString(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenKind kind, std::string text, int pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const int pos = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, ToLower(sql.substr(i, j - i)), pos);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = sql.substr(i, j - i);
+      t.number = std::stod(t.text);
+      t.position = pos;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at position " +
+                                  std::to_string(pos));
+      }
+      push(TokenKind::kString, sql.substr(i + 1, j - i - 1), pos);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, ",", pos);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", pos);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", pos);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", pos);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", pos);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", pos);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", pos);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", pos);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at position " + std::to_string(pos));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace mqo

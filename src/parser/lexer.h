@@ -1,0 +1,51 @@
+// Lexer for the mini-SQL frontend.
+//
+// Token set covers the subset of SQL the workload needs: SELECT lists with
+// aggregates, FROM lists with aliases, WHERE conjunctions of comparisons
+// (including equijoin conditions), GROUP BY, and DATE 'YYYY-MM-DD' literals.
+
+#ifndef MQO_PARSER_LEXER_H_
+#define MQO_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mqo {
+
+/// Kind of a lexed token.
+enum class TokenKind {
+  kIdentifier,  ///< bare word: table / column / alias (keywords resolved later)
+  kNumber,      ///< numeric literal
+  kString,      ///< 'single-quoted' string literal
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind k);
+
+/// One token with its source text (identifiers are lower-cased; string
+/// literal text excludes the quotes).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  int position = 0;  ///< Byte offset in the input, for error messages.
+};
+
+/// Tokenizes `sql`. Returns ParseError with position info on bad input.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace mqo
+
+#endif  // MQO_PARSER_LEXER_H_

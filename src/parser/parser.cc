@@ -1,0 +1,408 @@
+#include "parser/parser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "parser/lexer.h"
+
+namespace mqo {
+
+namespace {
+
+/// Raw (unbound) column reference as written: optional qualifier + name.
+struct RawColumn {
+  std::string qualifier;
+  std::string name;
+  int position = 0;
+};
+
+/// One item in the SELECT list.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc func = AggFunc::kSum;
+  bool star_argument = false;  // COUNT(*)
+  RawColumn column;            // plain column, or the aggregate argument
+};
+
+/// One WHERE conjunct before binding.
+struct RawCondition {
+  RawColumn left;
+  CompareOp op = CompareOp::kEq;
+  bool right_is_column = false;
+  RawColumn right_column;
+  Literal literal;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog* catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Result<LogicalExprPtr> Parse();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool IsKeyword(const Token& t, const char* kw) const {
+    return t.kind == TokenKind::kIdentifier && t.text == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (IsKeyword(Peek(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(std::string("expected ") + TokenKindToString(kind) +
+                                " but found " + TokenKindToString(Peek().kind) +
+                                " at position " + std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<RawColumn> ParseColumn();
+  Result<SelectItem> ParseSelectItem();
+  Result<RawCondition> ParseCondition();
+  Status ParseFromList();
+  Result<ColumnRef> Bind(const RawColumn& raw) const;
+  Result<LogicalExprPtr> Build();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Catalog* catalog_;
+
+  bool select_star_ = false;
+  std::vector<SelectItem> select_items_;
+  std::vector<std::pair<std::string, std::string>> from_;  // (table, alias)
+  std::vector<RawCondition> conditions_;
+  std::vector<RawColumn> group_by_;
+};
+
+const std::set<std::string> kAggNames = {"sum", "count", "min", "max", "avg"};
+
+AggFunc AggFromName(const std::string& name) {
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "count") return AggFunc::kCount;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  return AggFunc::kAvg;
+}
+
+Result<RawColumn> Parser::ParseColumn() {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return Status::ParseError("expected column name at position " +
+                              std::to_string(Peek().position));
+  }
+  RawColumn col;
+  col.position = Peek().position;
+  col.name = Advance().text;
+  if (Peek().kind == TokenKind::kDot) {
+    Advance();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected column name after '.' at position " +
+                                std::to_string(Peek().position));
+    }
+    col.qualifier = col.name;
+    col.name = Advance().text;
+  }
+  return col;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (Peek().kind == TokenKind::kIdentifier && kAggNames.count(Peek().text) > 0 &&
+      Peek(1).kind == TokenKind::kLParen) {
+    item.is_aggregate = true;
+    item.func = AggFromName(Advance().text);
+    MQO_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      item.star_argument = true;
+    } else {
+      MQO_ASSIGN_OR_RETURN(item.column, ParseColumn());
+    }
+    MQO_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return item;
+  }
+  MQO_ASSIGN_OR_RETURN(item.column, ParseColumn());
+  return item;
+}
+
+Result<RawCondition> Parser::ParseCondition() {
+  RawCondition cond;
+  MQO_ASSIGN_OR_RETURN(cond.left, ParseColumn());
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      cond.op = CompareOp::kEq;
+      break;
+    case TokenKind::kLt:
+      cond.op = CompareOp::kLt;
+      break;
+    case TokenKind::kLe:
+      cond.op = CompareOp::kLe;
+      break;
+    case TokenKind::kGt:
+      cond.op = CompareOp::kGt;
+      break;
+    case TokenKind::kGe:
+      cond.op = CompareOp::kGe;
+      break;
+    default:
+      return Status::ParseError("expected comparison operator at position " +
+                                std::to_string(Peek().position));
+  }
+  Advance();
+  const Token& rhs = Peek();
+  if (rhs.kind == TokenKind::kNumber) {
+    cond.literal = Literal(Advance().number);
+  } else if (rhs.kind == TokenKind::kString) {
+    cond.literal = Literal(Advance().text);
+  } else if (IsKeyword(rhs, "date") && Peek(1).kind == TokenKind::kString) {
+    Advance();
+    cond.literal = Literal(static_cast<double>(DateToDays(Advance().text)));
+  } else if (rhs.kind == TokenKind::kIdentifier) {
+    cond.right_is_column = true;
+    MQO_ASSIGN_OR_RETURN(cond.right_column, ParseColumn());
+  } else {
+    return Status::ParseError("expected literal or column at position " +
+                              std::to_string(rhs.position));
+  }
+  return cond;
+}
+
+Status Parser::ParseFromList() {
+  while (true) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected table name at position " +
+                                std::to_string(Peek().position));
+    }
+    std::string table = Advance().text;
+    std::string alias = table;
+    ConsumeKeyword("as");
+    // A bare identifier that is not a clause keyword is an alias.
+    if (Peek().kind == TokenKind::kIdentifier && !IsKeyword(Peek(), "where") &&
+        !IsKeyword(Peek(), "group")) {
+      alias = Advance().text;
+    }
+    from_.emplace_back(std::move(table), std::move(alias));
+    if (Peek().kind == TokenKind::kComma) {
+      Advance();
+      continue;
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Result<ColumnRef> Parser::Bind(const RawColumn& raw) const {
+  if (!raw.qualifier.empty()) {
+    for (const auto& [table, alias] : from_) {
+      if (alias != raw.qualifier) continue;
+      MQO_ASSIGN_OR_RETURN(const Table* t, catalog_->GetTable(table));
+      if (!t->HasColumn(raw.name)) {
+        return Status::InvalidArgument("column '" + raw.name +
+                                       "' not in table '" + table + "'");
+      }
+      return ColumnRef(raw.qualifier, raw.name);
+    }
+    return Status::InvalidArgument("unknown alias '" + raw.qualifier + "'");
+  }
+  // Unqualified: search all FROM tables; must be unambiguous.
+  ColumnRef found;
+  int matches = 0;
+  for (const auto& [table, alias] : from_) {
+    auto t = catalog_->GetTable(table);
+    if (!t.ok()) return t.status();
+    if (t.ValueOrDie()->HasColumn(raw.name)) {
+      found = ColumnRef(alias, raw.name);
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::InvalidArgument("unknown column '" + raw.name + "'");
+  }
+  if (matches > 1) {
+    return Status::InvalidArgument("ambiguous column '" + raw.name + "'");
+  }
+  return found;
+}
+
+Result<LogicalExprPtr> Parser::Build() {
+  // Validate tables and aliases.
+  std::set<std::string> aliases;
+  for (const auto& [table, alias] : from_) {
+    MQO_RETURN_NOT_OK(catalog_->GetTable(table).status());
+    if (!aliases.insert(alias).second) {
+      return Status::InvalidArgument("duplicate alias '" + alias + "'");
+    }
+  }
+
+  // Split conditions into join conditions and selections, binding columns.
+  struct BoundJoin {
+    ColumnRef left;
+    ColumnRef right;
+  };
+  std::vector<BoundJoin> joins;
+  std::vector<Comparison> selections;
+  for (const auto& cond : conditions_) {
+    MQO_ASSIGN_OR_RETURN(ColumnRef left, Bind(cond.left));
+    if (cond.right_is_column) {
+      if (cond.op != CompareOp::kEq) {
+        return Status::InvalidArgument(
+            "only equality joins are supported between columns");
+      }
+      MQO_ASSIGN_OR_RETURN(ColumnRef right, Bind(cond.right_column));
+      joins.push_back({left, right});
+    } else {
+      Comparison cmp;
+      cmp.column = left;
+      cmp.op = cond.op;
+      cmp.literal = cond.literal;
+      selections.push_back(std::move(cmp));
+    }
+  }
+
+  // Left-deep join tree in FROM order; each join condition attaches at the
+  // first join where both of its sides are available.
+  auto alias_index = [&](const std::string& alias) {
+    for (size_t i = 0; i < from_.size(); ++i) {
+      if (from_[i].second == alias) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::vector<std::vector<JoinCondition>> attach(from_.size());
+  for (const auto& j : joins) {
+    const int li = alias_index(j.left.qualifier);
+    const int ri = alias_index(j.right.qualifier);
+    if (li < 0 || ri < 0) {
+      return Status::InvalidArgument("join condition references unknown alias");
+    }
+    if (li == ri) {
+      return Status::InvalidArgument("join condition within a single table: " +
+                                     j.left.ToString() + " = " + j.right.ToString());
+    }
+    JoinCondition jc;
+    jc.left = j.left;
+    jc.right = j.right;
+    attach[static_cast<size_t>(std::max(li, ri))].push_back(std::move(jc));
+  }
+
+  LogicalExprPtr tree = LogicalExpr::Scan(from_[0].first, from_[0].second);
+  for (size_t i = 1; i < from_.size(); ++i) {
+    tree = LogicalExpr::Join(tree, LogicalExpr::Scan(from_[i].first, from_[i].second),
+                             JoinPredicate(std::move(attach[i])));
+  }
+  if (!selections.empty()) {
+    tree = LogicalExpr::Select(tree, Predicate(std::move(selections)));
+  }
+
+  // SELECT list: aggregates (with GROUP BY) or plain projection.
+  std::vector<ColumnRef> groups;
+  for (const auto& g : group_by_) {
+    MQO_ASSIGN_OR_RETURN(ColumnRef col, Bind(g));
+    groups.push_back(col);
+  }
+  const bool has_aggregate =
+      std::any_of(select_items_.begin(), select_items_.end(),
+                  [](const SelectItem& s) { return s.is_aggregate; });
+  if (!has_aggregate && !group_by_.empty()) {
+    return Status::InvalidArgument("GROUP BY requires an aggregate SELECT list");
+  }
+  if (has_aggregate) {
+    std::vector<AggExpr> aggs;
+    for (const auto& item : select_items_) {
+      if (item.is_aggregate) {
+        AggExpr a;
+        a.func = item.func;
+        if (!item.star_argument) {
+          MQO_ASSIGN_OR_RETURN(a.arg, Bind(item.column));
+        }
+        aggs.push_back(std::move(a));
+      } else {
+        MQO_ASSIGN_OR_RETURN(ColumnRef col, Bind(item.column));
+        if (std::find(groups.begin(), groups.end(), col) == groups.end()) {
+          return Status::InvalidArgument("column '" + col.ToString() +
+                                         "' must appear in GROUP BY");
+        }
+      }
+    }
+    return LogicalExpr::Aggregate(tree, std::move(groups), std::move(aggs));
+  }
+  if (select_star_) return tree;
+  std::vector<ColumnRef> cols;
+  for (const auto& item : select_items_) {
+    MQO_ASSIGN_OR_RETURN(ColumnRef col, Bind(item.column));
+    cols.push_back(col);
+  }
+  return LogicalExpr::Project(tree, std::move(cols));
+}
+
+Result<LogicalExprPtr> Parser::Parse() {
+  if (!ConsumeKeyword("select")) {
+    return Status::ParseError("query must start with SELECT");
+  }
+  if (Peek().kind == TokenKind::kStar) {
+    Advance();
+    select_star_ = true;
+  } else {
+    while (true) {
+      MQO_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      select_items_.push_back(std::move(item));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+  }
+  if (!ConsumeKeyword("from")) {
+    return Status::ParseError("expected FROM at position " +
+                              std::to_string(Peek().position));
+  }
+  MQO_RETURN_NOT_OK(ParseFromList());
+  if (ConsumeKeyword("where")) {
+    while (true) {
+      MQO_ASSIGN_OR_RETURN(RawCondition cond, ParseCondition());
+      conditions_.push_back(std::move(cond));
+      if (ConsumeKeyword("and")) continue;
+      break;
+    }
+  }
+  if (ConsumeKeyword("group")) {
+    if (!ConsumeKeyword("by")) {
+      return Status::ParseError("expected BY after GROUP");
+    }
+    while (true) {
+      MQO_ASSIGN_OR_RETURN(RawColumn col, ParseColumn());
+      group_by_.push_back(std::move(col));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+  }
+  if (Peek().kind != TokenKind::kEnd) {
+    return Status::ParseError("unexpected trailing input at position " +
+                              std::to_string(Peek().position));
+  }
+  return Build();
+}
+
+}  // namespace
+
+Result<LogicalExprPtr> ParseQuery(const std::string& sql, const Catalog& catalog) {
+  MQO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens), &catalog);
+  return parser.Parse();
+}
+
+}  // namespace mqo

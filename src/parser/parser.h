@@ -1,0 +1,43 @@
+// Mini-SQL parser + binder producing logical algebra trees.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   query      := SELECT select_list FROM table_list
+//                 [WHERE condition (AND condition)*]
+//                 [GROUP BY column (',' column)*]
+//   select_list:= '*' | item (',' item)*
+//   item       := column | agg '(' (column | '*') ')'
+//   agg        := SUM | COUNT | MIN | MAX | AVG
+//   table_list := table [AS? alias] (',' table [AS? alias])*
+//   condition  := column op (column | literal)
+//   op         := '=' | '<' | '<=' | '>' | '>='
+//   column     := [alias '.'] name
+//   literal    := number | 'string' | DATE 'YYYY-MM-DD'
+//
+// Joins are expressed as column = column conditions in WHERE (the classic
+// conjunctive form); the binder builds a left-deep join tree in FROM order,
+// attaching each join condition at the first join where both sides are
+// available, and turning column-vs-literal conditions into selections (which
+// NormalizeTree later pushes down). Unqualified column names are resolved
+// against the FROM tables and must be unambiguous.
+
+#ifndef MQO_PARSER_PARSER_H_
+#define MQO_PARSER_PARSER_H_
+
+#include <string>
+
+#include "algebra/logical_expr.h"
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace mqo {
+
+/// Parses one SELECT statement against `catalog` into a logical tree
+/// (Project or Aggregate over selections and joins). Returns ParseError on
+/// syntax errors and InvalidArgument on binding errors (unknown table or
+/// column, ambiguous unqualified name, aggregate misuse).
+Result<LogicalExprPtr> ParseQuery(const std::string& sql, const Catalog& catalog);
+
+}  // namespace mqo
+
+#endif  // MQO_PARSER_PARSER_H_

@@ -1,0 +1,380 @@
+#include "submodular/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace mqo {
+
+namespace {
+
+std::vector<int> DefaultCandidates(const SetFunction& f,
+                                   const std::vector<int>& given) {
+  if (!given.empty()) return given;
+  std::vector<int> all(f.universe_size());
+  for (int i = 0; i < f.universe_size(); ++i) all[i] = i;
+  return all;
+}
+
+/// Positive-cost candidates go through the ratio loop; non-positive-cost
+/// elements are appended at the end (they can only raise f, since fM is
+/// monotone — see the discussion after Algorithm 2).
+void SplitByCost(const Decomposition& d, const std::vector<int>& candidates,
+                 std::vector<int>* positive, std::vector<int>* free) {
+  for (int e : candidates) {
+    if (d.costs[e] > 0) {
+      positive->push_back(e);
+    } else {
+      free->push_back(e);
+    }
+  }
+}
+
+}  // namespace
+
+double Theorem1Bound(double f_opt, double c_opt) {
+  if (f_opt <= 0) return -std::numeric_limits<double>::infinity();
+  if (c_opt <= 0) return f_opt;
+  const double gamma = f_opt / c_opt;
+  return (1.0 - std::log1p(gamma) / gamma) * f_opt;
+}
+
+std::vector<int> UniverseReduction(const SetFunction& f, const Decomposition& d,
+                                   std::vector<int> candidates, int k,
+                                   int64_t* evals) {
+  const int n = static_cast<int>(candidates.size());
+  if (k >= n || k < 0) {
+    // Case 1 of Theorem 4: every element passes the filter; skip the
+    // (wasteful) function calls entirely.
+    return candidates;
+  }
+  const ElementSet full = [&] {
+    ElementSet s(f.universe_size());
+    for (int e : candidates) s.Add(e);
+    return s;
+  }();
+  // Rank by f'M(e, U\{e}) / c(e) (only positive costs are rankable; elements
+  // with non-positive cost always stay, as their ratio is effectively +inf).
+  struct Ranked {
+    int e;
+    double last_ratio;
+  };
+  std::vector<Ranked> ranked;
+  std::vector<int> keep_always;
+  int64_t local_evals = 0;
+  for (int e : candidates) {
+    if (d.costs[e] <= 0) {
+      keep_always.push_back(e);
+      continue;
+    }
+    const double marginal = d.MonotoneMarginal(f, e, full.Without(e));
+    ++local_evals;
+    ranked.push_back({e, marginal / d.costs[e]});
+  }
+  if (static_cast<int>(keep_always.size()) >= k || ranked.empty()) {
+    if (evals != nullptr) *evals += local_evals;
+    return candidates;  // reduction cannot apply meaningfully
+  }
+  std::vector<Ranked> sorted = ranked;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Ranked& a, const Ranked& b) {
+              return a.last_ratio > b.last_ratio;
+            });
+  const int kth = std::min(k, static_cast<int>(sorted.size())) - 1;
+  const double threshold = sorted[kth].last_ratio;
+  std::vector<int> out = keep_always;
+  const ElementSet empty(f.universe_size());
+  for (const auto& r : ranked) {
+    // Keep e iff fM({e})/c(e) >= threshold.
+    const double fm_singleton = d.MonotoneMarginal(f, r.e, empty);
+    ++local_evals;
+    if (fm_singleton / d.costs[r.e] >= threshold) out.push_back(r.e);
+  }
+  if (evals != nullptr) *evals += local_evals;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
+                            const MarginalGreedyOptions& options) {
+  GreedyResult result;
+  std::vector<int> candidates = DefaultCandidates(f, options.candidates);
+  const int limit = options.cardinality_limit >= 0 ? options.cardinality_limit
+                                                   : f.universe_size();
+
+  // Apply the positive-scaling of Proposition 1's proof when requested.
+  Decomposition d = raw_d;
+  if (options.clamp_nonpositive_costs) {
+    double max_abs = 1.0;
+    for (double c : d.costs) max_abs = std::max(max_abs, std::fabs(c));
+    const double eps = 1e-9 * max_abs;
+    for (double& c : d.costs) c = std::max(c, eps);
+  }
+
+  if (options.universe_reduction && options.cardinality_limit >= 0) {
+    candidates = UniverseReduction(f, d, std::move(candidates),
+                                   options.cardinality_limit,
+                                   &result.function_evals);
+  }
+  result.universe_after_reduction = static_cast<int>(candidates.size());
+
+  std::vector<int> pool;
+  std::vector<int> free_elems;
+  SplitByCost(d, candidates, &pool, &free_elems);
+
+  ElementSet x(f.universe_size());
+
+  if (!options.lazy) {
+    // Eager MarginalGreedy: full rescan per iteration, with the Section 5.1
+    // drop-below-one pruning applied during the scan.
+    while (!pool.empty() && x.Size() < limit) {
+      int best = -1;
+      double best_ratio = -std::numeric_limits<double>::infinity();
+      std::vector<int> next_pool;
+      next_pool.reserve(pool.size());
+      for (int e : pool) {
+        const double ratio = d.MonotoneMarginal(f, e, x) / d.costs[e];
+        ++result.function_evals;
+        if (options.prune_ratio_below_one && ratio <= 1.0) {
+          continue;  // can never be picked later either (submodularity)
+        }
+        next_pool.push_back(e);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best = e;
+        }
+      }
+      pool = std::move(next_pool);
+      if (best < 0 || best_ratio <= 1.0) break;
+      x.Add(best);
+      result.pick_order.push_back(best);
+      result.pick_ratios.push_back(best_ratio);
+      pool.erase(std::remove(pool.begin(), pool.end(), best), pool.end());
+      if (options.on_pick) options.on_pick(x);
+    }
+  } else {
+    // LazyMarginalGreedy: heap of stale upper bounds on the ratio. Marginals
+    // only shrink as X grows, so a re-validated top-of-heap is exact.
+    struct HeapEntry {
+      double bound;
+      int e;
+      int stamp;  // |X| at which the bound was computed
+      bool operator<(const HeapEntry& o) const { return bound < o.bound; }
+    };
+    std::priority_queue<HeapEntry> heap;
+    for (int e : pool) {
+      heap.push({std::numeric_limits<double>::infinity(), e, -1});
+    }
+    while (!heap.empty() && x.Size() < limit) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (top.stamp == x.Size()) {
+        // Fresh bound: it is the exact ratio and it dominates the heap.
+        if (top.bound <= 1.0) break;
+        x.Add(top.e);
+        result.pick_order.push_back(top.e);
+        result.pick_ratios.push_back(top.bound);
+        if (options.on_pick) options.on_pick(x);
+        continue;
+      }
+      const double ratio = d.MonotoneMarginal(f, top.e, x) / d.costs[top.e];
+      ++result.function_evals;
+      if (options.prune_ratio_below_one && ratio <= 1.0) {
+        continue;  // drop permanently
+      }
+      heap.push({ratio, top.e, x.Size()});
+    }
+  }
+
+  // Finally add the elements with non-positive cost. Under exact
+  // submodularity of f their marginal is ≥ −c(e) ≥ 0, so the paper adds them
+  // all unconditionally; the cost functions arising from a real optimizer can
+  // violate the monotonicity heuristic, so we keep the (theory-neutral) guard
+  // of only adding an element while its actual marginal is positive.
+  for (int e : free_elems) {
+    if (x.Size() >= limit) break;
+    const double marginal = f.Marginal(e, x);
+    ++result.function_evals;
+    if (marginal <= 0) continue;
+    x.Add(e);
+    result.pick_order.push_back(e);
+    result.pick_ratios.push_back(std::numeric_limits<double>::infinity());
+    if (options.on_pick) options.on_pick(x);
+  }
+
+  result.selected = x;
+  result.value = f.Value(x);
+  return result;
+}
+
+CostGreedyResult CostGreedyMin(
+    const SetFunction& g, const std::vector<int>& candidates, bool lazy,
+    const std::function<void(const ElementSet&)>& on_pick) {
+  CostGreedyResult result;
+  std::vector<int> pool = DefaultCandidates(g, candidates);
+  ElementSet x(g.universe_size());
+  double current = g.Value(x);
+  ++result.function_evals;
+
+  if (!lazy) {
+    while (!pool.empty()) {
+      int best = -1;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (int e : pool) {
+        const double c = g.Value(x.With(e));
+        ++result.function_evals;
+        if (c < best_cost) {
+          best_cost = c;
+          best = e;
+        }
+      }
+      if (best < 0 || best_cost >= current) break;
+      x.Add(best);
+      current = best_cost;
+      result.pick_order.push_back(best);
+      pool.erase(std::remove(pool.begin(), pool.end(), best), pool.end());
+      if (on_pick) on_pick(x);
+    }
+  } else {
+    // Lazy variant under the "monotonicity heuristic" (supermodularity of g):
+    // benefit(e, X) = g(X) − g(X∪{e}) only shrinks as X grows, so stale
+    // benefit upper bounds are safe (this is Roy et al.'s third optimization).
+    struct HeapEntry {
+      double benefit_bound;
+      int e;
+      int stamp;
+      bool operator<(const HeapEntry& o) const {
+        return benefit_bound < o.benefit_bound;
+      }
+    };
+    std::priority_queue<HeapEntry> heap;
+    for (int e : pool) {
+      heap.push({std::numeric_limits<double>::infinity(), e, -1});
+    }
+    while (!heap.empty()) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (top.stamp == x.Size()) {
+        if (top.benefit_bound <= 0) break;
+        x.Add(top.e);
+        current -= top.benefit_bound;
+        result.pick_order.push_back(top.e);
+        if (on_pick) on_pick(x);
+        continue;
+      }
+      const double benefit = current - g.Value(x.With(top.e));
+      ++result.function_evals;
+      if (benefit <= 0) continue;  // never beneficial again (supermodular g)
+      heap.push({benefit, top.e, x.Size()});
+    }
+  }
+
+  result.selected = x;
+  result.cost = g.Value(x);
+  return result;
+}
+
+GreedyResult KnapsackRatioGreedy(const SetFunction& f, const Decomposition& d,
+                                 double budget) {
+  GreedyResult result;
+  const int n = f.universe_size();
+  std::vector<int> pool;
+  for (int e = 0; e < n; ++e) {
+    if (d.costs[e] > 0) pool.push_back(e);
+  }
+  ElementSet x(n);
+  double spent = 0.0;
+  while (!pool.empty()) {
+    int best = -1;
+    double best_ratio = -std::numeric_limits<double>::infinity();
+    for (int e : pool) {
+      if (spent + d.costs[e] > budget + 1e-12) continue;
+      const double ratio = d.MonotoneMarginal(f, e, x) / d.costs[e];
+      ++result.function_evals;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = e;
+      }
+    }
+    if (best < 0) break;  // nothing fits any more
+    // Sviridenko's setting maximizes monotone fM, so any fitting element is
+    // taken; stop once marginals hit zero to avoid useless churn.
+    if (best_ratio <= 0) break;
+    x.Add(best);
+    spent += d.costs[best];
+    result.pick_order.push_back(best);
+    result.pick_ratios.push_back(best_ratio);
+    pool.erase(std::remove(pool.begin(), pool.end(), best), pool.end());
+  }
+  result.selected = x;
+  result.value = f.Value(x);
+  return result;
+}
+
+GreedyResult DoubleGreedy(const SetFunction& f) {
+  GreedyResult result;
+  const int n = f.universe_size();
+  ElementSet x(n);              // starts empty
+  ElementSet y = ElementSet::Full(n);  // starts full
+  for (int e = 0; e < n; ++e) {
+    const double a = f.Marginal(e, x);
+    const double b = f.Value(y.Without(e)) - f.Value(y);
+    result.function_evals += 2;
+    if (a >= b) {
+      x.Add(e);
+      result.pick_order.push_back(e);
+    } else {
+      y.Remove(e);
+    }
+  }
+  result.selected = x;
+  result.value = f.Value(x);
+  return result;
+}
+
+GreedyResult RandomizedDoubleGreedy(const SetFunction& f, Rng* rng) {
+  GreedyResult result;
+  const int n = f.universe_size();
+  ElementSet x(n);
+  ElementSet y = ElementSet::Full(n);
+  for (int e = 0; e < n; ++e) {
+    const double a = std::max(0.0, f.Marginal(e, x));
+    const double b = std::max(0.0, f.Value(y.Without(e)) - f.Value(y));
+    result.function_evals += 2;
+    const double p = (a + b) > 0 ? a / (a + b) : 1.0;
+    if (rng->NextBool(p)) {
+      x.Add(e);
+      result.pick_order.push_back(e);
+    } else {
+      y.Remove(e);
+    }
+  }
+  result.selected = x;
+  result.value = f.Value(x);
+  return result;
+}
+
+GreedyResult ExhaustiveMax(const SetFunction& f) {
+  const int n = f.universe_size();
+  assert(n <= 25 && "exhaustive search is exponential");
+  GreedyResult result;
+  result.selected = ElementSet(n);
+  result.value = f.Value(result.selected);
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    ElementSet s(n);
+    for (int e = 0; e < n; ++e) {
+      if ((mask >> e) & 1) s.Add(e);
+    }
+    const double v = f.Value(s);
+    ++result.function_evals;
+    if (v > result.value) {
+      result.value = v;
+      result.selected = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace mqo

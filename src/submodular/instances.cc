@@ -1,0 +1,129 @@
+#include "submodular/instances.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mqo {
+
+CoverageFunction::CoverageFunction(int ground_size,
+                                   std::vector<std::vector<int>> sets,
+                                   std::vector<double> ground_weights)
+    : ground_size_(ground_size),
+      sets_(std::move(sets)),
+      weights_(std::move(ground_weights)) {
+  if (weights_.empty()) weights_.assign(ground_size_, 1.0);
+  assert(static_cast<int>(weights_.size()) == ground_size_);
+}
+
+double CoverageFunction::Value(const ElementSet& s) const {
+  std::vector<char> covered(ground_size_, 0);
+  double total = 0.0;
+  for (int i : s.ToVector()) {
+    for (int g : sets_[i]) {
+      if (!covered[g]) {
+        covered[g] = 1;
+        total += weights_[g];
+      }
+    }
+  }
+  return total;
+}
+
+ProfittedMaxCoverage::ProfittedMaxCoverage(CoverageFunction coverage, int l,
+                                           double gamma)
+    : coverage_(std::move(coverage)), l_(l), gamma_(gamma) {
+  assert(l_ > 0 && gamma_ > 0);
+}
+
+double ProfittedMaxCoverage::Value(const ElementSet& s) const {
+  const double n = coverage_.ground_size();
+  const double fm = (gamma_ + 1.0) / gamma_ * coverage_.Value(s) / n;
+  const double c = (1.0 / gamma_) * static_cast<double>(s.Size()) / l_;
+  return fm - c;
+}
+
+CoverageFunction MakePlantedCoverInstance(int ground_size, int l, int decoys,
+                                          Rng* rng) {
+  assert(l > 0 && ground_size >= l);
+  // Planted cover: a random permutation of the ground set chopped into l
+  // contiguous chunks — disjoint sets whose union is everything.
+  std::vector<int> perm(ground_size);
+  for (int i = 0; i < ground_size; ++i) perm[i] = i;
+  for (int i = ground_size - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng->NextInt(i + 1)]);
+  }
+  std::vector<std::vector<int>> sets;
+  const int chunk = (ground_size + l - 1) / l;
+  for (int i = 0; i < l; ++i) {
+    std::vector<int> set;
+    for (int j = i * chunk; j < std::min(ground_size, (i + 1) * chunk); ++j) {
+      set.push_back(perm[j]);
+    }
+    if (!set.empty()) sets.push_back(std::move(set));
+  }
+  // Decoys: random sets of roughly the same size, overlapping arbitrarily.
+  for (int d = 0; d < decoys; ++d) {
+    std::vector<int> set;
+    for (int g = 0; g < ground_size; ++g) {
+      if (rng->NextBool(1.0 / l)) set.push_back(g);
+    }
+    if (set.empty()) set.push_back(rng->NextInt(ground_size));
+    sets.push_back(std::move(set));
+  }
+  return CoverageFunction(ground_size, std::move(sets));
+}
+
+CutFunction::CutFunction(int num_vertices, std::vector<Edge> edges)
+    : n_(num_vertices), edges_(std::move(edges)) {}
+
+double CutFunction::Value(const ElementSet& s) const {
+  double total = 0.0;
+  for (const auto& e : edges_) {
+    if (s.Contains(e.u) != s.Contains(e.v)) total += e.w;
+  }
+  return total;
+}
+
+CutFunction CutFunction::Random(int num_vertices, double edge_prob, Rng* rng) {
+  std::vector<Edge> edges;
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      if (rng->NextBool(edge_prob)) {
+        edges.push_back({u, v, rng->NextDoubleIn(0.1, 2.0)});
+      }
+    }
+  }
+  return CutFunction(num_vertices, std::move(edges));
+}
+
+FacilityLocationFunction::FacilityLocationFunction(
+    std::vector<std::vector<double>> client_weights, std::vector<double> open_costs)
+    : w_(std::move(client_weights)), open_costs_(std::move(open_costs)) {}
+
+double FacilityLocationFunction::Value(const ElementSet& s) const {
+  if (s.Empty()) return 0.0;
+  double total = 0.0;
+  const auto members = s.ToVector();
+  for (const auto& client : w_) {
+    double best = 0.0;
+    for (int i : members) best = std::max(best, client[i]);
+    total += best;
+  }
+  for (int i : members) total -= open_costs_[i];
+  return total;
+}
+
+FacilityLocationFunction FacilityLocationFunction::Random(int facilities,
+                                                          int clients,
+                                                          double cost_scale,
+                                                          Rng* rng) {
+  std::vector<std::vector<double>> w(clients, std::vector<double>(facilities));
+  for (auto& row : w) {
+    for (auto& x : row) x = rng->NextDoubleIn(0.0, 1.0);
+  }
+  std::vector<double> costs(facilities);
+  for (auto& c : costs) c = rng->NextDoubleIn(0.1, 1.0) * cost_scale;
+  return FacilityLocationFunction(std::move(w), std::move(costs));
+}
+
+}  // namespace mqo

@@ -1,0 +1,113 @@
+// Concrete submodular instances: coverage, the Profitted Max Coverage
+// construction from the paper's hardness proof (Problem 1, Section 4), graph
+// cuts, and facility location. Used for tests, the approximation-ratio
+// validation bench (Theorem 1), and the decomposition ablations.
+
+#ifndef MQO_SUBMODULAR_INSTANCES_H_
+#define MQO_SUBMODULAR_INSTANCES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "submodular/set_function.h"
+
+namespace mqo {
+
+/// Weighted coverage: universe elements are subsets of a ground set;
+/// f(A) = total weight of ground elements covered by the union. Monotone,
+/// submodular, normalized.
+class CoverageFunction : public SetFunction {
+ public:
+  /// `sets[i]` lists the ground elements covered by universe element i;
+  /// `ground_weights` may be empty for unit weights.
+  CoverageFunction(int ground_size, std::vector<std::vector<int>> sets,
+                   std::vector<double> ground_weights = {});
+
+  int universe_size() const override { return static_cast<int>(sets_.size()); }
+  double Value(const ElementSet& s) const override;
+
+  int ground_size() const { return ground_size_; }
+  const std::vector<std::vector<int>>& sets() const { return sets_; }
+
+ private:
+  int ground_size_;
+  std::vector<std::vector<int>> sets_;
+  std::vector<double> weights_;
+};
+
+/// The Profitted Max Coverage objective (Problem 1 in the paper):
+///   f(A) = (γ+1)/γ · |∪A|/n − (1/γ) · |A|/l.
+/// Normalized, submodular, possibly negative; its optimum is 1 on instances
+/// where l sets cover the whole ground set, with f(Θ)/c(Θ) = γ.
+class ProfittedMaxCoverage : public SetFunction {
+ public:
+  ProfittedMaxCoverage(CoverageFunction coverage, int l, double gamma);
+
+  int universe_size() const override { return coverage_.universe_size(); }
+  double Value(const ElementSet& s) const override;
+
+  /// The additive cost of one element: 1/(γ·l).
+  double ElementCost() const { return 1.0 / (gamma_ * l_); }
+
+  double gamma() const { return gamma_; }
+  int budget_l() const { return l_; }
+  const CoverageFunction& coverage() const { return coverage_; }
+
+ private:
+  CoverageFunction coverage_;
+  int l_;
+  double gamma_;
+};
+
+/// Builds a coverage instance with a planted cover: `l` disjoint sets that
+/// partition the ground set exactly, plus `decoys` random sets (each covering
+/// a random ~1/l fraction). Optimal Max Coverage value is the full ground set.
+CoverageFunction MakePlantedCoverInstance(int ground_size, int l, int decoys,
+                                          Rng* rng);
+
+/// Undirected weighted graph cut f(S) = weight of edges with exactly one
+/// endpoint in S. Normalized, symmetric, submodular, non-monotone.
+class CutFunction : public SetFunction {
+ public:
+  struct Edge {
+    int u;
+    int v;
+    double w;
+  };
+  CutFunction(int num_vertices, std::vector<Edge> edges);
+
+  int universe_size() const override { return n_; }
+  double Value(const ElementSet& s) const override;
+
+  static CutFunction Random(int num_vertices, double edge_prob, Rng* rng);
+
+ private:
+  int n_;
+  std::vector<Edge> edges_;
+};
+
+/// Facility location minus opening costs:
+///   f(S) = Σ_j max_{i∈S} w_ij − Σ_{i∈S} cost_i   (f(∅)=0).
+/// Normalized, submodular, non-monotone — a natural benefit-minus-cost shape
+/// mirroring materialization benefit.
+class FacilityLocationFunction : public SetFunction {
+ public:
+  FacilityLocationFunction(std::vector<std::vector<double>> client_weights,
+                           std::vector<double> open_costs);
+
+  int universe_size() const override {
+    return static_cast<int>(open_costs_.size());
+  }
+  double Value(const ElementSet& s) const override;
+
+  static FacilityLocationFunction Random(int facilities, int clients,
+                                         double cost_scale, Rng* rng);
+
+ private:
+  std::vector<std::vector<double>> w_;  // [client][facility]
+  std::vector<double> open_costs_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_SUBMODULAR_INSTANCES_H_

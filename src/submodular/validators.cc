@@ -1,0 +1,65 @@
+#include "submodular/validators.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mqo {
+
+namespace {
+
+ElementSet FromMask(int n, uint64_t mask) {
+  ElementSet s(n);
+  for (int e = 0; e < n; ++e) {
+    if ((mask >> e) & 1) s.Add(e);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool IsNormalized(const SetFunction& f, double tol) {
+  return std::fabs(f.Value(ElementSet(f.universe_size()))) <= tol;
+}
+
+bool IsSubmodular(const SetFunction& f, double tol) {
+  const int n = f.universe_size();
+  assert(n <= 16);
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t b = 0; b < limit; ++b) {
+    const ElementSet setB = FromMask(n, b);
+    // Enumerate subsets a of b.
+    for (uint64_t a = b;; a = (a - 1) & b) {
+      const ElementSet setA = FromMask(n, a);
+      for (int e = 0; e < n; ++e) {
+        if ((b >> e) & 1) continue;
+        if (f.Marginal(e, setA) < f.Marginal(e, setB) - tol) return false;
+      }
+      if (a == 0) break;
+    }
+  }
+  return true;
+}
+
+bool IsMonotone(const SetFunction& f, double tol) {
+  const int n = f.universe_size();
+  assert(n <= 20);
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t a = 0; a < limit; ++a) {
+    const ElementSet setA = FromMask(n, a);
+    const double base = f.Value(setA);
+    for (int e = 0; e < n; ++e) {
+      if ((a >> e) & 1) continue;
+      if (f.Value(setA.With(e)) < base - tol) return false;
+    }
+  }
+  return true;
+}
+
+bool IsSupermodular(const SetFunction& f, double tol) {
+  LambdaSetFunction neg(f.universe_size(), [&f](const ElementSet& s) {
+    return -f.Value(s);
+  });
+  return IsSubmodular(neg, tol);
+}
+
+}  // namespace mqo

@@ -1,0 +1,26 @@
+// Exhaustive property checkers (small universes) used by tests: they verify
+// the structural assumptions the paper's analysis rests on.
+
+#ifndef MQO_SUBMODULAR_VALIDATORS_H_
+#define MQO_SUBMODULAR_VALIDATORS_H_
+
+#include "submodular/set_function.h"
+
+namespace mqo {
+
+/// f(∅) == 0 (within tolerance).
+bool IsNormalized(const SetFunction& f, double tol = 1e-9);
+
+/// For all A ⊆ B and e ∉ B: f'(e, A) ≥ f'(e, B) − tol. O(3^n · n).
+bool IsSubmodular(const SetFunction& f, double tol = 1e-9);
+
+/// For all A ⊆ B: f(A) ≤ f(B) + tol. O(2^n · n) via single-element steps.
+bool IsMonotone(const SetFunction& f, double tol = 1e-9);
+
+/// For all A ⊆ B and e ∉ B: f'(e, A) ≤ f'(e, B) + tol (supermodularity —
+/// the paper's "monotonicity heuristic" on bestCost).
+bool IsSupermodular(const SetFunction& f, double tol = 1e-9);
+
+}  // namespace mqo
+
+#endif  // MQO_SUBMODULAR_VALIDATORS_H_

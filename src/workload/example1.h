@@ -1,0 +1,26 @@
+// The running example of the paper (Example 1 / Figure 1, after Roy et al.):
+// a batch of two queries (A ⋈ B ⋈ C) and (B ⋈ C ⋈ D) whose locally optimal
+// plans share nothing, but whose consolidated plan computes (B ⋈ C) once.
+
+#ifndef MQO_WORKLOAD_EXAMPLE1_H_
+#define MQO_WORKLOAD_EXAMPLE1_H_
+
+#include <vector>
+
+#include "algebra/logical_expr.h"
+#include "catalog/catalog.h"
+
+namespace mqo {
+
+/// Four small relations A, B, C, D, each with a join column and a payload.
+/// Row counts are chosen so every base relation scans in a few blocks and
+/// the intermediate (B ⋈ C) is small enough that materializing it pays off.
+Catalog MakeExample1Catalog();
+
+/// The two queries of Example 1: {A ⋈ B ⋈ C, B ⋈ C ⋈ D}, joined on the
+/// shared `k` columns.
+std::vector<LogicalExprPtr> MakeExample1Queries();
+
+}  // namespace mqo
+
+#endif  // MQO_WORKLOAD_EXAMPLE1_H_

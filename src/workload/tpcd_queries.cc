@@ -1,0 +1,344 @@
+#include "workload/tpcd_queries.h"
+
+#include <cassert>
+
+#include "catalog/catalog.h"
+
+namespace mqo {
+
+namespace {
+
+ColumnRef Col(const std::string& alias, const std::string& name) {
+  return ColumnRef(alias, name);
+}
+
+Comparison Cmp(const std::string& alias, const std::string& name, CompareOp op,
+               Literal lit) {
+  Comparison c;
+  c.column = Col(alias, name);
+  c.op = op;
+  c.literal = std::move(lit);
+  return c;
+}
+
+Comparison DateCmp(const std::string& alias, const std::string& name,
+                   CompareOp op, const std::string& iso) {
+  return Cmp(alias, name, op, Literal(static_cast<double>(DateToDays(iso))));
+}
+
+JoinCondition On(const std::string& la, const std::string& ln,
+                 const std::string& ra, const std::string& rn) {
+  JoinCondition c;
+  c.left = Col(la, ln);
+  c.right = Col(ra, rn);
+  return c;
+}
+
+LogicalExprPtr JoinOn(LogicalExprPtr l, LogicalExprPtr r,
+                      std::vector<JoinCondition> conds) {
+  return LogicalExpr::Join(std::move(l), std::move(r),
+                           JoinPredicate(std::move(conds)));
+}
+
+LogicalExprPtr Where(LogicalExprPtr child, std::vector<Comparison> conjuncts) {
+  return LogicalExpr::Select(std::move(child), Predicate(std::move(conjuncts)));
+}
+
+AggExpr Sum(const std::string& alias, const std::string& name) {
+  AggExpr a;
+  a.func = AggFunc::kSum;
+  a.arg = Col(alias, name);
+  return a;
+}
+
+AggExpr Min(const std::string& alias, const std::string& name) {
+  AggExpr a;
+  a.func = AggFunc::kMin;
+  a.arg = Col(alias, name);
+  return a;
+}
+
+}  // namespace
+
+LogicalExprPtr MakeQ1(int variant) {
+  // Pricing summary report: grouped aggregate over a shipdate prefix of
+  // lineitem.
+  const char* ship_hi = variant == 0 ? "1998-09-02" : "1998-11-01";
+  auto filtered = Where(LogicalExpr::Scan("lineitem"),
+                        {DateCmp("lineitem", "l_shipdate", CompareOp::kLe,
+                                 ship_hi)});
+  AggExpr cnt;
+  cnt.func = AggFunc::kCount;
+  return LogicalExpr::Aggregate(
+      std::move(filtered),
+      {Col("lineitem", "l_returnflag"), Col("lineitem", "l_linestatus")},
+      {Sum("lineitem", "l_quantity"), Sum("lineitem", "l_extendedprice"), cnt});
+}
+
+LogicalExprPtr MakeQ6(int variant) {
+  // Forecast revenue change: a selective scalar aggregate on lineitem.
+  const char* date_lo = variant == 0 ? "1994-01-01" : "1995-01-01";
+  const char* date_hi = variant == 0 ? "1995-01-01" : "1996-01-01";
+  auto filtered = Where(
+      LogicalExpr::Scan("lineitem"),
+      {DateCmp("lineitem", "l_shipdate", CompareOp::kGe, date_lo),
+       DateCmp("lineitem", "l_shipdate", CompareOp::kLt, date_hi),
+       Cmp("lineitem", "l_quantity", CompareOp::kLt, 24.0)});
+  return LogicalExpr::Aggregate(std::move(filtered), {},
+                                {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ3(int variant) {
+  // Shipping-priority query: customer x orders x lineitem.
+  const char* order_date = variant == 0 ? "1995-03-15" : "1995-06-30";
+  const char* ship_date = variant == 0 ? "1995-03-15" : "1995-06-30";
+  auto tree = JoinOn(
+      JoinOn(LogicalExpr::Scan("customer"), LogicalExpr::Scan("orders"),
+             {On("customer", "c_custkey", "orders", "o_custkey")}),
+      LogicalExpr::Scan("lineitem"),
+      {On("orders", "o_orderkey", "lineitem", "l_orderkey")});
+  tree = Where(std::move(tree),
+               {Cmp("customer", "c_mktsegment", CompareOp::kEq, "BUILDING"),
+                DateCmp("orders", "o_orderdate", CompareOp::kLt, order_date),
+                DateCmp("lineitem", "l_shipdate", CompareOp::kGt, ship_date)});
+  return LogicalExpr::Aggregate(
+      std::move(tree),
+      {Col("lineitem", "l_orderkey"), Col("orders", "o_orderdate"),
+       Col("orders", "o_shippriority")},
+      {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ5(int variant) {
+  // Local-supplier-volume query: 6-way join with a region restriction.
+  const char* date_lo = variant == 0 ? "1994-01-01" : "1995-01-01";
+  const char* date_hi = variant == 0 ? "1995-01-01" : "1996-01-01";
+  auto co = JoinOn(LogicalExpr::Scan("customer"), LogicalExpr::Scan("orders"),
+                   {On("customer", "c_custkey", "orders", "o_custkey")});
+  auto col = JoinOn(std::move(co), LogicalExpr::Scan("lineitem"),
+                    {On("orders", "o_orderkey", "lineitem", "l_orderkey")});
+  auto cols = JoinOn(std::move(col), LogicalExpr::Scan("supplier"),
+                     {On("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+                      On("customer", "c_nationkey", "supplier", "s_nationkey")});
+  auto colsn = JoinOn(std::move(cols), LogicalExpr::Scan("nation"),
+                      {On("supplier", "s_nationkey", "nation", "n_nationkey")});
+  auto all = JoinOn(std::move(colsn), LogicalExpr::Scan("region"),
+                    {On("nation", "n_regionkey", "region", "r_regionkey")});
+  all = Where(std::move(all),
+              {Cmp("region", "r_name", CompareOp::kEq, "ASIA"),
+               DateCmp("orders", "o_orderdate", CompareOp::kGe, date_lo),
+               DateCmp("orders", "o_orderdate", CompareOp::kLt, date_hi)});
+  return LogicalExpr::Aggregate(std::move(all), {Col("nation", "n_name")},
+                                {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ7(int variant) {
+  // Volume-shipping query between two nations (aliases n1, n2).
+  const char* ship_hi = variant == 0 ? "1996-12-31" : "1996-06-30";
+  auto sl = JoinOn(LogicalExpr::Scan("supplier"), LogicalExpr::Scan("lineitem"),
+                   {On("supplier", "s_suppkey", "lineitem", "l_suppkey")});
+  auto slo = JoinOn(std::move(sl), LogicalExpr::Scan("orders"),
+                    {On("lineitem", "l_orderkey", "orders", "o_orderkey")});
+  auto sloc = JoinOn(std::move(slo), LogicalExpr::Scan("customer"),
+                     {On("orders", "o_custkey", "customer", "c_custkey")});
+  auto n1 = JoinOn(std::move(sloc), LogicalExpr::Scan("nation", "n1"),
+                   {On("supplier", "s_nationkey", "n1", "n_nationkey")});
+  auto n2 = JoinOn(std::move(n1), LogicalExpr::Scan("nation", "n2"),
+                   {On("customer", "c_nationkey", "n2", "n_nationkey")});
+  auto all = Where(std::move(n2),
+                   {Cmp("n1", "n_name", CompareOp::kEq, "FRANCE"),
+                    Cmp("n2", "n_name", CompareOp::kEq, "GERMANY"),
+                    DateCmp("lineitem", "l_shipdate", CompareOp::kGe, "1995-01-01"),
+                    DateCmp("lineitem", "l_shipdate", CompareOp::kLe, ship_hi)});
+  return LogicalExpr::Aggregate(
+      std::move(all), {Col("n1", "n_name"), Col("n2", "n_name")},
+      {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ8(int variant) {
+  // National-market-share query: 8-way join.
+  const char* date_lo = variant == 0 ? "1995-01-01" : "1995-07-01";
+  const char* date_hi = variant == 0 ? "1996-12-31" : "1996-06-30";
+  auto pl = JoinOn(LogicalExpr::Scan("part"), LogicalExpr::Scan("lineitem"),
+                   {On("part", "p_partkey", "lineitem", "l_partkey")});
+  auto pls = JoinOn(std::move(pl), LogicalExpr::Scan("supplier"),
+                    {On("lineitem", "l_suppkey", "supplier", "s_suppkey")});
+  auto plso = JoinOn(std::move(pls), LogicalExpr::Scan("orders"),
+                     {On("lineitem", "l_orderkey", "orders", "o_orderkey")});
+  auto plsoc = JoinOn(std::move(plso), LogicalExpr::Scan("customer"),
+                      {On("orders", "o_custkey", "customer", "c_custkey")});
+  auto n1 = JoinOn(std::move(plsoc), LogicalExpr::Scan("nation", "n1"),
+                   {On("customer", "c_nationkey", "n1", "n_nationkey")});
+  auto r = JoinOn(std::move(n1), LogicalExpr::Scan("region"),
+                  {On("n1", "n_regionkey", "region", "r_regionkey")});
+  auto n2 = JoinOn(std::move(r), LogicalExpr::Scan("nation", "n2"),
+                   {On("supplier", "s_nationkey", "n2", "n_nationkey")});
+  auto all = Where(std::move(n2),
+                   {Cmp("region", "r_name", CompareOp::kEq, "AMERICA"),
+                    Cmp("part", "p_type", CompareOp::kEq, "ECONOMY ANODIZED STEEL"),
+                    DateCmp("orders", "o_orderdate", CompareOp::kGe, date_lo),
+                    DateCmp("orders", "o_orderdate", CompareOp::kLe, date_hi)});
+  return LogicalExpr::Aggregate(std::move(all), {Col("n2", "n_name")},
+                                {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ9(int variant) {
+  // Product-type-profit query (p_name LIKE replaced by a p_size range).
+  const double size_hi = variant == 0 ? 25 : 40;
+  auto ps = JoinOn(LogicalExpr::Scan("part"), LogicalExpr::Scan("partsupp"),
+                   {On("part", "p_partkey", "partsupp", "ps_partkey")});
+  auto pss = JoinOn(std::move(ps), LogicalExpr::Scan("supplier"),
+                    {On("partsupp", "ps_suppkey", "supplier", "s_suppkey")});
+  auto pssl = JoinOn(std::move(pss), LogicalExpr::Scan("lineitem"),
+                     {On("partsupp", "ps_partkey", "lineitem", "l_partkey"),
+                      On("partsupp", "ps_suppkey", "lineitem", "l_suppkey")});
+  auto psslo = JoinOn(std::move(pssl), LogicalExpr::Scan("orders"),
+                      {On("lineitem", "l_orderkey", "orders", "o_orderkey")});
+  auto all = JoinOn(std::move(psslo), LogicalExpr::Scan("nation"),
+                    {On("supplier", "s_nationkey", "nation", "n_nationkey")});
+  all = Where(std::move(all),
+              {Cmp("part", "p_size", CompareOp::kLt, size_hi)});
+  return LogicalExpr::Aggregate(std::move(all), {Col("nation", "n_name")},
+                                {Sum("lineitem", "l_extendedprice")});
+}
+
+LogicalExprPtr MakeQ10(int variant) {
+  // Returned-item reporting query.
+  const char* date_lo = variant == 0 ? "1993-10-01" : "1994-01-01";
+  const char* date_hi = variant == 0 ? "1994-01-01" : "1994-04-01";
+  auto co = JoinOn(LogicalExpr::Scan("customer"), LogicalExpr::Scan("orders"),
+                   {On("customer", "c_custkey", "orders", "o_custkey")});
+  auto col = JoinOn(std::move(co), LogicalExpr::Scan("lineitem"),
+                    {On("orders", "o_orderkey", "lineitem", "l_orderkey")});
+  auto all = JoinOn(std::move(col), LogicalExpr::Scan("nation"),
+                    {On("customer", "c_nationkey", "nation", "n_nationkey")});
+  all = Where(std::move(all),
+              {Cmp("lineitem", "l_returnflag", CompareOp::kEq, "R"),
+               DateCmp("orders", "o_orderdate", CompareOp::kGe, date_lo),
+               DateCmp("orders", "o_orderdate", CompareOp::kLt, date_hi)});
+  return LogicalExpr::Aggregate(
+      std::move(all), {Col("customer", "c_custkey"), Col("nation", "n_name")},
+      {Sum("lineitem", "l_extendedprice")});
+}
+
+std::vector<std::string> BatchedQueryNames() {
+  return {"Q3", "Q5", "Q7", "Q8", "Q9", "Q10"};
+}
+
+std::vector<LogicalExprPtr> MakeBatchedWorkload(int num_queries) {
+  assert(num_queries >= 1 && num_queries <= 6);
+  using Maker = LogicalExprPtr (*)(int);
+  const Maker makers[6] = {MakeQ3, MakeQ5, MakeQ7, MakeQ8, MakeQ9, MakeQ10};
+  std::vector<LogicalExprPtr> roots;
+  for (int i = 0; i < num_queries; ++i) {
+    roots.push_back(makers[i](0));
+    roots.push_back(makers[i](1));
+  }
+  return roots;
+}
+
+namespace {
+
+/// The supplier-side block shared between Q2's outer query and its
+/// (decorrelated) subquery: partsupp x supplier x nation x region restricted
+/// to EUROPE.
+LogicalExprPtr Q2SupplierBlock() {
+  auto pss = JoinOn(LogicalExpr::Scan("partsupp"), LogicalExpr::Scan("supplier"),
+                    {On("partsupp", "ps_suppkey", "supplier", "s_suppkey")});
+  auto pssn = JoinOn(std::move(pss), LogicalExpr::Scan("nation"),
+                     {On("supplier", "s_nationkey", "nation", "n_nationkey")});
+  auto all = JoinOn(std::move(pssn), LogicalExpr::Scan("region"),
+                    {On("nation", "n_regionkey", "region", "r_regionkey")});
+  return Where(std::move(all), {Cmp("region", "r_name", CompareOp::kEq, "EUROPE")});
+}
+
+/// Per-part minimum supply cost over the EUROPE supplier block.
+LogicalExprPtr Q2MinCostAggregate() {
+  return LogicalExpr::Aggregate(Q2SupplierBlock(),
+                                {Col("partsupp", "ps_partkey")},
+                                {Min("partsupp", "ps_supplycost")});
+}
+
+/// Q2's outer query: part joined into the supplier block, with the part
+/// restriction.
+LogicalExprPtr Q2Outer() {
+  auto outer = JoinOn(LogicalExpr::Scan("part"), Q2SupplierBlock(),
+                      {On("part", "p_partkey", "partsupp", "ps_partkey")});
+  return Where(std::move(outer), {Cmp("part", "p_size", CompareOp::kEq, 15.0)});
+}
+
+}  // namespace
+
+std::vector<LogicalExprPtr> MakeQ2() {
+  // Correlated minimum-cost-supplier query, expressed with the subquery's
+  // aggregate joined back on the minimum cost. The EUROPE supplier block
+  // occurs in both the outer query and the subquery — the intra-query common
+  // subexpressions the paper's Experiment 2 exploits.
+  AggExpr min_cost = Min("partsupp", "ps_supplycost");
+  JoinCondition cost_match;
+  cost_match.left = Col("partsupp", "ps_supplycost");
+  cost_match.right = min_cost.OutputColumn();
+  auto q2 = JoinOn(Q2Outer(), Q2MinCostAggregate(), {cost_match});
+  return {std::move(q2)};
+}
+
+std::vector<LogicalExprPtr> MakeQ2D() {
+  // Decorrelated Q2: a batch — the subquery aggregate materialized as its own
+  // query plus the outer join query.
+  AggExpr min_cost = Min("partsupp", "ps_supplycost");
+  JoinCondition cost_match;
+  cost_match.left = Col("partsupp", "ps_supplycost");
+  cost_match.right = min_cost.OutputColumn();
+  auto joined = JoinOn(Q2Outer(), Q2MinCostAggregate(), {cost_match});
+  return {Q2MinCostAggregate(), std::move(joined)};
+}
+
+std::vector<LogicalExprPtr> MakeQ11() {
+  // Important-stock query: the GERMANY partsupp block aggregated per part and
+  // globally (HAVING against a scaled global sum). Two roots sharing the
+  // joined input; the global sum is also derivable from the per-part sums via
+  // aggregate subsumption.
+  auto block = [] {
+    auto pss = JoinOn(LogicalExpr::Scan("partsupp"), LogicalExpr::Scan("supplier"),
+                      {On("partsupp", "ps_suppkey", "supplier", "s_suppkey")});
+    auto pssn = JoinOn(std::move(pss), LogicalExpr::Scan("nation"),
+                       {On("supplier", "s_nationkey", "nation", "n_nationkey")});
+    return Where(std::move(pssn),
+                 {Cmp("nation", "n_name", CompareOp::kEq, "GERMANY")});
+  };
+  auto per_part = LogicalExpr::Aggregate(block(), {Col("partsupp", "ps_partkey")},
+                                         {Sum("partsupp", "ps_supplycost")});
+  auto global = LogicalExpr::Aggregate(block(), {},
+                                       {Sum("partsupp", "ps_supplycost")});
+  return {std::move(per_part), std::move(global)};
+}
+
+std::vector<LogicalExprPtr> MakeQ15() {
+  // Top-supplier query: the revenue view over a shipdate window occurs both
+  // as the join input and under the MAX aggregate.
+  auto revenue = [] {
+    auto filtered = Where(
+        LogicalExpr::Scan("lineitem"),
+        {DateCmp("lineitem", "l_shipdate", CompareOp::kGe, "1996-01-01"),
+         DateCmp("lineitem", "l_shipdate", CompareOp::kLt, "1996-04-01")});
+    return LogicalExpr::Aggregate(std::move(filtered),
+                                  {Col("lineitem", "l_suppkey")},
+                                  {Sum("lineitem", "l_extendedprice")});
+  };
+  AggExpr total = Sum("lineitem", "l_extendedprice");
+  AggExpr max_total;
+  max_total.func = AggFunc::kMax;
+  max_total.arg = total.OutputColumn();
+
+  auto max_revenue = LogicalExpr::Aggregate(revenue(), {}, {max_total});
+
+  auto supplier_rev =
+      JoinOn(LogicalExpr::Scan("supplier"), revenue(),
+             {On("supplier", "s_suppkey", "lineitem", "l_suppkey")});
+  JoinCondition is_max;
+  is_max.left = total.OutputColumn();
+  is_max.right = max_total.OutputColumn();
+  auto q15 = JoinOn(std::move(supplier_rev), std::move(max_revenue), {is_max});
+  return {std::move(q15)};
+}
+
+}  // namespace mqo

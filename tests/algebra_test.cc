@@ -1,0 +1,216 @@
+// Tests for the logical algebra: predicates (canonicalization, hashing,
+// implication), join predicates, expression builders, and tree normalization
+// (select push-down).
+
+#include <gtest/gtest.h>
+
+#include "algebra/logical_expr.h"
+
+namespace mqo {
+namespace {
+
+Comparison Cmp(const char* q, const char* n, CompareOp op, Literal lit) {
+  Comparison c;
+  c.column = ColumnRef(q, n);
+  c.op = op;
+  c.literal = std::move(lit);
+  return c;
+}
+
+TEST(LiteralTest, NumberVsString) {
+  Literal a(5.0);
+  Literal b("five");
+  EXPECT_TRUE(a.is_number());
+  EXPECT_FALSE(b.is_number());
+  EXPECT_EQ(b.str(), "five");
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.ToString(), "5");
+  EXPECT_EQ(b.ToString(), "'five'");
+}
+
+TEST(PredicateTest, ConjunctsSortedAndDeduped) {
+  Comparison a = Cmp("t", "x", CompareOp::kLt, 5.0);
+  Comparison b = Cmp("t", "a", CompareOp::kEq, 1.0);
+  Predicate p({a, b, a});
+  ASSERT_EQ(p.conjuncts().size(), 2u);
+  EXPECT_EQ(p.conjuncts()[0].column.name, "a");  // sorted
+  Predicate q({b, a});
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(p.Hash(), q.Hash());
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  Predicate p({Cmp("t", "x", CompareOp::kLe, 3.0)});
+  EXPECT_EQ(p.ToString(), "t.x <= 3");
+}
+
+TEST(JoinPredicateTest, CanonicalSideOrder) {
+  JoinCondition ab;
+  ab.left = ColumnRef("a", "k");
+  ab.right = ColumnRef("b", "k");
+  JoinCondition ba;
+  ba.left = ColumnRef("b", "k");
+  ba.right = ColumnRef("a", "k");
+  JoinPredicate p({ab});
+  JoinPredicate q({ba});
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(p.Hash(), q.Hash());
+}
+
+TEST(JoinPredicateTest, MultipleConditionsSorted) {
+  JoinCondition c1;
+  c1.left = ColumnRef("b", "y");
+  c1.right = ColumnRef("a", "y");
+  JoinCondition c2;
+  c2.left = ColumnRef("a", "x");
+  c2.right = ColumnRef("b", "x");
+  JoinPredicate p({c1, c2});
+  JoinPredicate q({c2, c1});
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(p.conditions().size(), 2u);
+}
+
+TEST(SortOrderTest, PrefixSatisfaction) {
+  SortOrder abc = {ColumnRef("t", "a"), ColumnRef("t", "b"), ColumnRef("t", "c")};
+  SortOrder ab = {ColumnRef("t", "a"), ColumnRef("t", "b")};
+  SortOrder ba = {ColumnRef("t", "b"), ColumnRef("t", "a")};
+  EXPECT_TRUE(OrderSatisfies(abc, ab));
+  EXPECT_TRUE(OrderSatisfies(abc, {}));
+  EXPECT_FALSE(OrderSatisfies(ab, abc));
+  EXPECT_FALSE(OrderSatisfies(abc, ba));
+}
+
+TEST(AggExprTest, OutputNaming) {
+  AggExpr a;
+  a.func = AggFunc::kSum;
+  a.arg = ColumnRef("lineitem", "l_extendedprice");
+  EXPECT_EQ(a.OutputName(), "sum(lineitem.l_extendedprice)");
+  AggExpr c;
+  c.func = AggFunc::kCount;
+  EXPECT_EQ(c.OutputName(), "count(*)");
+}
+
+TEST(AggExprTest, Decomposability) {
+  EXPECT_TRUE(AggFuncDecomposable(AggFunc::kSum));
+  EXPECT_TRUE(AggFuncDecomposable(AggFunc::kCount));
+  EXPECT_TRUE(AggFuncDecomposable(AggFunc::kMin));
+  EXPECT_TRUE(AggFuncDecomposable(AggFunc::kMax));
+  EXPECT_FALSE(AggFuncDecomposable(AggFunc::kAvg));
+}
+
+TEST(BuilderTest, ScanDefaultsAliasToTable) {
+  auto s = LogicalExpr::Scan("orders");
+  EXPECT_EQ(s->alias(), "orders");
+  auto t = LogicalExpr::Scan("nation", "n1");
+  EXPECT_EQ(t->alias(), "n1");
+}
+
+TEST(BuilderTest, AggregateCanonicalizesGroupAndAggOrder) {
+  AggExpr s1;
+  s1.func = AggFunc::kSum;
+  s1.arg = ColumnRef("t", "b");
+  AggExpr s2;
+  s2.func = AggFunc::kMin;
+  s2.arg = ColumnRef("t", "a");
+  auto a = LogicalExpr::Aggregate(LogicalExpr::Scan("t"),
+                                  {ColumnRef("t", "y"), ColumnRef("t", "x")},
+                                  {s1, s2});
+  auto b = LogicalExpr::Aggregate(LogicalExpr::Scan("t"),
+                                  {ColumnRef("t", "x"), ColumnRef("t", "y")},
+                                  {s2, s1});
+  EXPECT_EQ(a->group_by(), b->group_by());
+  EXPECT_EQ(a->aggregates(), b->aggregates());
+}
+
+TEST(NormalizeTest, SelectionPushedBelowJoinToitsSide) {
+  JoinCondition jc;
+  jc.left = ColumnRef("a", "k");
+  jc.right = ColumnRef("b", "k");
+  auto join = LogicalExpr::Join(LogicalExpr::Scan("A", "a"),
+                                LogicalExpr::Scan("B", "b"), JoinPredicate({jc}));
+  auto tree = LogicalExpr::Select(
+      join, Predicate({Cmp("a", "x", CompareOp::kLt, 5.0)}));
+  auto norm = NormalizeTree(tree);
+  ASSERT_EQ(norm->op(), LogicalOp::kJoin);
+  EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kSelect);
+  EXPECT_EQ(norm->children()[1]->op(), LogicalOp::kScan);
+}
+
+TEST(NormalizeTest, MixedConjunctsSplitAcrossSides) {
+  JoinCondition jc;
+  jc.left = ColumnRef("a", "k");
+  jc.right = ColumnRef("b", "k");
+  auto join = LogicalExpr::Join(LogicalExpr::Scan("A", "a"),
+                                LogicalExpr::Scan("B", "b"), JoinPredicate({jc}));
+  auto tree = LogicalExpr::Select(
+      join, Predicate({Cmp("a", "x", CompareOp::kLt, 5.0),
+                       Cmp("b", "y", CompareOp::kEq, 1.0)}));
+  auto norm = NormalizeTree(tree);
+  ASSERT_EQ(norm->op(), LogicalOp::kJoin);
+  EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kSelect);
+  EXPECT_EQ(norm->children()[1]->op(), LogicalOp::kSelect);
+}
+
+TEST(NormalizeTest, AdjacentSelectionsMerge) {
+  auto tree = LogicalExpr::Select(
+      LogicalExpr::Select(LogicalExpr::Scan("A", "a"),
+                          Predicate({Cmp("a", "x", CompareOp::kLt, 5.0)})),
+      Predicate({Cmp("a", "y", CompareOp::kGt, 1.0)}));
+  auto norm = NormalizeTree(tree);
+  ASSERT_EQ(norm->op(), LogicalOp::kSelect);
+  EXPECT_EQ(norm->predicate().conjuncts().size(), 2u);
+  EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kScan);
+}
+
+TEST(NormalizeTest, PredicateOnGroupColumnPushedBelowAggregate) {
+  AggExpr sum;
+  sum.func = AggFunc::kSum;
+  sum.arg = ColumnRef("a", "v");
+  auto agg = LogicalExpr::Aggregate(LogicalExpr::Scan("A", "a"),
+                                    {ColumnRef("a", "g")}, {sum});
+  auto tree = LogicalExpr::Select(
+      agg, Predicate({Cmp("a", "g", CompareOp::kEq, 7.0)}));
+  auto norm = NormalizeTree(tree);
+  ASSERT_EQ(norm->op(), LogicalOp::kAggregate);
+  EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kSelect);
+}
+
+TEST(NormalizeTest, PredicateOnAggregateOutputStaysAbove) {
+  AggExpr sum;
+  sum.func = AggFunc::kSum;
+  sum.arg = ColumnRef("a", "v");
+  auto agg = LogicalExpr::Aggregate(LogicalExpr::Scan("A", "a"),
+                                    {ColumnRef("a", "g")}, {sum});
+  Comparison on_sum;
+  on_sum.column = sum.OutputColumn();
+  on_sum.op = CompareOp::kGt;
+  on_sum.literal = Literal(100.0);
+  auto tree = LogicalExpr::Select(agg, Predicate({on_sum}));
+  auto norm = NormalizeTree(tree);
+  EXPECT_EQ(norm->op(), LogicalOp::kSelect);
+  EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kAggregate);
+}
+
+TEST(NormalizeTest, Idempotent) {
+  JoinCondition jc;
+  jc.left = ColumnRef("a", "k");
+  jc.right = ColumnRef("b", "k");
+  auto join = LogicalExpr::Join(LogicalExpr::Scan("A", "a"),
+                                LogicalExpr::Scan("B", "b"), JoinPredicate({jc}));
+  auto tree = LogicalExpr::Select(
+      join, Predicate({Cmp("a", "x", CompareOp::kLt, 5.0)}));
+  auto once = NormalizeTree(tree);
+  auto twice = NormalizeTree(once);
+  EXPECT_EQ(once->ToString(), twice->ToString());
+}
+
+TEST(ToStringTest, TreeRendering) {
+  auto s = LogicalExpr::Select(LogicalExpr::Scan("T", "t"),
+                               Predicate({Cmp("t", "x", CompareOp::kEq, 1.0)}));
+  std::string str = s->ToString();
+  EXPECT_NE(str.find("Select"), std::string::npos);
+  EXPECT_NE(str.find("Scan T"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqo

@@ -1,0 +1,124 @@
+// Tests for the catalog substrate and the TPC-D schema generator.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/tpcd.h"
+
+namespace mqo {
+namespace {
+
+TEST(CatalogTest, AddAndLookupTable) {
+  Catalog cat;
+  Table t("t", 100);
+  t.AddColumn(ColumnDef{"x", ColumnType::kInt, 4, 100, 0, 100});
+  ASSERT_TRUE(cat.AddTable(std::move(t)).ok());
+  auto r = cat.GetTable("t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()->row_count(), 100);
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_FALSE(cat.HasTable("u"));
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(Table("t", 1)).ok());
+  Status s = cat.AddTable(Table("t", 2));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingTableIsNotFound) {
+  Catalog cat;
+  EXPECT_EQ(cat.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ColumnLookup) {
+  Table t("t", 10);
+  t.AddColumn(ColumnDef{"a", ColumnType::kString, 20, 5, 0, 0});
+  t.AddColumn(ColumnDef{"b", ColumnType::kDouble, 8, 10, 0, 1});
+  auto col = t.GetColumn("b");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.ValueOrDie().width_bytes, 8);
+  EXPECT_FALSE(t.GetColumn("c").ok());
+  EXPECT_EQ(t.RowWidthBytes(), 28);
+}
+
+TEST(CatalogTest, ClusteredIndexLookup) {
+  Table t("t", 10);
+  t.AddColumn(ColumnDef{"a", ColumnType::kInt, 4, 10, 0, 10});
+  EXPECT_EQ(t.clustered_index(), nullptr);
+  t.AddIndex(IndexDef{{"a"}, /*clustered=*/true});
+  ASSERT_NE(t.clustered_index(), nullptr);
+  EXPECT_EQ(t.clustered_index()->key_columns[0], "a");
+}
+
+TEST(DateTest, EpochAndKnownDates) {
+  EXPECT_EQ(DateToDays("1992-01-01"), 0);
+  EXPECT_EQ(DateToDays("1992-01-02"), 1);
+  EXPECT_EQ(DateToDays("1993-01-01"), 366);  // 1992 is a leap year
+  EXPECT_EQ(DateToDays("1998-12-31"), 2556);
+  EXPECT_GT(DateToDays("1995-03-15"), DateToDays("1994-03-15"));
+  EXPECT_EQ(DateToDays("1995-03-15") - DateToDays("1995-03-14"), 1);
+}
+
+class TpcdCatalogTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TpcdCatalogTest, AllEightTablesPresent) {
+  Catalog cat = MakeTpcdCatalog(GetParam());
+  for (const char* t : {"region", "nation", "supplier", "part", "partsupp",
+                        "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(cat.HasTable(t)) << t;
+  }
+  EXPECT_EQ(cat.TableNames().size(), 8u);
+}
+
+TEST_P(TpcdCatalogTest, RowCountsScaleLinearlyExceptNationRegion) {
+  const double sf = GetParam();
+  Catalog cat = MakeTpcdCatalog(sf);
+  EXPECT_EQ(cat.GetTable("region").ValueOrDie()->row_count(), 5);
+  EXPECT_EQ(cat.GetTable("nation").ValueOrDie()->row_count(), 25);
+  EXPECT_EQ(cat.GetTable("supplier").ValueOrDie()->row_count(), 10000 * sf);
+  EXPECT_EQ(cat.GetTable("part").ValueOrDie()->row_count(), 200000 * sf);
+  EXPECT_EQ(cat.GetTable("partsupp").ValueOrDie()->row_count(), 800000 * sf);
+  EXPECT_EQ(cat.GetTable("customer").ValueOrDie()->row_count(), 150000 * sf);
+  EXPECT_EQ(cat.GetTable("orders").ValueOrDie()->row_count(), 1500000 * sf);
+  EXPECT_EQ(cat.GetTable("lineitem").ValueOrDie()->row_count(), 6000000 * sf);
+}
+
+TEST_P(TpcdCatalogTest, EveryTableHasClusteredPkIndex) {
+  Catalog cat = MakeTpcdCatalog(GetParam());
+  for (const auto& name : cat.TableNames()) {
+    const Table* t = cat.GetTable(name).ValueOrDie();
+    EXPECT_NE(t->clustered_index(), nullptr) << name;
+  }
+}
+
+TEST_P(TpcdCatalogTest, ForeignKeysMatchReferencedCardinality) {
+  const double sf = GetParam();
+  Catalog cat = MakeTpcdCatalog(sf);
+  const Table* li = cat.GetTable("lineitem").ValueOrDie();
+  EXPECT_EQ(li->GetColumn("l_orderkey").ValueOrDie().distinct_values,
+            1500000 * sf);
+  EXPECT_EQ(li->GetColumn("l_partkey").ValueOrDie().distinct_values, 200000 * sf);
+  const Table* o = cat.GetTable("orders").ValueOrDie();
+  EXPECT_EQ(o->GetColumn("o_custkey").ValueOrDie().distinct_values, 150000 * sf);
+}
+
+TEST_P(TpcdCatalogTest, TotalSizeRoughlyMatchesScale) {
+  const double sf = GetParam();
+  Catalog cat = MakeTpcdCatalog(sf);
+  double total_bytes = 0;
+  for (const auto& name : cat.TableNames()) {
+    const Table* t = cat.GetTable(name).ValueOrDie();
+    total_bytes += t->row_count() * t->RowWidthBytes();
+  }
+  // TPC-D scale 1 is nominally ~1GB of raw data; widths are estimates so
+  // allow a generous band.
+  EXPECT_GT(total_bytes, 0.5e9 * sf);
+  EXPECT_LT(total_bytes, 2.5e9 * sf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TpcdCatalogTest, ::testing::Values(1.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace mqo

@@ -1,0 +1,174 @@
+// Tests for the cost model (paper constants, formula monotonicity) and the
+// cardinality/statistics estimator over the memo.
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcd.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "lqdag/memo.h"
+#include "parser/parser.h"
+
+namespace mqo {
+namespace {
+
+TEST(CostModelTest, PaperConstants) {
+  CostParams p;
+  EXPECT_EQ(p.block_size_bytes, 4096);
+  EXPECT_EQ(p.memory_bytes, 6.0 * 1024 * 1024);
+  EXPECT_EQ(p.seek_ms, 10.0);
+  EXPECT_EQ(p.read_ms_per_block, 2.0);
+  EXPECT_EQ(p.write_ms_per_block, 4.0);
+  EXPECT_EQ(p.cpu_ms_per_block, 0.2);
+  EXPECT_EQ(p.MemoryBlocks(), 1536);
+  EXPECT_EQ(LargeMemoryParams().memory_bytes, 128.0 * 1024 * 1024);
+}
+
+TEST(CostModelTest, SeqReadWriteFormulas) {
+  CostModel cm;
+  // One seek + (transfer + cpu) per block.
+  EXPECT_DOUBLE_EQ(cm.SeqReadCost(100), 10 + 100 * 2.2);
+  EXPECT_DOUBLE_EQ(cm.SeqWriteCost(100), 10 + 100 * 4.2);
+  // Writes cost more than reads — the asymmetry materialization must beat.
+  EXPECT_GT(cm.SeqWriteCost(50), cm.SeqReadCost(50));
+}
+
+TEST(CostModelTest, BlocksFloorsAtOne) {
+  CostModel cm;
+  EXPECT_EQ(cm.Blocks(10), 1.0);
+  EXPECT_EQ(cm.Blocks(8192), 2.0);
+}
+
+TEST(CostModelTest, SortInMemoryVsExternal) {
+  CostModel cm;
+  const double mem = cm.params().MemoryBlocks();
+  // In-memory: CPU only.
+  EXPECT_DOUBLE_EQ(cm.SortCost(mem), 0.2 * mem);
+  // External: must include run writes (>= 4 ms/block component).
+  EXPECT_GT(cm.SortCost(mem * 4), 4.0 * mem * 4);
+  // Monotone in input size.
+  EXPECT_LT(cm.SortCost(2000), cm.SortCost(20000));
+}
+
+TEST(CostModelTest, BnlPasses) {
+  CostModel cm;
+  const double chunk = cm.params().MemoryBlocks() - 2;
+  EXPECT_EQ(cm.BnlPasses(1), 1);
+  EXPECT_EQ(cm.BnlPasses(chunk), 1);
+  EXPECT_EQ(cm.BnlPasses(chunk + 1), 2);
+  EXPECT_EQ(cm.BnlPasses(chunk * 10), 10);
+}
+
+TEST(CostModelTest, IndexedSelectionCheaperThanScanForSelectivePredicates) {
+  CostModel cm;
+  const double table_blocks = 10000;
+  EXPECT_LT(cm.IndexedSelectionCost(0.01 * table_blocks),
+            cm.SeqReadCost(table_blocks));
+  // But not for near-full ranges (traversal overhead).
+  EXPECT_GT(cm.IndexedSelectionCost(table_blocks), cm.SeqReadCost(table_blocks));
+}
+
+class StatsTest : public ::testing::Test {
+ protected:
+  StatsTest() : catalog_(MakeTpcdCatalog(1)), memo_(&catalog_), stats_(&memo_) {}
+
+  EqId InsertSql(const std::string& sql) {
+    auto parsed = ParseQuery(sql, catalog_);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return memo_.Insert(NormalizeTree(parsed.ValueOrDie()));
+  }
+
+  Catalog catalog_;
+  Memo memo_;
+  StatsEstimator stats_;
+};
+
+TEST_F(StatsTest, ScanCardinalityFromCatalog) {
+  EqId eq = InsertSql("SELECT * FROM orders");
+  const RelStats& s = stats_.ClassStats(eq);
+  EXPECT_EQ(s.rows, 1500000);
+  EXPECT_GT(s.row_width_bytes, 100);
+  EXPECT_NE(s.Find(ColumnRef("orders", "o_orderdate")), nullptr);
+}
+
+TEST_F(StatsTest, EqualitySelectivityIsOneOverDistinct) {
+  EqId eq = InsertSql("SELECT * FROM customer WHERE c_mktsegment = 'BUILDING'");
+  const RelStats& s = stats_.ClassStats(eq);
+  EXPECT_NEAR(s.rows, 150000.0 / 5.0, 1.0);  // 5 market segments
+  // The filtered column collapses to one distinct value.
+  EXPECT_DOUBLE_EQ(s.Find(ColumnRef("customer", "c_mktsegment"))->distinct, 1.0);
+}
+
+TEST_F(StatsTest, RangeSelectivityInterpolatesMinMax) {
+  // p_size uniform on [1, 50]; p_size < 26 is about half.
+  EqId eq = InsertSql("SELECT * FROM part WHERE p_size < 26");
+  const RelStats& s = stats_.ClassStats(eq);
+  EXPECT_NEAR(s.rows / 200000.0, 0.5, 0.03);
+  // Range bounds tighten on the filtered column.
+  EXPECT_LE(s.Find(ColumnRef("part", "p_size"))->max_value, 26);
+}
+
+TEST_F(StatsTest, ConjunctionMultipliesSelectivities) {
+  EqId eq = InsertSql(
+      "SELECT * FROM part WHERE p_size < 26 AND p_brand = 'Brand#13'");
+  const RelStats& s = stats_.ClassStats(eq);
+  EXPECT_NEAR(s.rows, 200000 * 0.5 / 25.0, 300.0);
+}
+
+TEST_F(StatsTest, PkFkJoinKeepsFkSideCardinality) {
+  EqId eq = InsertSql(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey");
+  const RelStats& s = stats_.ClassStats(eq);
+  // |orders| * |customer| / max(V(c_custkey), V(o_custkey)) = |orders|.
+  EXPECT_NEAR(s.rows, 1500000, 1.0);
+  // Width adds both sides.
+  const RelStats& c = stats_.ClassStats(InsertSql("SELECT * FROM customer"));
+  const RelStats& o = stats_.ClassStats(InsertSql("SELECT * FROM orders"));
+  EXPECT_DOUBLE_EQ(s.row_width_bytes, c.row_width_bytes + o.row_width_bytes);
+}
+
+TEST_F(StatsTest, AggregateRowsBoundedByGroupDistinct) {
+  EqId eq = InsertSql(
+      "SELECT n_name, sum(s_acctbal) FROM supplier, nation "
+      "WHERE s_nationkey = n_nationkey GROUP BY n_name");
+  const RelStats& s = stats_.ClassStats(eq);
+  EXPECT_NEAR(s.rows, 25, 1e-6);  // 25 nations
+  // Aggregate output column exists.
+  EXPECT_NE(s.Find(ColumnRef("", "sum(supplier.s_acctbal)")), nullptr);
+}
+
+TEST_F(StatsTest, ScalarAggregateHasOneRow) {
+  EqId eq = InsertSql("SELECT count(*) FROM lineitem");
+  EXPECT_DOUBLE_EQ(stats_.ClassStats(eq).rows, 1.0);
+}
+
+TEST_F(StatsTest, ProjectionNarrowsWidth) {
+  EqId wide = InsertSql("SELECT * FROM customer");
+  EqId narrow = InsertSql("SELECT c_custkey, c_name FROM customer");
+  EXPECT_LT(stats_.ClassStats(narrow).row_width_bytes,
+            stats_.ClassStats(wide).row_width_bytes);
+  EXPECT_EQ(stats_.ClassStats(narrow).rows, stats_.ClassStats(wide).rows);
+}
+
+TEST_F(StatsTest, SelectionNeverIncreasesCardinality) {
+  const char* queries[] = {
+      "SELECT * FROM orders WHERE o_orderdate < DATE '1995-01-01'",
+      "SELECT * FROM orders WHERE o_orderdate >= DATE '1998-01-01'",
+      "SELECT * FROM lineitem WHERE l_quantity < 10 AND l_discount >= 0.05",
+  };
+  for (const char* q : queries) {
+    EqId filtered = InsertSql(q);
+    EXPECT_LE(stats_.ClassStats(filtered).rows, 6000001.0) << q;
+    EXPECT_GE(stats_.ClassStats(filtered).rows, 1.0) << q;
+  }
+}
+
+TEST_F(StatsTest, StatsAreCachedPerClass) {
+  EqId eq = InsertSql("SELECT * FROM orders");
+  const RelStats& a = stats_.ClassStats(eq);
+  const RelStats& b = stats_.ClassStats(eq);
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace mqo

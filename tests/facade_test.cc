@@ -1,0 +1,131 @@
+// Tests for the one-call facade, DOT export, plan rendering, and the
+// knapsack ratio greedy (the Section 3.1 remark at unit-test scale).
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcd.h"
+#include "lqdag/dot_export.h"
+#include "lqdag/rules.h"
+#include "mqo/facade.h"
+#include "submodular/algorithms.h"
+#include "submodular/instances.h"
+#include "workload/example1.h"
+
+namespace mqo {
+namespace {
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  FacadeTest() : catalog_(MakeTpcdCatalog(1)) {}
+  Catalog catalog_;
+};
+
+TEST_F(FacadeTest, OptimizesSqlBatchEndToEnd) {
+  auto outcome = OptimizeSqlBatch(
+      catalog_,
+      {"SELECT ps_partkey, sum(ps_supplycost) FROM partsupp, supplier, nation "
+       "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+       "AND n_name = 'GERMANY' GROUP BY ps_partkey",
+       "SELECT sum(ps_supplycost) FROM partsupp, supplier, nation "
+       "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+       "AND n_name = 'GERMANY'"});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const MqoOutcome& o = outcome.ValueOrDie();
+  EXPECT_GT(o.dag_classes, 0);
+  EXPECT_GT(o.shareable_nodes, 0);
+  EXPECT_LT(o.result.total_cost, o.result.volcano_cost);
+  EXPECT_FALSE(o.consolidated_plan.empty());
+  EXPECT_EQ(o.materialized_plans.size(),
+            static_cast<size_t>(o.result.num_materialized));
+}
+
+TEST_F(FacadeTest, VolcanoAlgorithmMaterializesNothing) {
+  MqoOptions options;
+  options.algorithm = MqoOptions::Algorithm::kVolcano;
+  auto outcome = OptimizeSqlBatch(catalog_, {"SELECT * FROM nation"}, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.ValueOrDie().result.num_materialized, 0);
+}
+
+TEST_F(FacadeTest, GreedyAndMarginalAgreeThroughFacade) {
+  const std::vector<std::string> batch = {
+      "SELECT c_custkey, sum(o_totalprice) FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_orderdate < DATE '1995-01-01' "
+      "GROUP BY c_custkey",
+      "SELECT c_custkey, sum(o_totalprice) FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_orderdate < DATE '1996-01-01' "
+      "GROUP BY c_custkey"};
+  MqoOptions greedy;
+  greedy.algorithm = MqoOptions::Algorithm::kGreedy;
+  auto a = OptimizeSqlBatch(catalog_, batch);
+  auto b = OptimizeSqlBatch(catalog_, batch, greedy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a.ValueOrDie().result.total_cost, b.ValueOrDie().result.total_cost,
+              1e-6 * b.ValueOrDie().result.total_cost);
+}
+
+TEST_F(FacadeTest, ParseErrorPropagates) {
+  auto outcome = OptimizeSqlBatch(catalog_, {"SELEC oops"});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(FacadeTest, EmptyBatchRejected) {
+  auto outcome = OptimizeSqlBatch(catalog_, {});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FacadeTest, PrintProducesReport) {
+  auto outcome = OptimizeSqlBatch(catalog_, {"SELECT * FROM region"});
+  ASSERT_TRUE(outcome.ok());
+  std::ostringstream os;
+  outcome.ValueOrDie().Print(os);
+  EXPECT_NE(os.str().find("consolidated cost"), std::string::npos);
+  EXPECT_NE(os.str().find("TableScan"), std::string::npos);
+}
+
+TEST(DotExportTest, ProducesWellFormedDigraph) {
+  Catalog catalog = MakeExample1Catalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeExample1Queries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  auto shareable = ShareableNodes(memo);
+  std::string dot = MemoToDot(memo, {shareable.begin(), shareable.end()});
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);   // root marked
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);       // highlight
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);       // OR-nodes
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);   // AND-nodes
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(KnapsackGreedyTest, RespectsBudget) {
+  Rng rng(9);
+  FacilityLocationFunction f = FacilityLocationFunction::Random(10, 25, 3.0, &rng);
+  Decomposition d = CanonicalDecomposition(f);
+  for (double& c : d.costs) c = std::max(c, 1e-9);
+  for (double budget : {0.0, 0.5, 1.5, 1e9}) {
+    GreedyResult r = KnapsackRatioGreedy(f, d, budget);
+    EXPECT_LE(d.CostOf(r.selected), budget + 1e-9);
+  }
+}
+
+TEST(KnapsackGreedyTest, MatchesMarginalGreedyAtItsOwnBudget) {
+  Rng rng(13);
+  int matches = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    FacilityLocationFunction f =
+        FacilityLocationFunction::Random(10, 25, 4.0, &rng);
+    Decomposition d = CanonicalDecomposition(f);
+    for (double& c : d.costs) c = std::max(c, 1e-9);
+    GreedyResult mg = MarginalGreedy(f, d);
+    GreedyResult ks = KnapsackRatioGreedy(f, d, d.CostOf(mg.selected));
+    if (ks.selected == mg.selected) ++matches;
+  }
+  EXPECT_GE(matches, 4);  // the Section 3.1 remark, allowing an outlier
+}
+
+}  // namespace
+}  // namespace mqo

@@ -1,0 +1,200 @@
+// Tests for the mini-SQL frontend: lexing, parsing, binding, error paths,
+// and semantic equivalence with builder-constructed trees (parsed queries
+// must unify with hand-built ones in the memo).
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcd.h"
+#include "lqdag/memo.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "workload/tpcd_queries.h"
+
+namespace mqo {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : catalog_(MakeTpcdCatalog(1)) {}
+  Catalog catalog_;
+};
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("select a.b, 12.5 >= 'x' (*) <");
+  ASSERT_TRUE(tokens.ok());
+  const auto& v = tokens.ValueOrDie();
+  ASSERT_EQ(v.size(), 13u);  // incl. trailing '<' and end
+  EXPECT_EQ(v[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(v[0].text, "select");
+  EXPECT_EQ(v[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(v[2].kind, TokenKind::kDot);
+  EXPECT_EQ(v[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(v[4].kind, TokenKind::kComma);
+  EXPECT_EQ(v[5].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(v[5].number, 12.5);
+  EXPECT_EQ(v[6].kind, TokenKind::kGe);
+  EXPECT_EQ(v[7].kind, TokenKind::kString);
+  EXPECT_EQ(v[7].text, "x");
+  EXPECT_EQ(v[8].kind, TokenKind::kLParen);
+  EXPECT_EQ(v[9].kind, TokenKind::kStar);
+  EXPECT_EQ(v[10].kind, TokenKind::kRParen);
+  EXPECT_EQ(v[11].kind, TokenKind::kLt);
+  EXPECT_EQ(v[12].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsLowercased) {
+  auto tokens = Lex("SeLeCt FROM");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.ValueOrDie()[0].text, "select");
+  EXPECT_EQ(tokens.ValueOrDie()[1].text, "from");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("select 'oops").ok());
+}
+
+TEST(LexerTest, BadCharacterFails) {
+  auto r = Lex("select a ; b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, SimpleScan) {
+  auto r = ParseQuery("SELECT * FROM nation", catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie()->op(), LogicalOp::kScan);
+}
+
+TEST_F(ParserTest, ProjectionBindsUnqualifiedColumns) {
+  auto r = ParseQuery("SELECT n_name, n_regionkey FROM nation", catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& e = r.ValueOrDie();
+  ASSERT_EQ(e->op(), LogicalOp::kProject);
+  EXPECT_EQ(e->project_columns()[0], ColumnRef("nation", "n_name"));
+}
+
+TEST_F(ParserTest, SelectionFromWhere) {
+  auto r = ParseQuery("SELECT * FROM orders WHERE o_orderdate < DATE '1995-03-15'",
+                      catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& e = r.ValueOrDie();
+  ASSERT_EQ(e->op(), LogicalOp::kSelect);
+  const auto& cmp = e->predicate().conjuncts()[0];
+  EXPECT_EQ(cmp.column, ColumnRef("orders", "o_orderdate"));
+  EXPECT_EQ(cmp.op, CompareOp::kLt);
+  EXPECT_DOUBLE_EQ(cmp.literal.number(), DateToDays("1995-03-15"));
+}
+
+TEST_F(ParserTest, JoinFromWhereEquality) {
+  auto r = ParseQuery(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey", catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& e = r.ValueOrDie();
+  ASSERT_EQ(e->op(), LogicalOp::kJoin);
+  EXPECT_EQ(e->join_predicate().conditions().size(), 1u);
+}
+
+TEST_F(ParserTest, AliasAndSelfJoin) {
+  auto r = ParseQuery(
+      "SELECT * FROM nation n1, nation n2 WHERE n1.n_regionkey = n2.n_regionkey",
+      catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie()->op(), LogicalOp::kJoin);
+}
+
+TEST_F(ParserTest, GroupByAggregate) {
+  auto r = ParseQuery(
+      "SELECT n_name, sum(s_acctbal) FROM supplier, nation "
+      "WHERE s_nationkey = n_nationkey GROUP BY n_name",
+      catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& e = r.ValueOrDie();
+  ASSERT_EQ(e->op(), LogicalOp::kAggregate);
+  EXPECT_EQ(e->group_by().size(), 1u);
+  ASSERT_EQ(e->aggregates().size(), 1u);
+  EXPECT_EQ(e->aggregates()[0].func, AggFunc::kSum);
+}
+
+TEST_F(ParserTest, CountStar) {
+  auto r = ParseQuery("SELECT count(*) FROM lineitem", catalog_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.ValueOrDie()->op(), LogicalOp::kAggregate);
+  EXPECT_EQ(r.ValueOrDie()->aggregates()[0].func, AggFunc::kCount);
+}
+
+TEST_F(ParserTest, UnknownTableFails) {
+  auto r = ParseQuery("SELECT * FROM nowhere", catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ParserTest, UnknownColumnFails) {
+  auto r = ParseQuery("SELECT bogus FROM nation", catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, AmbiguousColumnFails) {
+  // n_nationkey exists in both aliases of the self-join.
+  auto r = ParseQuery("SELECT n_nationkey FROM nation n1, nation n2", catalog_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(ParserTest, NonEqualityJoinFails) {
+  auto r = ParseQuery(
+      "SELECT * FROM customer, orders WHERE c_custkey < o_custkey", catalog_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParserTest, GroupByWithoutAggregateFails) {
+  auto r = ParseQuery("SELECT n_name FROM nation GROUP BY n_name", catalog_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParserTest, NonGroupedColumnFails) {
+  auto r = ParseQuery(
+      "SELECT n_name, sum(s_acctbal) FROM supplier, nation "
+      "WHERE s_nationkey = n_nationkey GROUP BY n_regionkey",
+      catalog_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParserTest, TrailingInputFails) {
+  auto r = ParseQuery("SELECT * FROM nation extra , stuff", catalog_);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParserTest, ParsedQ3UnifiesWithBuilderQ3) {
+  // The SQL form of Q3 (variant 0) must land in the same equivalence class
+  // as the builder-constructed MakeQ3(0) after normalization — the memo is
+  // the semantic equality oracle.
+  auto parsed = ParseQuery(
+      "SELECT l_orderkey, o_orderdate, o_shippriority, sum(l_extendedprice) "
+      "FROM customer, orders, lineitem "
+      "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+      "AND c_mktsegment = 'BUILDING' "
+      "AND o_orderdate < DATE '1995-03-15' "
+      "AND l_shipdate > DATE '1995-03-15' "
+      "GROUP BY l_orderkey, o_orderdate, o_shippriority",
+      catalog_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Memo memo(&catalog_);
+  EqId from_sql = memo.Insert(NormalizeTree(parsed.ValueOrDie()));
+  EqId from_builder = memo.Insert(NormalizeTree(MakeQ3(0)));
+  EXPECT_EQ(memo.Find(from_sql), memo.Find(from_builder));
+}
+
+TEST_F(ParserTest, DifferentConstantsDoNotUnify) {
+  auto a = ParseQuery("SELECT * FROM orders WHERE o_totalprice < 1000", catalog_);
+  auto b = ParseQuery("SELECT * FROM orders WHERE o_totalprice < 2000", catalog_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Memo memo(&catalog_);
+  EqId ea = memo.Insert(NormalizeTree(a.ValueOrDie()));
+  EqId eb = memo.Insert(NormalizeTree(b.ValueOrDie()));
+  EXPECT_NE(memo.Find(ea), memo.Find(eb));
+}
+
+}  // namespace
+}  // namespace mqo

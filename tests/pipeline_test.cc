@@ -1,0 +1,120 @@
+// End-to-end integration tests: Example 1 of the paper through the full
+// pipeline (memo -> expansion -> physical search -> MQO algorithms), checking
+// the qualitative claims: MQO beats stand-alone Volcano by sharing (B ⋈ C),
+// blind materialize-everything can lose, MarginalGreedy matches the
+// exhaustive optimum here, and bc/buc bookkeeping is consistent.
+
+#include <gtest/gtest.h>
+
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+#include "workload/example1.h"
+
+namespace mqo {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : catalog_(MakeExample1Catalog()),
+        memo_(&catalog_) {
+    memo_.InsertBatch(MakeExample1Queries());
+    auto expanded = ExpandMemo(&memo_);
+    EXPECT_TRUE(expanded.ok());
+    optimizer_ = std::make_unique<BatchOptimizer>(&memo_, CostModel());
+    problem_ = std::make_unique<MaterializationProblem>(optimizer_.get());
+  }
+
+  Catalog catalog_;
+  Memo memo_;
+  std::unique_ptr<BatchOptimizer> optimizer_;
+  std::unique_ptr<MaterializationProblem> problem_;
+};
+
+TEST_F(PipelineTest, UniverseNonEmpty) {
+  EXPECT_GT(problem_->universe_size(), 0);
+}
+
+TEST_F(PipelineTest, VolcanoCostPositiveAndStable) {
+  const double v1 = problem_->VolcanoCost();
+  const double v2 = problem_->VolcanoCost();
+  EXPECT_GT(v1, 0.0);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_F(PipelineTest, SharingBeatsVolcano) {
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  EXPECT_LT(marginal.total_cost, marginal.volcano_cost);
+  EXPECT_GT(marginal.num_materialized, 0);
+}
+
+TEST_F(PipelineTest, GreedyBeatsVolcanoToo) {
+  MqoResult greedy = RunGreedy(problem_.get());
+  EXPECT_LT(greedy.total_cost, greedy.volcano_cost);
+}
+
+TEST_F(PipelineTest, MarginalGreedyMatchesExhaustiveOnSmallInstance) {
+  ASSERT_LE(problem_->universe_size(), 20);
+  MqoResult exhaustive = RunExhaustive(problem_.get());
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  // Theorem 1 is an approximation guarantee; on this tiny instance the greedy
+  // should actually hit the optimum.
+  EXPECT_NEAR(marginal.total_cost, exhaustive.total_cost,
+              1e-6 * exhaustive.total_cost);
+}
+
+TEST_F(PipelineTest, ExhaustiveNeverWorseThanAnyAlgorithm) {
+  MqoResult exhaustive = RunExhaustive(problem_.get());
+  MqoResult greedy = RunGreedy(problem_.get());
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  MqoResult all = RunMaterializeAll(problem_.get());
+  EXPECT_LE(exhaustive.total_cost, greedy.total_cost + 1e-9);
+  EXPECT_LE(exhaustive.total_cost, marginal.total_cost + 1e-9);
+  EXPECT_LE(exhaustive.total_cost, all.total_cost + 1e-9);
+}
+
+TEST_F(PipelineTest, BestCostDecomposesIntoUseCostPlusMatCost) {
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  ConsolidatedPlan plan = optimizer_->Plan(marginal.materialized);
+  EXPECT_NEAR(plan.best_cost, plan.best_use_cost + plan.mat_cost, 1e-9);
+  EXPECT_NEAR(plan.best_cost, marginal.total_cost, 1e-6);
+  EXPECT_EQ(plan.materialized.size(), marginal.materialized.size());
+}
+
+TEST_F(PipelineTest, MaterializedPlanReadsSharedNode) {
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  ASSERT_GT(marginal.num_materialized, 0);
+  ConsolidatedPlan plan = optimizer_->Plan(marginal.materialized);
+  EXPECT_GE(CountPlanOps(plan.root_plan, PhysOp::kReadMaterialized), 2);
+}
+
+TEST_F(PipelineTest, BenefitFunctionIsNormalized) {
+  ElementSet empty(problem_->universe_size());
+  EXPECT_NEAR(problem_->benefit().Value(empty), 0.0, 1e-9);
+}
+
+TEST_F(PipelineTest, LazyAndEagerGreedyAgree) {
+  MqoResult eager = RunGreedy(problem_.get(), /*lazy=*/false);
+  MqoResult lazy = RunGreedy(problem_.get(), /*lazy=*/true);
+  EXPECT_EQ(eager.materialized, lazy.materialized);
+}
+
+TEST_F(PipelineTest, LazyAndEagerMarginalGreedyAgree) {
+  MarginalGreedyMqoOptions eager_opts;
+  eager_opts.lazy = false;
+  MarginalGreedyMqoOptions lazy_opts;
+  lazy_opts.lazy = true;
+  MqoResult eager = RunMarginalGreedy(problem_.get(), eager_opts);
+  MqoResult lazy = RunMarginalGreedy(problem_.get(), lazy_opts);
+  EXPECT_EQ(eager.materialized, lazy.materialized);
+  EXPECT_LE(lazy.function_evals, eager.function_evals);
+}
+
+TEST_F(PipelineTest, MaterializingEverythingCostsMoreThanChoosing) {
+  MqoResult all = RunMaterializeAll(problem_.get());
+  MqoResult marginal = RunMarginalGreedy(problem_.get());
+  EXPECT_GE(all.total_cost, marginal.total_cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace mqo

@@ -1,0 +1,182 @@
+// Randomized property tests over generated catalogs and queries: the
+// end-to-end invariants that must hold for *any* workload, swept over seeds
+// with parameterized gtest.
+//
+//  P1  expansion is sound: every operator in every class computes the same
+//      result on generated data (via the reference evaluator);
+//  P2  bestUseCost is monotonically non-increasing in the materialized set;
+//  P3  the benefit function is normalized and all algorithms' benefits lie
+//      in [0, exhaustive-optimum];
+//  P4  greedy family invariances: lazy == eager, incremental == fresh;
+//  P5  memo construction is deterministic.
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "lqdag/rules.h"
+#include "mqo/mqo_algorithms.h"
+
+namespace mqo {
+namespace {
+
+/// Random catalog: `tables` heap tables with a shared key domain, a payload,
+/// and a category column.
+Catalog MakeRandomCatalog(Rng* rng, int tables) {
+  Catalog cat;
+  const int key_domain = rng->NextIntIn(8, 30);
+  for (int t = 0; t < tables; ++t) {
+    Table table("r" + std::to_string(t), rng->NextIntIn(30, 60));
+    table.AddColumn(ColumnDef{"k", ColumnType::kInt, 4,
+                              static_cast<double>(key_domain), 0,
+                              static_cast<double>(key_domain)});
+    table.AddColumn(ColumnDef{"v", ColumnType::kDouble, 8,
+                              static_cast<double>(rng->NextIntIn(4, 12)), 0, 12});
+    table.AddColumn(ColumnDef{"cat", ColumnType::kString, 8,
+                              static_cast<double>(rng->NextIntIn(2, 6)), 0, 6});
+    (void)cat.AddTable(std::move(table));
+  }
+  return cat;
+}
+
+/// Random chain-join query over tables [0, n) with optional selections and a
+/// random aggregate on top.
+LogicalExprPtr MakeRandomQuery(const Catalog& cat, Rng* rng) {
+  const int n = static_cast<int>(cat.TableNames().size());
+  const int joins = rng->NextIntIn(1, std::min(3, n - 1));
+  auto table = [&](int i) { return "r" + std::to_string(i); };
+  LogicalExprPtr tree = LogicalExpr::Scan(table(0));
+  for (int i = 1; i <= joins; ++i) {
+    JoinCondition jc;
+    jc.left = ColumnRef(table(i - 1), "k");
+    jc.right = ColumnRef(table(i), "k");
+    tree = LogicalExpr::Join(tree, LogicalExpr::Scan(table(i)),
+                             JoinPredicate({jc}));
+  }
+  // Random selections.
+  std::vector<Comparison> conjuncts;
+  for (int i = 0; i <= joins; ++i) {
+    if (!rng->NextBool(0.5)) continue;
+    Comparison cmp;
+    cmp.column = ColumnRef(table(i), "v");
+    cmp.op = rng->NextBool() ? CompareOp::kLt : CompareOp::kGe;
+    cmp.literal = Literal(static_cast<double>(rng->NextIntIn(2, 10)));
+    conjuncts.push_back(std::move(cmp));
+  }
+  if (!conjuncts.empty()) {
+    tree = LogicalExpr::Select(tree, Predicate(std::move(conjuncts)));
+  }
+  if (rng->NextBool(0.5)) {
+    AggExpr sum;
+    sum.func = AggFunc::kSum;
+    sum.arg = ColumnRef(table(0), "v");
+    std::vector<ColumnRef> groups;
+    if (rng->NextBool(0.7)) groups.emplace_back(table(0), "cat");
+    tree = LogicalExpr::Aggregate(tree, std::move(groups), {sum});
+  }
+  return tree;
+}
+
+class RandomWorkloadTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void Build() {
+    Rng rng(GetParam());
+    catalog_ = MakeRandomCatalog(&rng, 4);
+    memo_ = std::make_unique<Memo>(&catalog_);
+    std::vector<LogicalExprPtr> batch;
+    const int queries = rng.NextIntIn(2, 4);
+    for (int q = 0; q < queries; ++q) batch.push_back(MakeRandomQuery(catalog_, &rng));
+    memo_->InsertBatch(batch);
+    auto expanded = ExpandMemo(memo_.get());
+    ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+    rng_ = Rng(GetParam() ^ 0xabcdef);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Memo> memo_;
+  Rng rng_{0};
+};
+
+TEST_P(RandomWorkloadTest, P1_ExpansionIsSemanticallySound) {
+  Build();
+  DataGenOptions opts;
+  opts.max_rows_per_table = 40;
+  opts.domain_cap = 30;
+  DataSet data = GenerateData(catalog_, opts, &rng_);
+  Evaluator ev(memo_.get(), &data);
+  auto checked = ev.CheckAllClasses();
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_GT(checked.ValueOrDie(), 0);
+}
+
+TEST_P(RandomWorkloadTest, P2_BestUseCostMonotoneInMaterializedSet) {
+  Build();
+  BatchOptimizer optimizer(memo_.get(), CostModel());
+  auto shareable = ShareableNodes(*memo_);
+  std::set<EqId> mat;
+  double prev = optimizer.BestUseCost(mat);
+  EXPECT_GT(prev, 0.0);
+  for (EqId e : shareable) {
+    mat.insert(e);
+    const double cur = optimizer.BestUseCost(mat);
+    EXPECT_LE(cur, prev + 1e-6);
+    prev = cur;
+  }
+}
+
+TEST_P(RandomWorkloadTest, P3_BenefitsBracketedByExhaustive) {
+  Build();
+  BatchOptimizer optimizer(memo_.get(), CostModel());
+  MaterializationProblem problem(&optimizer);
+  if (problem.universe_size() == 0 || problem.universe_size() > 14) {
+    GTEST_SKIP() << "universe size " << problem.universe_size();
+  }
+  ElementSet empty(problem.universe_size());
+  EXPECT_NEAR(problem.benefit().Value(empty), 0.0, 1e-9);
+  MqoResult exhaustive = RunExhaustive(&problem);
+  for (const MqoResult& r : {RunGreedy(&problem), RunMarginalGreedy(&problem)}) {
+    EXPECT_GE(r.benefit, -1e-6);
+    EXPECT_LE(r.benefit, exhaustive.benefit + 1e-6);
+  }
+}
+
+TEST_P(RandomWorkloadTest, P4_AlgorithmInvariances) {
+  Build();
+  BatchOptimizer incremental(memo_.get(), CostModel());
+  BatchOptimizerOptions fresh_opts;
+  fresh_opts.incremental = false;
+  BatchOptimizer fresh(memo_.get(), CostModel(), fresh_opts);
+  MaterializationProblem p1(&incremental);
+  MaterializationProblem p2(&fresh);
+  MqoResult a = RunMarginalGreedy(&p1);
+  MqoResult b = RunMarginalGreedy(&p2);
+  EXPECT_EQ(a.materialized, b.materialized);
+  EXPECT_NEAR(a.total_cost, b.total_cost, 1e-6 * std::max(1.0, b.total_cost));
+
+  MqoResult eager = RunGreedy(&p1, /*lazy=*/false);
+  MqoResult lazy = RunGreedy(&p1, /*lazy=*/true);
+  EXPECT_EQ(eager.materialized, lazy.materialized);
+}
+
+TEST_P(RandomWorkloadTest, P5_MemoConstructionDeterministic) {
+  Build();
+  const int classes = static_cast<int>(memo_->AllClasses().size());
+  const int ops = memo_->num_live_ops();
+  // Rebuild from the same seed.
+  Rng rng(GetParam());
+  Catalog catalog = MakeRandomCatalog(&rng, 4);
+  Memo memo(&catalog);
+  std::vector<LogicalExprPtr> batch;
+  const int queries = rng.NextIntIn(2, 4);
+  for (int q = 0; q < queries; ++q) batch.push_back(MakeRandomQuery(catalog, &rng));
+  memo.InsertBatch(batch);
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  EXPECT_EQ(static_cast<int>(memo.AllClasses().size()), classes);
+  EXPECT_EQ(memo.num_live_ops(), ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+}  // namespace
+}  // namespace mqo

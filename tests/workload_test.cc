@@ -1,0 +1,185 @@
+// Tests for the TPC-D workload definitions: structure of each query, the
+// variant mechanism, batch composition, and the cross-query sharing the
+// experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/tpcd.h"
+#include "lqdag/rules.h"
+#include "workload/tpcd_queries.h"
+
+namespace mqo {
+namespace {
+
+/// Collects the set of base tables scanned by a tree.
+void CollectTables(const LogicalExprPtr& e, std::multiset<std::string>* out) {
+  if (e->op() == LogicalOp::kScan) out->insert(e->table());
+  for (const auto& c : e->children()) CollectTables(c, out);
+}
+
+std::multiset<std::string> Tables(const LogicalExprPtr& e) {
+  std::multiset<std::string> t;
+  CollectTables(e, &t);
+  return t;
+}
+
+TEST(WorkloadTest, Q3JoinsThreeRelations) {
+  auto q = MakeQ3(0);
+  EXPECT_EQ(Tables(q), (std::multiset<std::string>{"customer", "orders",
+                                                   "lineitem"}));
+  EXPECT_EQ(q->op(), LogicalOp::kAggregate);
+  EXPECT_EQ(q->group_by().size(), 3u);
+}
+
+TEST(WorkloadTest, Q5JoinsSixRelations) {
+  EXPECT_EQ(Tables(MakeQ5(0)).size(), 6u);
+}
+
+TEST(WorkloadTest, Q7UsesTwoNationAliases) {
+  auto t = Tables(MakeQ7(0));
+  EXPECT_EQ(t.count("nation"), 2u);
+}
+
+TEST(WorkloadTest, Q8JoinsEightRelations) {
+  EXPECT_EQ(Tables(MakeQ8(0)).size(), 8u);
+}
+
+TEST(WorkloadTest, VariantsDifferOnlyInConstants) {
+  for (auto maker : {MakeQ3, MakeQ5, MakeQ7, MakeQ8, MakeQ9, MakeQ10}) {
+    auto v0 = maker(0);
+    auto v1 = maker(1);
+    EXPECT_EQ(Tables(v0), Tables(v1));
+    EXPECT_NE(v0->ToString(), v1->ToString());  // constants differ
+  }
+}
+
+TEST(WorkloadTest, BatchComposition) {
+  for (int i = 1; i <= 6; ++i) {
+    auto roots = MakeBatchedWorkload(i);
+    EXPECT_EQ(roots.size(), static_cast<size_t>(2 * i));
+  }
+  EXPECT_EQ(BatchedQueryNames().size(), 6u);
+}
+
+TEST(WorkloadTest, AllQueriesInsertAndExpand) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  for (int i = 1; i <= 6; ++i) {
+    Memo memo(&catalog);
+    memo.InsertBatch(MakeBatchedWorkload(i));
+    auto st = ExpandMemo(&memo);
+    ASSERT_TRUE(st.ok()) << "BQ" << i;
+    EXPECT_GT(memo.num_live_ops(), 0);
+  }
+}
+
+TEST(WorkloadTest, VariantsShareClassesInTheMemo) {
+  // The two variants of Q3 must share at least the unselected base classes
+  // and the sigma(customer) class (the mktsegment constant is identical).
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo solo(&catalog);
+  solo.InsertBatch({MakeQ3(0)});
+  const size_t solo_classes = solo.AllClasses().size();
+
+  Memo both(&catalog);
+  both.InsertBatch({MakeQ3(0), MakeQ3(1)});
+  const size_t both_classes = both.AllClasses().size();
+  // Far fewer than 2x classes: sharing happened.
+  EXPECT_LT(both_classes, 2 * solo_classes - 3);
+}
+
+TEST(WorkloadTest, SubsumptionCreatesSharingBetweenVariants) {
+  // After expansion, the tighter orders-selection of Q3 v0 must have a
+  // derivation reading the weaker selection of v1 (or vice versa).
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch({MakeQ3(0), MakeQ3(1)});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  int select_over_select = 0;
+  for (EqId cls : memo.AllClasses()) {
+    for (OpId oid : memo.ClassOps(cls)) {
+      const MemoOp& op = memo.op(oid);
+      if (op.kind != LogicalOp::kSelect) continue;
+      for (OpId child_op : memo.ClassOps(op.children[0])) {
+        if (memo.op(child_op).kind == LogicalOp::kSelect) {
+          ++select_over_select;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(select_over_select, 2);  // both orders and lineitem selections
+}
+
+TEST(WorkloadTest, Q2HasIntraQuerySharing) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeQ2());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  EXPECT_FALSE(ShareableNodes(memo).empty());
+}
+
+TEST(WorkloadTest, Q11AggregateSubsumptionApplies) {
+  // The global sum must gain a derivation over the per-part aggregate.
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeQ11());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  bool agg_over_agg = false;
+  for (EqId cls : memo.AllClasses()) {
+    for (OpId oid : memo.ClassOps(cls)) {
+      const MemoOp& op = memo.op(oid);
+      if (op.kind == LogicalOp::kAggregate && !op.output_renames.empty()) {
+        agg_over_agg = true;
+      }
+    }
+  }
+  EXPECT_TRUE(agg_over_agg);
+}
+
+TEST(WorkloadTest, Q15RevenueViewSharedTwice) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeQ15());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  // The revenue aggregate class must have >= 2 distinct parent classes
+  // (the supplier join and the MAX aggregate).
+  bool found = false;
+  for (EqId cls : ShareableNodes(memo)) {
+    for (OpId oid : memo.ClassOps(cls)) {
+      if (memo.op(oid).kind == LogicalOp::kAggregate) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadTest, Q1AndQ6AreSingleTableAggregates) {
+  EXPECT_EQ(Tables(MakeQ1(0)), (std::multiset<std::string>{"lineitem"}));
+  EXPECT_EQ(Tables(MakeQ6(1)), (std::multiset<std::string>{"lineitem"}));
+  EXPECT_EQ(MakeQ1(0)->op(), LogicalOp::kAggregate);
+  EXPECT_EQ(MakeQ6(0)->op(), LogicalOp::kAggregate);
+  EXPECT_TRUE(MakeQ6(0)->group_by().empty());
+  EXPECT_EQ(MakeQ1(0)->group_by().size(), 2u);
+}
+
+TEST(WorkloadTest, Q6VariantsSubsumeViaShipdateWindow) {
+  // Q6 v0 covers 1994, v1 covers 1995 — no implication either way, but each
+  // variant's selection must land on the lineitem scan after normalization.
+  for (int v : {0, 1}) {
+    auto norm = NormalizeTree(MakeQ6(v));
+    ASSERT_EQ(norm->op(), LogicalOp::kAggregate);
+    EXPECT_EQ(norm->children()[0]->op(), LogicalOp::kSelect);
+    EXPECT_EQ(norm->children()[0]->children()[0]->op(), LogicalOp::kScan);
+  }
+}
+
+TEST(WorkloadTest, Q2DIsABatchOfTwo) {
+  EXPECT_EQ(MakeQ2D().size(), 2u);
+  EXPECT_EQ(MakeQ2().size(), 1u);
+  EXPECT_EQ(MakeQ11().size(), 2u);
+  EXPECT_EQ(MakeQ15().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mqo
