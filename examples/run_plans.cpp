@@ -1,15 +1,16 @@
 // Executes the optimizer's consolidated plans on generated data: the batch
-// is optimized with and without MQO, both plans are run by the physical plan
-// executor, and the results are compared row-for-row — demonstrating that
-// materializing shared subexpressions changes cost, never answers.
+// is optimized with and without MQO, both plans are run by the row and the
+// vectorized columnar executor, and all results are compared row-for-row —
+// demonstrating that materializing shared subexpressions (and switching
+// execution engines) changes cost, never answers.
 
 #include <cstdio>
 
 #include "catalog/tpcd.h"
-#include "exec/plan_executor.h"
 #include "exec/row_ops.h"
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
+#include "vexec/backend.h"
 #include "workload/tpcd_queries.h"
 
 using namespace mqo;
@@ -25,11 +26,11 @@ int main() {
   }
 
   // A small deterministic database consistent with the TPC-D schema.
-  Rng rng(2026);
   DataGenOptions gen;
   gen.max_rows_per_table = 50;
   gen.domain_cap = 25;
-  DataSet data = GenerateData(catalog, gen, &rng);
+  gen.seed = 2026;
+  DataSet data = GenerateData(catalog, gen);
 
   BatchOptimizer optimizer(&memo, CostModel());
   MaterializationProblem problem(&optimizer);
@@ -39,10 +40,10 @@ int main() {
               mqo.volcano_cost / 1000, mqo.total_cost / 1000,
               mqo.num_materialized);
 
-  auto run = [&](const std::set<EqId>& mat, const char* label) {
+  auto run = [&](const std::set<EqId>& mat, ExecBackend backend,
+                 const char* label) {
     ConsolidatedPlan plan = optimizer.Plan(mat);
-    PlanExecutor executor(&memo, &data);
-    auto results = executor.ExecuteConsolidated(plan);
+    auto results = ExecuteConsolidatedWith(backend, &memo, &data, plan);
     if (!results.ok()) {
       std::printf("%s execution failed: %s\n", label,
                   results.status().ToString().c_str());
@@ -54,20 +55,23 @@ int main() {
     return std::move(results).ValueOrDie();
   };
 
-  std::vector<NamedRows> without = run({}, "no MQO      ");
-  std::vector<NamedRows> with_mqo = run(mqo.materialized, "with sharing");
-  if (without.empty() || with_mqo.empty()) return 1;
-
-  bool identical = without.size() == with_mqo.size();
-  for (size_t q = 0; identical && q < without.size(); ++q) {
-    identical = without[q].rows.size() == with_mqo[q].rows.size();
-    for (size_t r = 0; identical && r < without[q].rows.size(); ++r) {
-      for (size_t c = 0; identical && c < without[q].columns.size(); ++c) {
-        identical = ValueEq(without[q].rows[r][c], with_mqo[q].rows[r][c]);
-      }
-    }
+  std::vector<std::vector<NamedRows>> outputs;
+  outputs.push_back(run({}, ExecBackend::kRow, "row,    no MQO      "));
+  outputs.push_back(run(mqo.materialized, ExecBackend::kRow,
+                        "row,    with sharing"));
+  outputs.push_back(run({}, ExecBackend::kVector, "vector, no MQO      "));
+  outputs.push_back(run(mqo.materialized, ExecBackend::kVector,
+                        "vector, with sharing"));
+  for (const auto& out : outputs) {
+    if (out.empty()) return 1;
   }
-  std::printf("\nresults identical with and without materialization: %s\n",
+
+  bool identical = true;
+  for (size_t v = 1; identical && v < outputs.size(); ++v) {
+    identical = SameResultSets(outputs[0], outputs[v]);
+  }
+  std::printf("\nresults identical across materialization choices and "
+              "backends: %s\n",
               identical ? "yes" : "NO (bug!)");
   return identical ? 0 : 1;
 }

@@ -4,6 +4,15 @@
 
 namespace mqo {
 
+std::string FormatRowsPerSec(double rows, double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0) return "inf rows/s";
+  const double rate = rows / elapsed_seconds;
+  if (rate >= 1e9) return FormatDouble(rate / 1e9, 2) + "G rows/s";
+  if (rate >= 1e6) return FormatDouble(rate / 1e6, 2) + "M rows/s";
+  if (rate >= 1e3) return FormatDouble(rate / 1e3, 2) + "K rows/s";
+  return FormatDouble(rate, 0) + " rows/s";
+}
+
 void TablePrinter::Print(std::ostream& os) const {
   std::vector<size_t> widths(headers_.size());
   for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();

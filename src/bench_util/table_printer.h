@@ -10,6 +10,10 @@
 
 namespace mqo {
 
+/// Formats a throughput cell for benchmark tables: `rows` processed in
+/// `elapsed_seconds`, scaled to "950 rows/s", "3.2K rows/s", "1.8M rows/s".
+std::string FormatRowsPerSec(double rows, double elapsed_seconds);
+
 /// Collects rows and renders them as an aligned ASCII table (and CSV).
 class TablePrinter {
  public:

@@ -64,6 +64,11 @@ DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
   return out;
 }
 
+DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options) {
+  Rng rng(options.seed);
+  return GenerateData(catalog, options, &rng);
+}
+
 bool ValueLess(const Value& a, const Value& b) {
   if (a.is_number() != b.is_number()) return a.is_number();
   if (a.is_number()) return a.number() < b.number();

@@ -56,11 +56,18 @@ struct DataGenOptions {
   /// key/foreign-key columns of different (small) tables actually overlap
   /// and joins are non-empty.
   int domain_cap = 200;
+  /// RNG seed for the seedless GenerateData overload: the same (catalog,
+  /// options) always yields the same database, so differential and benchmark
+  /// runs are reproducible across execution backends.
+  uint64_t seed = 0x5eedull;
 };
 
 /// Generates deterministic data for every table in `catalog`.
 DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
                      Rng* rng);
+
+/// Same, seeding the generator from `options.seed`.
+DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options);
 
 /// Total order on Values (numbers before strings) used for canonical row
 /// sorting.

@@ -11,6 +11,23 @@ bool ValueEq(const Value& a, const Value& b) {
   return a.str() == b.str();
 }
 
+bool SameResultSets(const std::vector<NamedRows>& a,
+                    const std::vector<NamedRows>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].rows.size() != b[q].rows.size() ||
+        a[q].columns.size() != b[q].columns.size()) {
+      return false;
+    }
+    for (size_t r = 0; r < a[q].rows.size(); ++r) {
+      for (size_t c = 0; c < a[q].columns.size(); ++c) {
+        if (!ValueEq(a[q].rows[r][c], b[q].rows[r][c])) return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool CompareValues(const Value& v, CompareOp op, const Literal& lit) {
   if (v.is_number() != lit.is_number()) return false;
   switch (op) {

@@ -13,6 +13,12 @@ namespace mqo {
 /// Exact value equality (numbers by value, strings by content).
 bool ValueEq(const Value& a, const Value& b);
 
+/// True iff two per-query result sets are identical: same query count and,
+/// per query, same shape with cell-wise ValueEq. Used by the differential
+/// harnesses comparing execution backends.
+bool SameResultSets(const std::vector<NamedRows>& a,
+                    const std::vector<NamedRows>& b);
+
 /// Evaluates `value <op> literal`.
 bool CompareValues(const Value& v, CompareOp op, const Literal& lit);
 

@@ -23,51 +23,98 @@ void MqoOutcome::Print(std::ostream& os) const {
   }
 }
 
-Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
-                                 const std::vector<LogicalExprPtr>& queries,
-                                 const MqoOptions& options) {
-  if (queries.empty()) {
-    return Status::InvalidArgument("empty query batch");
-  }
-  Memo memo(&catalog);
-  memo.InsertBatch(queries);
-  auto expanded = ExpandMemo(&memo, options.expansion);
-  MQO_RETURN_NOT_OK(expanded.status());
+namespace {
 
-  BatchOptimizer optimizer(&memo, CostModel(options.cost_params));
-  MaterializationProblem problem(&optimizer);
-
-  MqoOutcome outcome;
-  outcome.dag_classes = expanded.ValueOrDie().classes_after;
-  outcome.dag_ops = expanded.ValueOrDie().ops_after;
-  outcome.shareable_nodes = problem.universe_size();
-  switch (options.algorithm) {
-    case MqoOptions::Algorithm::kMarginalGreedy:
-      outcome.result = RunMarginalGreedy(&problem, options.marginal_options);
-      break;
-    case MqoOptions::Algorithm::kGreedy:
-      outcome.result = RunGreedy(&problem);
-      break;
-    case MqoOptions::Algorithm::kVolcano:
-      outcome.result = RunVolcano(&problem);
-      break;
-  }
-  ConsolidatedPlan plan = optimizer.Plan(outcome.result.materialized);
-  outcome.consolidated_plan = PlanToString(plan.root_plan);
-  for (const auto& m : plan.materialized) {
-    outcome.materialized_plans.push_back(PlanToString(m.compute_plan));
-  }
-  return outcome;
-}
-
-Result<MqoOutcome> OptimizeSqlBatch(const Catalog& catalog,
-                                    const std::vector<std::string>& sql_batch,
-                                    const MqoOptions& options) {
+/// Parses every SQL string of the batch, failing on the first error.
+Result<std::vector<LogicalExprPtr>> ParseBatch(
+    const Catalog& catalog, const std::vector<std::string>& sql_batch) {
   std::vector<LogicalExprPtr> queries;
   for (const auto& sql : sql_batch) {
     MQO_ASSIGN_OR_RETURN(LogicalExprPtr tree, ParseQuery(sql, catalog));
     queries.push_back(std::move(tree));
   }
+  return queries;
+}
+
+/// Shared orchestration: inserts the batch into `memo`, expands, runs the
+/// selected algorithm, and renders the chosen consolidated plan. The memo is
+/// caller-owned so execution paths can keep it alive alongside the plan.
+Result<ConsolidatedPlan> OptimizeIntoMemo(
+    Memo* memo, const std::vector<LogicalExprPtr>& queries,
+    const MqoOptions& options, MqoOutcome* outcome) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  memo->InsertBatch(queries);
+  auto expanded = ExpandMemo(memo, options.expansion);
+  MQO_RETURN_NOT_OK(expanded.status());
+
+  BatchOptimizer optimizer(memo, CostModel(options.cost_params));
+  MaterializationProblem problem(&optimizer);
+
+  outcome->dag_classes = expanded.ValueOrDie().classes_after;
+  outcome->dag_ops = expanded.ValueOrDie().ops_after;
+  outcome->shareable_nodes = problem.universe_size();
+  switch (options.algorithm) {
+    case MqoOptions::Algorithm::kMarginalGreedy:
+      outcome->result = RunMarginalGreedy(&problem, options.marginal_options);
+      break;
+    case MqoOptions::Algorithm::kGreedy:
+      outcome->result = RunGreedy(&problem);
+      break;
+    case MqoOptions::Algorithm::kVolcano:
+      outcome->result = RunVolcano(&problem);
+      break;
+  }
+  ConsolidatedPlan plan = optimizer.Plan(outcome->result.materialized);
+  outcome->consolidated_plan = PlanToString(plan.root_plan);
+  for (const auto& m : plan.materialized) {
+    outcome->materialized_plans.push_back(PlanToString(m.compute_plan));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
+                                 const std::vector<LogicalExprPtr>& queries,
+                                 const MqoOptions& options) {
+  Memo memo(&catalog);
+  MqoOutcome outcome;
+  MQO_ASSIGN_OR_RETURN(ConsolidatedPlan plan,
+                       OptimizeIntoMemo(&memo, queries, options, &outcome));
+  (void)plan;
+  return outcome;
+}
+
+Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
+    const Catalog& catalog, const std::vector<LogicalExprPtr>& queries,
+    const DataSet& data, const MqoOptions& options) {
+  Memo memo(&catalog);
+  MqoExecutionOutcome outcome;
+  outcome.backend = options.backend;
+  MQO_ASSIGN_OR_RETURN(
+      ConsolidatedPlan plan,
+      OptimizeIntoMemo(&memo, queries, options, &outcome.optimization));
+  MQO_ASSIGN_OR_RETURN(
+      outcome.results,
+      ExecuteConsolidatedWith(options.backend, &memo, &data, plan));
+  return outcome;
+}
+
+Result<MqoExecutionOutcome> OptimizeAndExecuteSqlBatch(
+    const Catalog& catalog, const std::vector<std::string>& sql_batch,
+    const DataSet& data, const MqoOptions& options) {
+  MQO_ASSIGN_OR_RETURN(std::vector<LogicalExprPtr> queries,
+                       ParseBatch(catalog, sql_batch));
+  return OptimizeAndExecuteBatch(catalog, queries, data, options);
+}
+
+Result<MqoOutcome> OptimizeSqlBatch(const Catalog& catalog,
+                                    const std::vector<std::string>& sql_batch,
+                                    const MqoOptions& options) {
+  MQO_ASSIGN_OR_RETURN(std::vector<LogicalExprPtr> queries,
+                       ParseBatch(catalog, sql_batch));
   return OptimizeBatch(catalog, queries, options);
 }
 

@@ -18,6 +18,7 @@
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
 #include "parser/parser.h"
+#include "vexec/backend.h"
 
 namespace mqo {
 
@@ -29,6 +30,8 @@ struct MqoOptions {
       Algorithm::kMarginalGreedy;
   MarginalGreedyMqoOptions marginal_options;
   ExpansionOptions expansion;
+  /// Which engine OptimizeAndExecute* runs the consolidated plan on.
+  ExecBackend backend = ExecBackend::kRow;
 };
 
 /// Result of a facade optimization.
@@ -55,6 +58,24 @@ Result<MqoOutcome> OptimizeSqlBatch(const Catalog& catalog,
 Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
                                  const std::vector<LogicalExprPtr>& queries,
                                  const MqoOptions& options = {});
+
+/// Result of a facade optimize-and-execute run.
+struct MqoExecutionOutcome {
+  MqoOutcome optimization;
+  ExecBackend backend = ExecBackend::kRow;  ///< Engine that produced results.
+  std::vector<NamedRows> results;  ///< One per query, canonicalized.
+};
+
+/// Optimizes the batch and executes the consolidated plan against `data`
+/// with the engine selected by `options.backend`.
+Result<MqoExecutionOutcome> OptimizeAndExecuteSqlBatch(
+    const Catalog& catalog, const std::vector<std::string>& sql_batch,
+    const DataSet& data, const MqoOptions& options = {});
+
+/// Same, starting from already-built logical trees.
+Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
+    const Catalog& catalog, const std::vector<LogicalExprPtr>& queries,
+    const DataSet& data, const MqoOptions& options = {});
 
 }  // namespace mqo
 

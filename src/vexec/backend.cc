@@ -1,0 +1,37 @@
+#include "vexec/backend.h"
+
+namespace mqo {
+
+const char* ExecBackendToString(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kRow:
+      return "row";
+    case ExecBackend::kVector:
+      return "vector";
+  }
+  return "?";
+}
+
+Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
+    ExecBackend backend, Memo* memo, const DataSet* data,
+    const ConsolidatedPlan& plan) {
+  if (backend == ExecBackend::kVector) {
+    VectorPlanExecutor executor(memo, data);
+    return executor.ExecuteConsolidated(plan);
+  }
+  PlanExecutor executor(memo, data);
+  return executor.ExecuteConsolidated(plan);
+}
+
+Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,
+                                  const DataSet* data,
+                                  const PlanNodePtr& plan) {
+  if (backend == ExecBackend::kVector) {
+    VectorPlanExecutor executor(memo, data);
+    return executor.Execute(plan);
+  }
+  PlanExecutor executor(memo, data);
+  return executor.Execute(plan);
+}
+
+}  // namespace mqo

@@ -1,0 +1,36 @@
+// Execution backend selection: the row-at-a-time interpreter
+// (exec/plan_executor.h) or the vectorized columnar engine
+// (vexec/vector_executor.h), behind one dispatch surface so callers — the
+// facade, examples, benches, and the differential tests — switch engines
+// with an enum.
+
+#ifndef MQO_VEXEC_BACKEND_H_
+#define MQO_VEXEC_BACKEND_H_
+
+#include "exec/plan_executor.h"
+#include "vexec/vector_executor.h"
+
+namespace mqo {
+
+/// Which execution engine runs physical plans.
+enum class ExecBackend {
+  kRow,     ///< Row-at-a-time interpreter (reference semantics).
+  kVector,  ///< Batch-at-a-time columnar engine with hash-join fast path.
+};
+
+const char* ExecBackendToString(ExecBackend backend);
+
+/// Executes a full consolidated plan (materialized nodes + batch root) with
+/// the selected backend; one result per batched query.
+Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
+    ExecBackend backend, Memo* memo, const DataSet* data,
+    const ConsolidatedPlan& plan);
+
+/// Executes one standalone plan tree (no materialized reads) with the
+/// selected backend.
+Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,
+                                  const DataSet* data, const PlanNodePtr& plan);
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_BACKEND_H_

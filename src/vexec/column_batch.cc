@@ -1,0 +1,211 @@
+#include "vexec/column_batch.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+const char* VecTypeToString(VecType t) {
+  switch (t) {
+    case VecType::kInt64:
+      return "int64";
+    case VecType::kDouble:
+      return "double";
+    case VecType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+size_t ColumnVector::size() const {
+  switch (type_) {
+    case VecType::kInt64:
+      return ints_.size();
+    case VecType::kDouble:
+      return doubles_.size();
+    case VecType::kString:
+      return strs_.size();
+  }
+  return 0;
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (type_ == VecType::kString) return Value(strs_[i]);
+  return Value(Number(i));
+}
+
+ColumnVector ColumnVector::Gather(const SelVector& sel) const {
+  ColumnVector out(type_);
+  switch (type_) {
+    case VecType::kInt64:
+      out.ints_.reserve(sel.size());
+      for (uint32_t i : sel) out.ints_.push_back(ints_[i]);
+      break;
+    case VecType::kDouble:
+      out.doubles_.reserve(sel.size());
+      for (uint32_t i : sel) out.doubles_.push_back(doubles_[i]);
+      break;
+    case VecType::kString:
+      out.strs_.reserve(sel.size());
+      for (uint32_t i : sel) out.strs_.push_back(strs_[i]);
+      break;
+  }
+  return out;
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
+  switch (type_) {
+    case VecType::kInt64:
+      ints_.push_back(other.ints_[i]);
+      break;
+    case VecType::kDouble:
+      doubles_.push_back(other.doubles_[i]);
+      break;
+    case VecType::kString:
+      strs_.push_back(other.strs_[i]);
+      break;
+  }
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case VecType::kInt64:
+      ints_.reserve(n);
+      break;
+    case VecType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case VecType::kString:
+      strs_.reserve(n);
+      break;
+  }
+}
+
+uint64_t ColumnVector::HashCell(size_t i) const {
+  // Numbers hash by their double value so int64 and double columns with equal
+  // cells land in the same hash-join bucket; -0.0 is canonicalized to 0.0
+  // because CellsEqual compares with == but HashDouble hashes bit patterns.
+  if (type_ == VecType::kString) return HashString(strs_[i]);
+  const double d = Number(i);
+  return HashDouble(d == 0.0 ? 0.0 : d);
+}
+
+bool ColumnVector::CellsEqual(const ColumnVector& a, size_t i,
+                              const ColumnVector& b, size_t j) {
+  const bool a_num = a.is_numeric();
+  if (a_num != b.is_numeric()) return false;
+  if (a_num) return a.Number(i) == b.Number(j);
+  return a.strs_[i] == b.strs_[j];
+}
+
+bool ColumnVector::CellLess(const ColumnVector& a, size_t i,
+                            const ColumnVector& b, size_t j) {
+  const bool a_num = a.is_numeric();
+  if (a_num != b.is_numeric()) return a_num;  // numbers before strings
+  if (a_num) return a.Number(i) < b.Number(j);
+  return a.strs_[i] < b.strs_[j];
+}
+
+Status ColumnBuilder::Append(const Value& v) {
+  if (v.is_number()) {
+    if (seen_string_) {
+      return Status::Unimplemented("mixed string/number column");
+    }
+    seen_number_ = true;
+    const double d = v.number();
+    if (all_integral_ &&
+        !(std::floor(d) == d && std::abs(d) < 9.0e18)) {
+      all_integral_ = false;
+    }
+    nums_.push_back(d);
+    return Status::OK();
+  }
+  if (seen_number_) {
+    return Status::Unimplemented("mixed string/number column");
+  }
+  seen_string_ = true;
+  strs_.push_back(v.str());
+  return Status::OK();
+}
+
+Result<ColumnVector> ColumnBuilder::Finish() && {
+  if (seen_string_) {
+    ColumnVector out(VecType::kString);
+    out.strings() = std::move(strs_);
+    return out;
+  }
+  if (all_integral_) {
+    ColumnVector out(VecType::kInt64);
+    out.ints().reserve(nums_.size());
+    for (double d : nums_) out.ints().push_back(static_cast<int64_t>(d));
+    return out;
+  }
+  ColumnVector out(VecType::kDouble);
+  out.doubles() = std::move(nums_);
+  return out;
+}
+
+int ColumnBatch::ColumnIndex(const ColumnRef& col) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColumnBatch ColumnBatch::Gather(const SelVector& sel) const {
+  ColumnBatch out;
+  out.names = names;
+  out.columns.reserve(columns.size());
+  for (const auto& col : columns) out.columns.push_back(col.Gather(sel));
+  out.num_rows = sel.size();
+  return out;
+}
+
+Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
+                                 const std::vector<ColumnRef>& cols) {
+  ColumnBatch out;
+  out.names = cols;
+  out.columns.reserve(cols.size());
+  for (const auto& col : cols) {
+    const int idx = in.ColumnIndex(col);
+    if (idx < 0) {
+      return Status::Internal("project: column " + col.ToString() +
+                              " missing from batch");
+    }
+    out.columns.push_back(in.columns[idx]);
+  }
+  out.num_rows = in.num_rows;
+  return out;
+}
+
+Result<ColumnBatch> BatchFromRows(const NamedRows& rows) {
+  ColumnBatch out;
+  out.names = rows.columns;
+  out.num_rows = rows.rows.size();
+  out.columns.reserve(rows.columns.size());
+  for (size_t c = 0; c < rows.columns.size(); ++c) {
+    ColumnBuilder builder;
+    for (const auto& row : rows.rows) {
+      MQO_RETURN_NOT_OK(builder.Append(row[c]));
+    }
+    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+    out.columns.push_back(std::move(col));
+  }
+  return out;
+}
+
+NamedRows BatchToRows(const ColumnBatch& batch) {
+  NamedRows out;
+  out.columns = batch.names;
+  out.rows.reserve(batch.num_rows);
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(batch.columns.size());
+    for (const auto& col : batch.columns) row.push_back(col.GetValue(r));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mqo

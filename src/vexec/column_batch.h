@@ -1,0 +1,132 @@
+// Columnar batch format for the vectorized execution engine.
+//
+// A ColumnBatch holds one typed vector per output column instead of one
+// Value-variant per cell: int64 columns (the generated key/date domains),
+// double columns (aggregate outputs and fractional data), and string columns.
+// Operators work batch-at-a-time over these vectors, communicating row
+// subsets through selection vectors and materializing them with gathers —
+// the DataFusion/DuckDB execution style, here as an independent second
+// implementation of the row engine's bag semantics.
+//
+// Numeric cells compare and hash by value regardless of physical type (an
+// int64 column joins against a double column exactly as the row engine's
+// ValueEq does); strings and numbers never compare equal, and numbers order
+// before strings, matching ValueLess.
+
+#ifndef MQO_VEXEC_COLUMN_BATCH_H_
+#define MQO_VEXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/dataset.h"
+
+namespace mqo {
+
+/// Physical type of one column vector.
+enum class VecType { kInt64, kDouble, kString };
+
+const char* VecTypeToString(VecType t);
+
+/// Selection vector: row positions into a batch, in increasing order.
+using SelVector = std::vector<uint32_t>;
+
+/// One typed column of a batch. Exactly the payload vector matching `type()`
+/// is populated.
+class ColumnVector {
+ public:
+  explicit ColumnVector(VecType type = VecType::kInt64) : type_(type) {}
+
+  VecType type() const { return type_; }
+  bool is_numeric() const { return type_ != VecType::kString; }
+
+  size_t size() const;
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strs_; }
+  std::vector<int64_t>& ints() { return ints_; }
+  std::vector<double>& doubles() { return doubles_; }
+  std::vector<std::string>& strings() { return strs_; }
+
+  /// Numeric cell widened to double. Precondition: is_numeric().
+  double Number(size_t i) const {
+    return type_ == VecType::kInt64 ? static_cast<double>(ints_[i])
+                                    : doubles_[i];
+  }
+
+  /// Cell as the row engine's Value.
+  Value GetValue(size_t i) const;
+
+  /// New vector holding the cells at `sel`, same type.
+  ColumnVector Gather(const SelVector& sel) const;
+
+  /// Appends cell `i` of `other`. Precondition: same type().
+  void AppendFrom(const ColumnVector& other, size_t i);
+
+  void Reserve(size_t n);
+
+  /// Value-semantics cell hash: equal numbers hash equally across int64 and
+  /// double columns.
+  uint64_t HashCell(size_t i) const;
+
+  /// ValueEq semantics (numbers by value, strings by content, mixed false).
+  static bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                         size_t j);
+
+  /// ValueLess semantics (numbers order before strings).
+  static bool CellLess(const ColumnVector& a, size_t i, const ColumnVector& b,
+                       size_t j);
+
+ private:
+  VecType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strs_;
+};
+
+/// Accumulates row-engine Values into a typed column: all-integral numeric
+/// input becomes an int64 vector, other numeric input a double vector, string
+/// input a string vector. Mixing numbers and strings in one column is
+/// rejected (generated data and operator outputs are type-consistent).
+class ColumnBuilder {
+ public:
+  Status Append(const Value& v);
+  /// Finalizes the column. An empty builder yields an empty int64 column.
+  Result<ColumnVector> Finish() &&;
+
+ private:
+  bool seen_number_ = false;
+  bool seen_string_ = false;
+  bool all_integral_ = true;
+  std::vector<double> nums_;
+  std::vector<std::string> strs_;
+};
+
+/// A batch: parallel typed columns with qualified names, all of `num_rows`.
+struct ColumnBatch {
+  std::vector<ColumnRef> names;
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+
+  /// Index of `col` in `names`, or -1.
+  int ColumnIndex(const ColumnRef& col) const;
+
+  /// New batch holding the rows at `sel` (gather on every column).
+  ColumnBatch Gather(const SelVector& sel) const;
+};
+
+/// Projects onto `cols` (a subset of in.names) without copying row order.
+Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
+                                 const std::vector<ColumnRef>& cols);
+
+/// Converts a row table to columnar form (typed per column).
+Result<ColumnBatch> BatchFromRows(const NamedRows& rows);
+
+/// Converts back to the row engine's format.
+NamedRows BatchToRows(const ColumnBatch& batch);
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_COLUMN_BATCH_H_

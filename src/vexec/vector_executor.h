@@ -1,0 +1,66 @@
+// Vectorized physical plan executor: the columnar counterpart of
+// exec/plan_executor.h.
+//
+// Executes the optimizer's plan trees — including consolidated MQO plans —
+// batch-at-a-time over ColumnBatch, with the same materialization protocol as
+// the row engine: chosen nodes are executed once (dependency order) into a
+// columnar store that ReadMaterialized leaves and join side-inputs consult.
+// Results are canonicalized to class attributes at the API boundary so the
+// two engines are directly comparable; the differential suite asserts they
+// agree on every workload and materialization choice, which makes this
+// engine an independent second witness of the MQO sharing semantics.
+
+#ifndef MQO_VEXEC_VECTOR_EXECUTOR_H_
+#define MQO_VEXEC_VECTOR_EXECUTOR_H_
+
+#include <map>
+
+#include "optimizer/batch_optimizer.h"
+#include "vexec/vector_ops.h"
+
+namespace mqo {
+
+/// Executes physical plans against a dataset, batch-at-a-time.
+class VectorPlanExecutor {
+ public:
+  VectorPlanExecutor(Memo* memo, const DataSet* data)
+      : memo_(memo), data_(data) {}
+
+  /// Executes one plan tree; the result is canonicalized to the plan's class
+  /// attributes (same contract as PlanExecutor::Execute).
+  Result<NamedRows> Execute(const PlanNodePtr& plan);
+
+  /// Executes `compute_plan` and stores the columnar result for class `eq`.
+  Status MaterializeNode(EqId eq, const PlanNodePtr& compute_plan);
+
+  /// Materializes every chosen node in dependency order, then executes the
+  /// batch root's children; one result per batched query.
+  Result<std::vector<NamedRows>> ExecuteConsolidated(
+      const ConsolidatedPlan& plan);
+
+ private:
+  /// Plan execution to a batch projected onto the node's class attributes.
+  Result<ColumnBatch> ExecuteBatch(const PlanNodePtr& plan);
+  Result<ColumnBatch> ExecuteBatchRaw(const PlanNodePtr& plan);
+  /// Logical evaluation of a class (first live operator), for index-scan
+  /// inputs and join side-inputs that are not plan children.
+  Result<ColumnBatch> EvaluateClassBatch(EqId eq);
+  Result<ColumnBatch> EvaluateOpBatch(const MemoOp& op);
+  /// Join inner side not in the plan tree: materialized store first, then
+  /// logical evaluation (mirrors PlanExecutor::SideInput).
+  Result<ColumnBatch> SideInputBatch(EqId eq);
+  /// Base-table scan through the per-(table, alias) conversion cache.
+  Result<ColumnBatch> Scan(const std::string& table, const std::string& alias);
+  /// Projects `batch` onto the attributes of class `eq`.
+  Result<ColumnBatch> ToClassAttrs(EqId eq, ColumnBatch batch);
+
+  Memo* memo_;
+  const DataSet* data_;
+  std::map<EqId, ColumnBatch> store_;
+  /// Columnar conversions of base tables are shared across scans.
+  std::map<std::pair<std::string, std::string>, ColumnBatch> scan_cache_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_VECTOR_EXECUTOR_H_

@@ -1,0 +1,480 @@
+#include "vexec/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+namespace {
+
+/// Appends to `out` the candidate rows of `col` passing `cmp`. `in_sel ==
+/// nullptr` means all `n` rows are candidates. Typed loops are hoisted per
+/// (column type, literal type, op); a numeric/string type mismatch passes no
+/// rows, exactly like CompareValues.
+void CompareColumn(const ColumnVector& col, const Comparison& cmp,
+                   const SelVector* in_sel, size_t n, SelVector* out) {
+  auto scan = [&](auto&& pass) {
+    if (in_sel != nullptr) {
+      for (uint32_t i : *in_sel) {
+        if (pass(i)) out->push_back(i);
+      }
+    } else {
+      for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) {
+        if (pass(i)) out->push_back(i);
+      }
+    }
+  };
+  if (col.is_numeric() != cmp.literal.is_number()) return;  // nothing passes
+  if (!col.is_numeric()) {
+    const std::string& lit = cmp.literal.str();
+    const auto& strs = col.strings();
+    switch (cmp.op) {
+      case CompareOp::kEq:
+        scan([&](uint32_t i) { return strs[i] == lit; });
+        return;
+      case CompareOp::kLt:
+        scan([&](uint32_t i) { return strs[i] < lit; });
+        return;
+      case CompareOp::kLe:
+        scan([&](uint32_t i) { return strs[i] <= lit; });
+        return;
+      case CompareOp::kGt:
+        scan([&](uint32_t i) { return strs[i] > lit; });
+        return;
+      case CompareOp::kGe:
+        scan([&](uint32_t i) { return strs[i] >= lit; });
+        return;
+    }
+    return;
+  }
+  const double lit = cmp.literal.number();
+  if (col.type() == VecType::kInt64 && std::floor(lit) == lit &&
+      std::abs(lit) < 9.0e18) {
+    // Integer fast path: int64 column against an integral literal.
+    const int64_t ilit = static_cast<int64_t>(lit);
+    const auto& ints = col.ints();
+    switch (cmp.op) {
+      case CompareOp::kEq:
+        scan([&](uint32_t i) { return ints[i] == ilit; });
+        return;
+      case CompareOp::kLt:
+        scan([&](uint32_t i) { return ints[i] < ilit; });
+        return;
+      case CompareOp::kLe:
+        scan([&](uint32_t i) { return ints[i] <= ilit; });
+        return;
+      case CompareOp::kGt:
+        scan([&](uint32_t i) { return ints[i] > ilit; });
+        return;
+      case CompareOp::kGe:
+        scan([&](uint32_t i) { return ints[i] >= ilit; });
+        return;
+    }
+    return;
+  }
+  switch (cmp.op) {
+    case CompareOp::kEq:
+      scan([&](uint32_t i) { return col.Number(i) == lit; });
+      return;
+    case CompareOp::kLt:
+      scan([&](uint32_t i) { return col.Number(i) < lit; });
+      return;
+    case CompareOp::kLe:
+      scan([&](uint32_t i) { return col.Number(i) <= lit; });
+      return;
+    case CompareOp::kGt:
+      scan([&](uint32_t i) { return col.Number(i) > lit; });
+      return;
+    case CompareOp::kGe:
+      scan([&](uint32_t i) { return col.Number(i) >= lit; });
+      return;
+  }
+}
+
+struct CondIdx {
+  int left;
+  int right;
+};
+
+/// Shared join prologue: the duplicate-output-schema rejection and join
+/// condition resolution of JoinRows, against batch schemas.
+Status ResolveJoin(const ColumnBatch& left, const ColumnBatch& right,
+                   const JoinPredicate& predicate, std::vector<CondIdx>* conds,
+                   std::vector<ColumnRef>* out_names) {
+  out_names->clear();
+  out_names->insert(out_names->end(), left.names.begin(), left.names.end());
+  out_names->insert(out_names->end(), right.names.begin(), right.names.end());
+  std::vector<ColumnRef> sorted = *out_names;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::Unimplemented("join with overlapping aliases");
+  }
+  conds->clear();
+  for (const auto& cond : predicate.conditions()) {
+    int li = left.ColumnIndex(cond.left);
+    int ri = right.ColumnIndex(cond.right);
+    if (li < 0 || ri < 0) {
+      li = left.ColumnIndex(cond.right);
+      ri = right.ColumnIndex(cond.left);
+    }
+    if (li < 0 || ri < 0) {
+      return Status::Internal("join condition unresolvable: " + cond.ToString());
+    }
+    conds->push_back({li, ri});
+  }
+  return Status::OK();
+}
+
+/// Assembles the joined batch from matching (left row, right row) pairs.
+ColumnBatch GatherJoin(const ColumnBatch& left, const ColumnBatch& right,
+                       std::vector<ColumnRef> out_names,
+                       const SelVector& left_idx, const SelVector& right_idx) {
+  ColumnBatch out;
+  out.names = std::move(out_names);
+  out.columns.reserve(left.columns.size() + right.columns.size());
+  for (const auto& col : left.columns) out.columns.push_back(col.Gather(left_idx));
+  for (const auto& col : right.columns) {
+    out.columns.push_back(col.Gather(right_idx));
+  }
+  out.num_rows = left_idx.size();
+  return out;
+}
+
+/// Lexicographic key comparison across the join's condition columns.
+bool KeyLess(const ColumnBatch& a, uint32_t i, const ColumnBatch& b, uint32_t j,
+             const std::vector<int>& a_cols, const std::vector<int>& b_cols) {
+  for (size_t c = 0; c < a_cols.size(); ++c) {
+    const ColumnVector& ca = a.columns[a_cols[c]];
+    const ColumnVector& cb = b.columns[b_cols[c]];
+    if (ColumnVector::CellLess(ca, i, cb, j)) return true;
+    if (ColumnVector::CellLess(cb, j, ca, i)) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
+                              const std::string& alias) {
+  MQO_ASSIGN_OR_RETURN(const NamedRows* base, data.GetTable(table));
+  MQO_ASSIGN_OR_RETURN(ColumnBatch out, BatchFromRows(*base));
+  for (auto& name : out.names) name.qualifier = alias;
+  return out;
+}
+
+Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
+                                const Predicate& predicate) {
+  std::vector<int> idx;
+  for (const auto& cmp : predicate.conjuncts()) {
+    const int i = in.ColumnIndex(cmp.column);
+    if (i < 0) {
+      return Status::Internal("predicate column missing: " +
+                              cmp.column.ToString());
+    }
+    idx.push_back(i);
+  }
+  if (predicate.Empty()) return in;
+  SelVector sel;
+  SelVector next;
+  const auto& conjuncts = predicate.conjuncts();
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    next.clear();
+    CompareColumn(in.columns[idx[c]], conjuncts[c], c == 0 ? nullptr : &sel,
+                  in.num_rows, &next);
+    std::swap(sel, next);
+    if (sel.empty()) break;
+  }
+  return in.Gather(sel);
+}
+
+Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
+                                  const ColumnBatch& right,
+                                  const JoinPredicate& predicate) {
+  std::vector<CondIdx> conds;
+  std::vector<ColumnRef> out_names;
+  MQO_RETURN_NOT_OK(ResolveJoin(left, right, predicate, &conds, &out_names));
+  SelVector left_idx;
+  SelVector right_idx;
+  if (conds.empty()) {
+    // Cross product: every pair matches (the row engine's loop with no
+    // conditions).
+    left_idx.reserve(left.num_rows * right.num_rows);
+    right_idx.reserve(left.num_rows * right.num_rows);
+    for (uint32_t l = 0; l < left.num_rows; ++l) {
+      for (uint32_t r = 0; r < right.num_rows; ++r) {
+        left_idx.push_back(l);
+        right_idx.push_back(r);
+      }
+    }
+    return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+  }
+  // Build on the right side: key hash -> right row positions.
+  std::unordered_map<uint64_t, SelVector> table;
+  table.reserve(right.num_rows * 2);
+  for (uint32_t r = 0; r < right.num_rows; ++r) {
+    uint64_t h = 0x9ae16a3b2f90404full;
+    for (const auto& c : conds) {
+      h = HashCombine(h, right.columns[c.right].HashCell(r));
+    }
+    table[h].push_back(r);
+  }
+  // Probe with the left side, re-verifying cell equality per candidate.
+  for (uint32_t l = 0; l < left.num_rows; ++l) {
+    uint64_t h = 0x9ae16a3b2f90404full;
+    for (const auto& c : conds) {
+      h = HashCombine(h, left.columns[c.left].HashCell(l));
+    }
+    auto it = table.find(h);
+    if (it == table.end()) continue;
+    for (uint32_t r : it->second) {
+      bool match = true;
+      for (const auto& c : conds) {
+        if (!ColumnVector::CellsEqual(left.columns[c.left], l,
+                                      right.columns[c.right], r)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        left_idx.push_back(l);
+        right_idx.push_back(r);
+      }
+    }
+  }
+  return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+}
+
+Result<ColumnBatch> MergeJoinBatch(const ColumnBatch& left,
+                                   const ColumnBatch& right,
+                                   const JoinPredicate& predicate) {
+  std::vector<CondIdx> conds;
+  std::vector<ColumnRef> out_names;
+  MQO_RETURN_NOT_OK(ResolveJoin(left, right, predicate, &conds, &out_names));
+  if (conds.empty()) return HashJoinBatch(left, right, predicate);
+  std::vector<int> lcols;
+  std::vector<int> rcols;
+  for (const auto& c : conds) {
+    lcols.push_back(c.left);
+    rcols.push_back(c.right);
+  }
+  SelVector lorder(left.num_rows);
+  SelVector rorder(right.num_rows);
+  for (uint32_t i = 0; i < left.num_rows; ++i) lorder[i] = i;
+  for (uint32_t i = 0; i < right.num_rows; ++i) rorder[i] = i;
+  std::stable_sort(lorder.begin(), lorder.end(), [&](uint32_t a, uint32_t b) {
+    return KeyLess(left, a, left, b, lcols, lcols);
+  });
+  std::stable_sort(rorder.begin(), rorder.end(), [&](uint32_t a, uint32_t b) {
+    return KeyLess(right, a, right, b, rcols, rcols);
+  });
+  SelVector left_idx;
+  SelVector right_idx;
+  size_t li = 0;
+  size_t ri = 0;
+  while (li < lorder.size() && ri < rorder.size()) {
+    if (KeyLess(left, lorder[li], right, rorder[ri], lcols, rcols)) {
+      ++li;
+      continue;
+    }
+    if (KeyLess(right, rorder[ri], left, lorder[li], rcols, lcols)) {
+      ++ri;
+      continue;
+    }
+    // Equal keys: find both runs and emit their cross product.
+    size_t le = li + 1;
+    while (le < lorder.size() &&
+           !KeyLess(left, lorder[li], left, lorder[le], lcols, lcols)) {
+      ++le;
+    }
+    size_t re = ri + 1;
+    while (re < rorder.size() &&
+           !KeyLess(right, rorder[ri], right, rorder[re], rcols, rcols)) {
+      ++re;
+    }
+    for (size_t a = li; a < le; ++a) {
+      for (size_t b = ri; b < re; ++b) {
+        // Re-verify with CellsEqual: run membership was derived from
+        // !CellLess both ways, which NaN keys satisfy against anything,
+        // while the row engine's ValueEq matches NaN to nothing.
+        bool match = true;
+        for (const auto& c : conds) {
+          if (!ColumnVector::CellsEqual(left.columns[c.left], lorder[a],
+                                        right.columns[c.right], rorder[b])) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        left_idx.push_back(lorder[a]);
+        right_idx.push_back(rorder[b]);
+      }
+    }
+    li = le;
+    ri = re;
+  }
+  return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+}
+
+Result<ColumnBatch> SortBatch(const ColumnBatch& in, const SortOrder& order) {
+  std::vector<int> cols;
+  for (const auto& col : order) {
+    const int idx = in.ColumnIndex(col);
+    if (idx >= 0) cols.push_back(idx);
+  }
+  if (cols.empty()) return in;
+  SelVector perm(in.num_rows);
+  for (uint32_t i = 0; i < in.num_rows; ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return KeyLess(in, a, in, b, cols, cols);
+  });
+  return in.Gather(perm);
+}
+
+Result<ColumnBatch> AggregateBatch(const ColumnBatch& in,
+                                   const std::vector<ColumnRef>& group_by,
+                                   const std::vector<AggExpr>& aggs,
+                                   const std::vector<std::string>& renames) {
+  std::vector<int> group_idx;
+  for (const auto& g : group_by) {
+    const int i = in.ColumnIndex(g);
+    if (i < 0) {
+      return Status::Internal("group column missing: " + g.ToString());
+    }
+    group_idx.push_back(i);
+  }
+  std::vector<int> arg_idx;
+  for (const auto& agg : aggs) {
+    if (agg.arg.name.empty()) {
+      arg_idx.push_back(-1);  // COUNT(*)
+      continue;
+    }
+    const int i = in.ColumnIndex(agg.arg);
+    if (i < 0) {
+      return Status::Internal("aggregate argument missing: " +
+                              agg.arg.ToString());
+    }
+    arg_idx.push_back(i);
+  }
+
+  // Hash grouping: every row is assigned a dense group id; the first row of
+  // each group is its representative for key extraction.
+  std::unordered_map<uint64_t, SelVector> buckets;
+  std::vector<uint32_t> group_rep;
+  std::vector<uint32_t> group_of(in.num_rows, 0);
+  for (uint32_t r = 0; r < in.num_rows; ++r) {
+    uint64_t h = 0x2545f4914f6cdd1dull;
+    for (int c : group_idx) h = HashCombine(h, in.columns[c].HashCell(r));
+    SelVector& bucket = buckets[h];
+    uint32_t gid = static_cast<uint32_t>(group_rep.size());
+    for (uint32_t cand : bucket) {
+      bool same = true;
+      for (int c : group_idx) {
+        if (!ColumnVector::CellsEqual(in.columns[c], r, in.columns[c],
+                                      group_rep[cand])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        gid = cand;
+        break;
+      }
+    }
+    if (gid == group_rep.size()) {
+      group_rep.push_back(r);
+      bucket.push_back(gid);
+    }
+    group_of[r] = gid;
+  }
+
+  // Columnar fold states, matching row_ops' AggState semantics: count counts
+  // rows, sum folds numeric arguments, min/max track extreme argument rows.
+  const size_t num_groups = group_rep.size();
+  const size_t num_aggs = aggs.size();
+  std::vector<double> sum(num_groups * num_aggs, 0.0);
+  std::vector<double> count(num_groups * num_aggs, 0.0);
+  std::vector<uint32_t> min_row(num_groups * num_aggs, 0);
+  std::vector<uint32_t> max_row(num_groups * num_aggs, 0);
+  std::vector<char> any(num_groups * num_aggs, 0);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const int c = arg_idx[a];
+    if (c < 0) {
+      for (uint32_t r = 0; r < in.num_rows; ++r) {
+        count[group_of[r] * num_aggs + a] += 1.0;
+      }
+      continue;
+    }
+    const ColumnVector& col = in.columns[c];
+    const bool numeric = col.is_numeric();
+    for (uint32_t r = 0; r < in.num_rows; ++r) {
+      const size_t s = group_of[r] * num_aggs + a;
+      count[s] += 1.0;
+      if (numeric) sum[s] += col.Number(r);
+      if (!any[s] || ColumnVector::CellLess(col, r, col, min_row[s])) {
+        min_row[s] = r;
+      }
+      if (!any[s] || ColumnVector::CellLess(col, max_row[s], col, r)) {
+        max_row[s] = r;
+      }
+      any[s] = 1;
+    }
+  }
+
+  ColumnBatch out;
+  out.names = group_by;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (a < renames.size() && !renames[a].empty()) {
+      out.names.emplace_back("", renames[a]);
+    } else {
+      out.names.push_back(aggs[a].OutputColumn());
+    }
+  }
+  if (num_groups == 0 && group_by.empty()) {
+    // Scalar aggregate over empty input: one row of fold identities (all of
+    // AggState's Finish values degenerate to 0.0 on an empty fold).
+    for (size_t a = 0; a < num_aggs; ++a) {
+      ColumnBuilder builder;
+      MQO_RETURN_NOT_OK(builder.Append(Value(0.0)));
+      MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+      out.columns.push_back(std::move(col));
+    }
+    out.num_rows = 1;
+    return out;
+  }
+  SelVector reps(group_rep.begin(), group_rep.end());
+  for (int c : group_idx) out.columns.push_back(in.columns[c].Gather(reps));
+  for (size_t a = 0; a < num_aggs; ++a) {
+    ColumnBuilder builder;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t s = g * num_aggs + a;
+      Value v(0.0);
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+          v = Value(sum[s]);
+          break;
+        case AggFunc::kCount:
+          v = Value(count[s]);
+          break;
+        case AggFunc::kAvg:
+          v = Value(count[s] > 0 ? sum[s] / count[s] : 0.0);
+          break;
+        case AggFunc::kMin:
+          v = any[s] ? in.columns[arg_idx[a]].GetValue(min_row[s]) : Value(0.0);
+          break;
+        case AggFunc::kMax:
+          v = any[s] ? in.columns[arg_idx[a]].GetValue(max_row[s]) : Value(0.0);
+          break;
+      }
+      MQO_RETURN_NOT_OK(builder.Append(v));
+    }
+    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+    out.columns.push_back(std::move(col));
+  }
+  out.num_rows = num_groups;
+  return out;
+}
+
+}  // namespace mqo

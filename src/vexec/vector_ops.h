@@ -1,0 +1,55 @@
+// Vectorized operator kernels over ColumnBatch, mirroring the row engine's
+// bag semantics (exec/row_ops.h) batch-at-a-time: scans convert base tables
+// to typed columns, filters refine selection vectors with typed comparison
+// loops, equi-joins run a build/probe hash join (the fast path the row
+// engine's nested loops lack), merge joins sort-merge argsorted inputs, and
+// aggregation groups through a hash table into columnar fold states.
+//
+// Every kernel must be bag-equivalent to its row_ops counterpart — the
+// differential suite (tests/vexec_test.cc) enforces this on every workload.
+
+#ifndef MQO_VEXEC_VECTOR_OPS_H_
+#define MQO_VEXEC_VECTOR_OPS_H_
+
+#include "algebra/logical_expr.h"
+#include "vexec/column_batch.h"
+
+namespace mqo {
+
+/// Base-table columns re-qualified under a scan alias.
+Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
+                              const std::string& alias);
+
+/// Rows satisfying every conjunct, via per-conjunct selection refinement.
+Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
+                                const Predicate& predicate);
+
+/// Equijoin: builds a hash table on `right`, probes with `left`, gathers the
+/// matching index pairs. Empty predicates degrade to the cross product (as
+/// the row engine's nested loops do). Fails with Unimplemented on duplicate
+/// output columns, like JoinRows.
+Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
+                                  const ColumnBatch& right,
+                                  const JoinPredicate& predicate);
+
+/// Equijoin by argsorting both sides on the key columns and merging equal-key
+/// runs. Bag-equal to HashJoinBatch; used for kMergeJoin plans.
+Result<ColumnBatch> MergeJoinBatch(const ColumnBatch& left,
+                                   const ColumnBatch& right,
+                                   const JoinPredicate& predicate);
+
+/// Stable sort by `order` (most-significant first). Order columns missing
+/// from the batch are ignored — sorting never changes the bag.
+Result<ColumnBatch> SortBatch(const ColumnBatch& in, const SortOrder& order);
+
+/// Grouped aggregation with hash grouping and columnar fold states; matches
+/// AggregateRows (including the empty-input scalar identity row and the
+/// aggregate-subsumption renames).
+Result<ColumnBatch> AggregateBatch(const ColumnBatch& in,
+                                   const std::vector<ColumnRef>& group_by,
+                                   const std::vector<AggExpr>& aggs,
+                                   const std::vector<std::string>& renames);
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_VECTOR_OPS_H_

@@ -1,0 +1,477 @@
+// Differential verification of the vectorized columnar engine against the
+// row engine: for the tiny catalog, the TPC-D workload, and example1, the
+// two independent implementations must produce bag-equal (canonicalized)
+// results for standalone plans and for consolidated MQO plans under every
+// selection algorithm — materialization and engine choice are performance
+// decisions and must never change answers. Plus unit tests of the columnar
+// format and kernels against their row_ops counterparts.
+
+#include <gtest/gtest.h>
+
+#include "catalog/tpcd.h"
+#include "exec/row_ops.h"
+#include "lqdag/rules.h"
+#include "mqo/facade.h"
+#include "vexec/backend.h"
+#include "workload/example1.h"
+#include "workload/tpcd_queries.h"
+
+namespace mqo {
+namespace {
+
+using Algorithm = MqoOptions::Algorithm;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kMarginalGreedy, Algorithm::kGreedy, Algorithm::kVolcano};
+
+MqoResult RunAlgorithm(Algorithm alg, MaterializationProblem* problem) {
+  switch (alg) {
+    case Algorithm::kMarginalGreedy:
+      return RunMarginalGreedy(problem);
+    case Algorithm::kGreedy:
+      return RunGreedy(problem);
+    case Algorithm::kVolcano:
+      return RunVolcano(problem);
+  }
+  return {};
+}
+
+/// Query-root classes of the batch (children of the Batch operator).
+std::vector<EqId> QueryRoots(const Memo& memo) {
+  std::vector<EqId> roots;
+  for (OpId oid : memo.ClassOps(memo.root())) {
+    const MemoOp& op = memo.op(oid);
+    if (op.kind != LogicalOp::kBatch) continue;
+    for (EqId c : op.children) roots.push_back(memo.Find(c));
+    break;
+  }
+  return roots;
+}
+
+void ExpectSameRows(const NamedRows& expected, const NamedRows& actual,
+                    const std::string& context) {
+  ASSERT_EQ(expected.columns.size(), actual.columns.size()) << context;
+  ASSERT_EQ(expected.rows.size(), actual.rows.size()) << context;
+  for (size_t r = 0; r < expected.rows.size(); ++r) {
+    for (size_t c = 0; c < expected.columns.size(); ++c) {
+      ASSERT_TRUE(ValueEq(expected.rows[r][c], actual.rows[r][c]))
+          << context << ": row " << r << " col "
+          << expected.columns[c].ToString();
+    }
+  }
+}
+
+/// The differential check for one workload: row and vectorized execution
+/// must agree on every standalone per-query plan and on the consolidated
+/// plan chosen by every MQO algorithm (plus the no-sharing plan).
+void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
+  DataSet data = GenerateData(*memo->catalog(), gen);
+  BatchOptimizer optimizer(memo, CostModel());
+  MaterializationProblem problem(&optimizer);
+  const std::vector<EqId> roots = QueryRoots(*memo);
+  ASSERT_FALSE(roots.empty());
+
+  // Standalone plans: each query's locally optimal plan, both engines.
+  {
+    ConsolidatedPlan volcano = optimizer.Plan({});
+    for (size_t q = 0; q < volcano.root_plan->children.size(); ++q) {
+      const PlanNodePtr& plan = volcano.root_plan->children[q];
+      auto row = ExecutePlanWith(ExecBackend::kRow, memo, &data, plan);
+      auto vec = ExecutePlanWith(ExecBackend::kVector, memo, &data, plan);
+      ASSERT_TRUE(row.ok()) << row.status().ToString();
+      ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+      ExpectSameRows(row.ValueOrDie(), vec.ValueOrDie(),
+                     "standalone q" + std::to_string(q));
+    }
+  }
+
+  // Consolidated plans under every selection algorithm.
+  for (Algorithm alg : kAllAlgorithms) {
+    MqoResult result = RunAlgorithm(alg, &problem);
+    ConsolidatedPlan plan = optimizer.Plan(result.materialized);
+    auto row = ExecuteConsolidatedWith(ExecBackend::kRow, memo, &data, plan);
+    auto vec = ExecuteConsolidatedWith(ExecBackend::kVector, memo, &data, plan);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    const auto& row_results = row.ValueOrDie();
+    const auto& vec_results = vec.ValueOrDie();
+    ASSERT_EQ(row_results.size(), roots.size());
+    ASSERT_EQ(vec_results.size(), roots.size());
+    for (size_t q = 0; q < roots.size(); ++q) {
+      ExpectSameRows(row_results[q], vec_results[q],
+                     result.algorithm + " q" + std::to_string(q));
+    }
+  }
+}
+
+/// A tiny catalog with overlapping key domains, a fractional double column,
+/// and string tags, so the typed columns all get exercised.
+Catalog MakeTinyCatalog() {
+  Catalog cat;
+  for (const char* name : {"t1", "t2", "t3"}) {
+    Table t(name, 40);
+    t.AddColumn(ColumnDef{"k", ColumnType::kInt, 4, 12, 0, 12});
+    t.AddColumn(ColumnDef{"v", ColumnType::kDouble, 8, 8, 0, 8});
+    t.AddColumn(ColumnDef{"tag", ColumnType::kString, 8, 4, 0, 4});
+    (void)cat.AddTable(std::move(t));
+  }
+  return cat;
+}
+
+JoinCondition KeyJoin(const char* la, const char* ra) {
+  JoinCondition c;
+  c.left = ColumnRef(la, "k");
+  c.right = ColumnRef(ra, "k");
+  return c;
+}
+
+Comparison Cmp(const char* q, const char* n, CompareOp op, Literal lit) {
+  Comparison c;
+  c.column = ColumnRef(q, n);
+  c.op = op;
+  c.literal = std::move(lit);
+  return c;
+}
+
+AggExpr Agg(AggFunc f, ColumnRef arg = {}) {
+  AggExpr a;
+  a.func = f;
+  a.arg = std::move(arg);
+  return a;
+}
+
+/// Three queries over the tiny catalog sharing the t1 ⋈ t2 subexpression:
+/// a grouped aggregate with string MIN/MAX and COUNT(*), a projection, and a
+/// scalar AVG behind a string-equality filter.
+std::vector<LogicalExprPtr> MakeTinyQueries() {
+  auto join = LogicalExpr::Join(LogicalExpr::Scan("t1"), LogicalExpr::Scan("t2"),
+                                JoinPredicate({KeyJoin("t1", "t2")}));
+  auto q1 = LogicalExpr::Aggregate(
+      LogicalExpr::Select(join,
+                          Predicate({Cmp("t1", "v", CompareOp::kLe, 6)})),
+      {ColumnRef("t1", "tag")},
+      {Agg(AggFunc::kSum, ColumnRef("t2", "v")), Agg(AggFunc::kCount),
+       Agg(AggFunc::kMin, ColumnRef("t2", "tag")),
+       Agg(AggFunc::kMax, ColumnRef("t2", "k"))});
+  auto q2 = LogicalExpr::Project(
+      LogicalExpr::Select(join,
+                          Predicate({Cmp("t2", "v", CompareOp::kGt, 2)})),
+      {ColumnRef("t1", "k"), ColumnRef("t2", "tag")});
+  auto q3 = LogicalExpr::Aggregate(
+      LogicalExpr::Select(LogicalExpr::Scan("t3"),
+                          Predicate({Cmp("t3", "tag", CompareOp::kEq, "s1")})),
+      {},
+      {Agg(AggFunc::kAvg, ColumnRef("t3", "v")),
+       Agg(AggFunc::kMax, ColumnRef("t3", "k"))});
+  return {q1, q2, q3};
+}
+
+TEST(VexecDifferentialTest, TinyCatalogAllAlgorithms) {
+  Catalog catalog = MakeTinyCatalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeTinyQueries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 10;
+  gen.seed = 7;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, TinyCatalogEmptySelection) {
+  // A predicate no generated row satisfies: scalar aggregation must produce
+  // the identity row on both engines, grouped results must be empty.
+  Catalog catalog = MakeTinyCatalog();
+  auto q = LogicalExpr::Aggregate(
+      LogicalExpr::Select(LogicalExpr::Scan("t1"),
+                          Predicate({Cmp("t1", "v", CompareOp::kLt, -5)})),
+      {},
+      {Agg(AggFunc::kSum, ColumnRef("t1", "v")), Agg(AggFunc::kCount),
+       Agg(AggFunc::kMin, ColumnRef("t1", "tag"))});
+  Memo memo(&catalog);
+  memo.InsertBatch({q});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 20;
+  gen.seed = 9;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, Example1AllAlgorithmsAndSingletons) {
+  Catalog catalog = MakeExample1Catalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeExample1Queries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 60;
+  gen.seed = 77;
+  CheckBackendsAgree(&memo, gen);
+
+  // Additionally: every shareable singleton materialization choice.
+  DataSet data = GenerateData(catalog, gen);
+  BatchOptimizer optimizer(&memo, CostModel());
+  MaterializationProblem problem(&optimizer);
+  const std::vector<EqId> roots = QueryRoots(memo);
+  for (EqId e : problem.universe()) {
+    ConsolidatedPlan plan = optimizer.Plan({e});
+    auto row = ExecuteConsolidatedWith(ExecBackend::kRow, &memo, &data, plan);
+    auto vec =
+        ExecuteConsolidatedWith(ExecBackend::kVector, &memo, &data, plan);
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    for (size_t q = 0; q < roots.size(); ++q) {
+      ExpectSameRows(row.ValueOrDie()[q], vec.ValueOrDie()[q],
+                     "mat E" + std::to_string(e) + " q" + std::to_string(q));
+    }
+  }
+}
+
+TEST(VexecDifferentialTest, TpcdQ3VariantsAllAlgorithms) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch({MakeQ3(0), MakeQ3(1)});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 30;
+  gen.seed = 77;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, TpcdQ9VariantsAllAlgorithms) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch({MakeQ9(0), MakeQ9(1)});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 50;
+  gen.domain_cap = 25;
+  gen.seed = 77;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, TpcdQ11AggregateChainAllAlgorithms) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeQ11());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 30;
+  gen.domain_cap = 25;
+  gen.seed = 77;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, TpcdQ15AllAlgorithms) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeQ15());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 30;
+  gen.domain_cap = 20;
+  gen.seed = 77;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecFacadeTest, OptimizeAndExecuteAgreesAcrossBackends) {
+  Catalog catalog = MakeTpcdCatalog(1);
+  const std::vector<std::string> batch = {
+      "SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND o_orderdate < date '1995-03-15' "
+      "GROUP BY o_orderdate",
+      "SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND o_orderdate < date '1995-06-15' "
+      "GROUP BY o_orderdate"};
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 30;
+  gen.seed = 11;
+  DataSet data = GenerateData(catalog, gen);
+  MqoOptions options;
+  options.backend = ExecBackend::kRow;
+  auto row = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
+  options.backend = ExecBackend::kVector;
+  auto vec = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  ASSERT_EQ(row.ValueOrDie().results.size(), 2u);
+  ASSERT_EQ(vec.ValueOrDie().results.size(), 2u);
+  EXPECT_EQ(vec.ValueOrDie().backend, ExecBackend::kVector);
+  for (size_t q = 0; q < 2; ++q) {
+    ExpectSameRows(row.ValueOrDie().results[q], vec.ValueOrDie().results[q],
+                   "facade q" + std::to_string(q));
+    EXPECT_GT(row.ValueOrDie().results[q].rows.size(), 0u);
+  }
+}
+
+// ---- Columnar format and kernel unit tests ----------------------------------
+
+NamedRows MakeRows() {
+  NamedRows rows;
+  rows.columns = {ColumnRef("r", "k"), ColumnRef("r", "x"),
+                  ColumnRef("r", "s")};
+  rows.rows = {{Value(3.0), Value(1.5), Value("b")},
+               {Value(1.0), Value(2.0), Value("a")},
+               {Value(3.0), Value(-0.5), Value("c")}};
+  return rows;
+}
+
+TEST(ColumnBatchTest, RoundTripPreservesValuesAndInfersTypes) {
+  NamedRows rows = MakeRows();
+  auto batch = BatchFromRows(rows);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  const ColumnBatch& b = batch.ValueOrDie();
+  EXPECT_EQ(b.columns[0].type(), VecType::kInt64);   // 3, 1, 3 all integral
+  EXPECT_EQ(b.columns[1].type(), VecType::kDouble);  // fractional
+  EXPECT_EQ(b.columns[2].type(), VecType::kString);
+  NamedRows back = BatchToRows(b);
+  ASSERT_EQ(back.rows.size(), rows.rows.size());
+  for (size_t r = 0; r < rows.rows.size(); ++r) {
+    for (size_t c = 0; c < rows.columns.size(); ++c) {
+      EXPECT_TRUE(ValueEq(rows.rows[r][c], back.rows[r][c]));
+    }
+  }
+}
+
+TEST(ColumnBatchTest, MixedTypeColumnRejected) {
+  NamedRows rows;
+  rows.columns = {ColumnRef("r", "bad")};
+  rows.rows = {{Value(1.0)}, {Value("oops")}};
+  auto batch = BatchFromRows(rows);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(VectorOpsTest, FilterMatchesRowEngineIncludingTypeMismatch) {
+  NamedRows rows = MakeRows();
+  auto batch = BatchFromRows(rows);
+  ASSERT_TRUE(batch.ok());
+  // k >= 2 (int fast path), x > 0 (double), s <= "b" (string).
+  Predicate pred({Cmp("r", "k", CompareOp::kGe, 2),
+                  Cmp("r", "x", CompareOp::kGt, 0.0),
+                  Cmp("r", "s", CompareOp::kLe, "b")});
+  auto expected = FilterRows(rows, pred);
+  auto actual = FilterBatch(batch.ValueOrDie(), pred);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok());
+  NamedRows actual_rows = BatchToRows(actual.ValueOrDie());
+  ASSERT_EQ(actual_rows.rows.size(), expected.ValueOrDie().rows.size());
+  // Comparing a numeric column against a string literal passes nothing, on
+  // both engines.
+  Predicate mismatch({Cmp("r", "k", CompareOp::kEq, "3")});
+  EXPECT_TRUE(FilterRows(rows, mismatch).ValueOrDie().rows.empty());
+  EXPECT_EQ(FilterBatch(batch.ValueOrDie(), mismatch).ValueOrDie().num_rows,
+            0u);
+}
+
+TEST(VectorOpsTest, HashAndMergeJoinMatchRowJoin) {
+  NamedRows left = MakeRows();
+  NamedRows right;
+  right.columns = {ColumnRef("q", "k"), ColumnRef("q", "t")};
+  right.rows = {{Value(3.0), Value("x")},
+                {Value(2.0), Value("y")},
+                {Value(3.0), Value("z")},
+                {Value(1.0), Value("w")}};
+  JoinPredicate pred({KeyJoin("r", "q")});
+  auto expected = JoinRows(left, right, pred);
+  ASSERT_TRUE(expected.ok());
+  auto lb = BatchFromRows(left);
+  auto rb = BatchFromRows(right);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(rb.ok());
+  for (bool merge : {false, true}) {
+    auto joined =
+        merge ? MergeJoinBatch(lb.ValueOrDie(), rb.ValueOrDie(), pred)
+              : HashJoinBatch(lb.ValueOrDie(), rb.ValueOrDie(), pred);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    NamedRows got = BatchToRows(joined.ValueOrDie());
+    NamedRows want = expected.ValueOrDie();
+    ASSERT_TRUE(Canonicalize(want.columns, &got).ok());
+    NamedRows want_canon = want;
+    ASSERT_TRUE(Canonicalize(want.columns, &want_canon).ok());
+    ASSERT_EQ(got.rows.size(), want_canon.rows.size());
+    for (size_t r = 0; r < got.rows.size(); ++r) {
+      for (size_t c = 0; c < got.columns.size(); ++c) {
+        EXPECT_TRUE(ValueEq(got.rows[r][c], want_canon.rows[r][c]));
+      }
+    }
+  }
+}
+
+TEST(VectorOpsTest, JoinWithOverlappingAliasesRejectedLikeRowEngine) {
+  NamedRows rows = MakeRows();
+  auto batch = BatchFromRows(rows);
+  ASSERT_TRUE(batch.ok());
+  JoinPredicate pred({KeyJoin("r", "r")});
+  auto row = JoinRows(rows, rows, pred);
+  auto vec = HashJoinBatch(batch.ValueOrDie(), batch.ValueOrDie(), pred);
+  ASSERT_FALSE(row.ok());
+  ASSERT_FALSE(vec.ok());
+  EXPECT_EQ(vec.status().code(), row.status().code());
+}
+
+TEST(VectorOpsTest, AggregateMatchesRowEngine) {
+  NamedRows rows = MakeRows();
+  auto batch = BatchFromRows(rows);
+  ASSERT_TRUE(batch.ok());
+  std::vector<ColumnRef> group_by = {ColumnRef("r", "k")};
+  std::vector<AggExpr> aggs = {Agg(AggFunc::kSum, ColumnRef("r", "x")),
+                               Agg(AggFunc::kCount),
+                               Agg(AggFunc::kMin, ColumnRef("r", "s")),
+                               Agg(AggFunc::kMax, ColumnRef("r", "s")),
+                               Agg(AggFunc::kAvg, ColumnRef("r", "x"))};
+  auto expected = AggregateRows(rows, group_by, aggs, {});
+  auto actual = AggregateBatch(batch.ValueOrDie(), group_by, aggs, {});
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  NamedRows got = BatchToRows(actual.ValueOrDie());
+  NamedRows want = expected.ValueOrDie();
+  ASSERT_TRUE(Canonicalize(want.columns, &got).ok());
+  NamedRows want_canon = want;
+  ASSERT_TRUE(Canonicalize(want.columns, &want_canon).ok());
+  ASSERT_EQ(got.rows.size(), want_canon.rows.size());
+  for (size_t r = 0; r < got.rows.size(); ++r) {
+    for (size_t c = 0; c < got.columns.size(); ++c) {
+      EXPECT_TRUE(ValueEq(got.rows[r][c], want_canon.rows[r][c]))
+          << "row " << r << " col " << got.columns[c].ToString();
+    }
+  }
+}
+
+TEST(VectorOpsTest, SortIsBagPreserving) {
+  NamedRows rows = MakeRows();
+  auto batch = BatchFromRows(rows);
+  ASSERT_TRUE(batch.ok());
+  auto sorted = SortBatch(batch.ValueOrDie(), {ColumnRef("r", "k")});
+  ASSERT_TRUE(sorted.ok());
+  const ColumnBatch& s = sorted.ValueOrDie();
+  ASSERT_EQ(s.num_rows, 3u);
+  // Sorted ascending by k: 1, 3, 3.
+  EXPECT_EQ(s.columns[0].ints()[0], 1);
+  EXPECT_EQ(s.columns[0].ints()[1], 3);
+  EXPECT_EQ(s.columns[0].ints()[2], 3);
+}
+
+TEST(VectorExecutorTest, ReadWithoutMaterializationFails) {
+  Catalog catalog = MakeExample1Catalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeExample1Queries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  auto shareable = ShareableNodes(memo);
+  ASSERT_FALSE(shareable.empty());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 20;
+  gen.seed = 5;
+  DataSet data = GenerateData(catalog, gen);
+  VectorPlanExecutor executor(&memo, &data);
+  PlanNodePtr read = MakePlanNode(PhysOp::kReadMaterialized, shareable[0], {},
+                                  1.0, "", {});
+  auto result = executor.Execute(read);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace mqo
