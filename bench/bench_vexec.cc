@@ -2,15 +2,23 @@
 //
 // Executes the multi-join Q9 batch (both selection-constant variants) at
 // growing data sizes, standalone (no materialization) and as the
-// MarginalGreedy consolidated MQO plan, on both execution backends. Reports
+// MarginalGreedy consolidated MQO plan, on the row interpreter and the
+// columnar engine (serial and with 4 morsel-parallel scan threads). Reports
 // wall time and source-rows-per-second throughput; execution time is where
 // the optimizer's proven sharing wins have to materialize, and the columnar
-// engine's hash joins are the route past the row interpreter's nested loops.
-// Results must stay identical across all configurations.
+// engine's zero-copy scans + hash joins are the route past the row
+// interpreter's nested loops. Results must stay identical across all
+// configurations.
+//
+// Usage: bench_vexec [rows_per_table ...]   (default: 400 1600 6400; pass
+// tiny counts, e.g. `bench_vexec 64 128`, for CI smoke runs). Alongside the
+// table, machine-readable records are written to BENCH_vexec.json.
 
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util/bench_args.h"
+#include "bench_util/bench_json.h"
 #include "bench_util/table_printer.h"
 #include "catalog/tpcd.h"
 #include "common/string_util.h"
@@ -31,16 +39,28 @@ double DatabaseRows(const Catalog& catalog, const DataSet& data) {
   double rows = 0.0;
   for (const auto& name : catalog.TableNames()) {
     auto table = data.GetTable(name);
-    if (table.ok()) rows += static_cast<double>(table.ValueOrDie()->rows.size());
+    if (table.ok()) {
+      rows += static_cast<double>(table.ValueOrDie()->num_rows());
+    }
   }
   return rows;
 }
 
+/// One execution configuration of the head-to-head.
+struct Config {
+  const char* label;
+  ExecBackend backend;
+  int num_threads;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== vectorized vs row execution: TPC-D Q9 x2 (6-relation "
               "joins) ===\n\n");
+  const std::vector<int> row_counts =
+      ParseRowCounts(argc, argv, {400, 1600, 6400});
+
   Catalog catalog = MakeTpcdCatalog(1);
   Memo memo(&catalog);
   memo.InsertBatch({MakeQ9(0), MakeQ9(1)});
@@ -55,16 +75,21 @@ int main() {
   const ConsolidatedPlan standalone_plan = optimizer.Plan({});
   const ConsolidatedPlan mqo_plan = optimizer.Plan(marginal.materialized);
 
-  TablePrinter table({"rows/table", "plan", "backend", "time (ms)",
+  const Config configs[] = {{"row", ExecBackend::kRow, 1},
+                            {"vector", ExecBackend::kVector, 1},
+                            {"vector", ExecBackend::kVector, 4}};
+
+  TablePrinter table({"rows/table", "plan", "backend", "threads", "time (ms)",
                       "throughput", "speedup"});
+  BenchJsonWriter json;
   constexpr int kReps = 3;
   int failures = 0;
-  for (int rows_per_table : {400, 1600, 6400}) {
+  for (int rows_per_table : row_counts) {
     DataGenOptions gen;
     gen.max_rows_per_table = rows_per_table;
     // Key domains scale with table size (PK-FK shape) so join fan-out stays
     // constant as the database grows instead of exploding quadratically.
-    gen.domain_cap = rows_per_table / 4;
+    gen.domain_cap = std::max(1, rows_per_table / 4);
     gen.seed = 2026;  // identical database for every backend and plan
     DataSet data = GenerateData(catalog, gen);
     const double db_rows = DatabaseRows(catalog, data);
@@ -76,13 +101,15 @@ int main() {
                              Mode{"MQO consolidated", &mqo_plan}}) {
       double row_ms = 0.0;
       std::vector<NamedRows> row_results;
-      for (ExecBackend backend : {ExecBackend::kRow, ExecBackend::kVector}) {
+      for (const Config& config : configs) {
+        ExecOptions exec;
+        exec.num_threads = config.num_threads;
         double best_ms = 0.0;
         std::vector<NamedRows> results;
         for (int rep = 0; rep < kReps; ++rep) {
           WallTimer timer;
-          auto executed =
-              ExecuteConsolidatedWith(backend, &memo, &data, *mode.plan);
+          auto executed = ExecuteConsolidatedWith(config.backend, &memo, &data,
+                                                  *mode.plan, exec);
           const double ms = timer.ElapsedMillis();
           if (!executed.ok()) {
             std::printf("execution failed: %s\n",
@@ -92,25 +119,37 @@ int main() {
           if (rep == 0 || ms < best_ms) best_ms = ms;
           results = std::move(executed).ValueOrDie();
         }
-        if (backend == ExecBackend::kRow) {
+        if (config.backend == ExecBackend::kRow) {
           row_ms = best_ms;
           row_results = results;
         } else if (!SameResultSets(row_results, results)) {
           ++failures;
         }
-        table.AddRow({std::to_string(rows_per_table), mode.name,
-                      ExecBackendToString(backend), FormatDouble(best_ms, 2),
+        const double speedup =
+            config.backend == ExecBackend::kRow
+                ? 1.0
+                : row_ms / std::max(best_ms, 1e-9);
+        table.AddRow({std::to_string(rows_per_table), mode.name, config.label,
+                      std::to_string(config.num_threads),
+                      FormatDouble(best_ms, 2),
                       FormatRowsPerSec(db_rows, best_ms / 1000.0),
-                      backend == ExecBackend::kRow
-                          ? "1.0x"
-                          : FormatDouble(row_ms / std::max(best_ms, 1e-9), 1) +
-                                "x"});
+                      FormatDouble(speedup, 1) + "x"});
+        json.AddRecord({JStr("bench", "vexec"),
+                        JNum("rows_per_table", rows_per_table),
+                        JStr("plan", mode.name), JStr("backend", config.label),
+                        JNum("threads", config.num_threads),
+                        JNum("time_ms", best_ms),
+                        JNum("rows_per_sec",
+                             best_ms > 0.0 ? db_rows / (best_ms / 1000.0) : 0.0),
+                        JNum("speedup_vs_row", speedup)});
       }
     }
   }
   table.Print();
+  const bool json_ok = json.WriteFile("BENCH_vexec.json");
   std::printf("\n%d node(s) materialized by MarginalGreedy; row and vector "
-              "results identical: %s\n",
-              marginal.num_materialized, failures == 0 ? "yes" : "NO (bug!)");
-  return failures == 0 ? 0 : 1;
+              "results identical: %s; %zu records -> BENCH_vexec.json%s\n",
+              marginal.num_materialized, failures == 0 ? "yes" : "NO (bug!)",
+              json.num_records(), json_ok ? "" : " (write FAILED)");
+  return failures == 0 && json_ok ? 0 : 1;
 }

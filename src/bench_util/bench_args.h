@@ -1,0 +1,35 @@
+// Shared command-line handling for the benchmark executables.
+
+#ifndef MQO_BENCH_UTIL_BENCH_ARGS_H_
+#define MQO_BENCH_UTIL_BENCH_ARGS_H_
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace mqo {
+
+/// Positional integer arguments as row counts (benches take tiny values for
+/// CI smoke runs); `defaults` when none are given. A malformed or
+/// partially-numeric argument ("6e4", "1,000") exits with an error rather
+/// than silently running the wrong workload.
+inline std::vector<int> ParseRowCounts(int argc, char** argv,
+                                       std::vector<int> defaults) {
+  std::vector<int> row_counts;
+  for (int i = 1; i < argc; ++i) {
+    char* end = nullptr;
+    const long n = std::strtol(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || n <= 0 || n > INT_MAX) {
+      std::fprintf(stderr, "%s: bad row count '%s' (want a positive integer)\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+    row_counts.push_back(static_cast<int>(n));
+  }
+  return row_counts.empty() ? defaults : row_counts;
+}
+
+}  // namespace mqo
+
+#endif  // MQO_BENCH_UTIL_BENCH_ARGS_H_

@@ -1,0 +1,96 @@
+#include "bench_util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mqo {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string NumberToJson(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+JsonField JNum(std::string key, double value) {
+  JsonField f;
+  f.key = std::move(key);
+  f.is_number = true;
+  f.num = value;
+  return f;
+}
+
+JsonField JStr(std::string key, std::string value) {
+  JsonField f;
+  f.key = std::move(key);
+  f.str = std::move(value);
+  return f;
+}
+
+std::string BenchJsonWriter::ToString() const {
+  std::string out = "[\n";
+  for (size_t r = 0; r < records_.size(); ++r) {
+    out += "  {";
+    for (size_t f = 0; f < records_[r].size(); ++f) {
+      const JsonField& field = records_[r][f];
+      out += "\"" + EscapeJson(field.key) + "\": ";
+      out += field.is_number ? NumberToJson(field.num)
+                             : "\"" + EscapeJson(field.str) + "\"";
+      if (f + 1 < records_[r].size()) out += ", ";
+    }
+    out += r + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool BenchJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToString();
+  return static_cast<bool>(file);
+}
+
+}  // namespace mqo

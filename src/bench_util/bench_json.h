@@ -1,0 +1,51 @@
+// Machine-readable benchmark output: each bench writes a BENCH_<name>.json
+// next to its human-readable table, so the performance trajectory can be
+// tracked across PRs by tooling instead of eyeballs. The format is a flat
+// JSON array of records with string/number fields — no external JSON
+// dependency, just careful escaping.
+
+#ifndef MQO_BENCH_UTIL_BENCH_JSON_H_
+#define MQO_BENCH_UTIL_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace mqo {
+
+/// One key/value field of a benchmark record.
+struct JsonField {
+  std::string key;
+  bool is_number = false;
+  double num = 0.0;
+  std::string str;
+};
+
+/// Number-valued field.
+JsonField JNum(std::string key, double value);
+
+/// String-valued field.
+JsonField JStr(std::string key, std::string value);
+
+/// Collects benchmark records and serializes them as a JSON array of
+/// objects.
+class BenchJsonWriter {
+ public:
+  void AddRecord(std::vector<JsonField> fields) {
+    records_.push_back(std::move(fields));
+  }
+
+  size_t num_records() const { return records_.size(); }
+
+  /// The full JSON document (pretty-printed, one field per line).
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<JsonField>> records_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_BENCH_UTIL_BENCH_JSON_H_

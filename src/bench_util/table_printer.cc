@@ -1,5 +1,8 @@
 #include "bench_util/table_printer.h"
 
+#include <algorithm>
+#include <iostream>
+
 #include "common/string_util.h"
 
 namespace mqo {
@@ -12,6 +15,8 @@ std::string FormatRowsPerSec(double rows, double elapsed_seconds) {
   if (rate >= 1e3) return FormatDouble(rate / 1e3, 2) + "K rows/s";
   return FormatDouble(rate, 0) + " rows/s";
 }
+
+void TablePrinter::Print() const { Print(std::cout); }
 
 void TablePrinter::Print(std::ostream& os) const {
   std::vector<size_t> widths(headers_.size());

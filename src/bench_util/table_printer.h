@@ -4,7 +4,7 @@
 #ifndef MQO_BENCH_UTIL_TABLE_PRINTER_H_
 #define MQO_BENCH_UTIL_TABLE_PRINTER_H_
 
-#include <iostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -23,7 +23,9 @@ class TablePrinter {
   void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
   /// Renders the aligned table to `os`.
-  void Print(std::ostream& os = std::cout) const;
+  void Print(std::ostream& os) const;
+  /// Same, to std::cout.
+  void Print() const;
 
   /// Renders comma-separated rows (headers first) to `os`.
   void PrintCsv(std::ostream& os) const;

@@ -1,18 +1,16 @@
 #include "exec/dataset.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace mqo {
 
-int NamedRows::ColumnIndex(const ColumnRef& col) const {
-  for (size_t i = 0; i < columns.size(); ++i) {
-    if (columns[i] == col) return static_cast<int>(i);
-  }
-  return -1;
+Status DataSet::AddTableRows(std::string name, const NamedRows& rows) {
+  MQO_ASSIGN_OR_RETURN(ColumnStore store, ColumnStore::FromRows(rows));
+  AddTable(std::move(name), std::move(store));
+  return Status::OK();
 }
 
-Result<const NamedRows*> DataSet::GetTable(const std::string& name) const {
+Result<const ColumnStore*> DataSet::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no generated data for table '" + name + "'");
@@ -27,39 +25,52 @@ DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
     const Table* table = catalog.GetTable(name).ValueOrDie();
     const int n = static_cast<int>(
         std::min<double>(options.max_rows_per_table, table->row_count()));
-    NamedRows data;
+    const size_t num_cols = table->columns().size();
+    // One typed vector per column, written directly; the RNG is still
+    // consumed row-major so generated databases are bit-identical to the
+    // historical row-at-a-time generator.
+    std::vector<ColumnVector> cols;
+    std::vector<int> spans;
+    std::vector<int> bases;
+    cols.reserve(num_cols);
+    spans.reserve(num_cols);
+    bases.reserve(num_cols);
     for (const auto& col : table->columns()) {
-      data.columns.emplace_back(name, col.name);  // qualified at scan time
+      const double distinct = std::max(1.0, col.distinct_values);
+      spans.push_back(
+          static_cast<int>(std::min<double>(distinct, options.domain_cap)));
+      bases.push_back(static_cast<int>(col.min_value));
+      VecType type = VecType::kInt64;
+      if (col.type == ColumnType::kDouble) type = VecType::kDouble;
+      if (col.type == ColumnType::kString) type = VecType::kString;
+      ColumnVector vec(type);
+      vec.Reserve(n);
+      cols.push_back(std::move(vec));
     }
-    data.rows.reserve(n);
     for (int i = 0; i < n; ++i) {
-      std::vector<Value> row;
-      row.reserve(table->columns().size());
-      for (const auto& col : table->columns()) {
-        const double distinct = std::max(1.0, col.distinct_values);
-        const int span =
-            static_cast<int>(std::min<double>(distinct, options.domain_cap));
-        switch (col.type) {
-          case ColumnType::kInt:
-          case ColumnType::kDate: {
-            const int base = static_cast<int>(col.min_value);
-            row.emplace_back(static_cast<double>(base + rng->NextInt(span)));
+      for (size_t c = 0; c < num_cols; ++c) {
+        switch (cols[c].type()) {
+          case VecType::kInt64:  // kInt and kDate columns
+            cols[c].ints().push_back(bases[c] + rng->NextInt(spans[c]));
             break;
-          }
-          case ColumnType::kDouble: {
+          case VecType::kDouble:
             // Integer-quantized doubles: exact arithmetic under any order.
-            row.emplace_back(static_cast<double>(rng->NextInt(span)));
+            cols[c].doubles().push_back(
+                static_cast<double>(rng->NextInt(spans[c])));
             break;
-          }
-          case ColumnType::kString: {
-            row.emplace_back("s" + std::to_string(rng->NextInt(span)));
+          case VecType::kString:
+            cols[c].strings().push_back("s" +
+                                        std::to_string(rng->NextInt(spans[c])));
             break;
-          }
         }
       }
-      data.rows.push_back(std::move(row));
     }
-    out.AddTable(name, std::move(data));
+    ColumnStore store;
+    for (size_t c = 0; c < num_cols; ++c) {
+      // Generated columns are uniformly n rows; AddColumn cannot fail.
+      (void)store.AddColumn(table->columns()[c].name, std::move(cols[c]));
+    }
+    out.AddTable(name, std::move(store));
   }
   return out;
 }
@@ -67,44 +78,6 @@ DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
 DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options) {
   Rng rng(options.seed);
   return GenerateData(catalog, options, &rng);
-}
-
-bool ValueLess(const Value& a, const Value& b) {
-  if (a.is_number() != b.is_number()) return a.is_number();
-  if (a.is_number()) return a.number() < b.number();
-  return a.str() < b.str();
-}
-
-Status Canonicalize(const std::vector<ColumnRef>& columns, NamedRows* rows) {
-  std::vector<int> indices;
-  indices.reserve(columns.size());
-  for (const auto& col : columns) {
-    const int idx = rows->ColumnIndex(col);
-    if (idx < 0) {
-      return Status::Internal("canonicalize: column " + col.ToString() +
-                              " missing from result");
-    }
-    indices.push_back(idx);
-  }
-  std::vector<std::vector<Value>> projected;
-  projected.reserve(rows->rows.size());
-  for (const auto& row : rows->rows) {
-    std::vector<Value> p;
-    p.reserve(indices.size());
-    for (int idx : indices) p.push_back(row[idx]);
-    projected.push_back(std::move(p));
-  }
-  std::sort(projected.begin(), projected.end(),
-            [](const std::vector<Value>& a, const std::vector<Value>& b) {
-              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
-                if (ValueLess(a[i], b[i])) return true;
-                if (ValueLess(b[i], a[i])) return false;
-              }
-              return a.size() < b.size();
-            });
-  rows->columns = columns;
-  rows->rows = std::move(projected);
-  return Status::OK();
 }
 
 }  // namespace mqo

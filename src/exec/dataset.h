@@ -6,47 +6,39 @@
 // small deterministic datasets from a catalog's statistics so the evaluator
 // (evaluator.h) can check those claims on real rows.
 //
-// Numeric values are quantized to integers (exactly representable in double),
-// so SUM/AVG results are independent of evaluation order and result
-// comparison can be exact.
+// Base tables are stored natively columnar (storage/column_store.h): data
+// generation writes typed int64/double/string vectors directly, the
+// vectorized engine reads them zero-copy through TableReader::Columnar, and
+// the row interpreter reads through the TableReader cursor. NamedRows
+// (storage/named_rows.h) is only the boundary format.
 
 #ifndef MQO_EXEC_DATASET_H_
 #define MQO_EXEC_DATASET_H_
 
 #include <map>
 #include <string>
-#include <vector>
 
-#include "algebra/predicate.h"
 #include "catalog/catalog.h"
 #include "common/rng.h"
-#include "common/status.h"
+#include "storage/column_store.h"
+#include "storage/named_rows.h"
 
 namespace mqo {
-
-/// A runtime value: reuses Literal (number or string).
-using Value = Literal;
-
-/// A table of rows with named, qualified columns.
-struct NamedRows {
-  std::vector<ColumnRef> columns;
-  std::vector<std::vector<Value>> rows;
-
-  /// Index of `col` in `columns`, or -1.
-  int ColumnIndex(const ColumnRef& col) const;
-};
 
 /// Generated base-table data, keyed by table name (unqualified — scans apply
 /// their alias when reading).
 class DataSet {
  public:
-  void AddTable(std::string name, NamedRows rows) {
-    tables_[std::move(name)] = std::move(rows);
+  void AddTable(std::string name, ColumnStore store) {
+    tables_[std::move(name)] = std::move(store);
   }
-  Result<const NamedRows*> GetTable(const std::string& name) const;
+  /// Boundary convenience for hand-built row tables (tests, ad-hoc data).
+  Status AddTableRows(std::string name, const NamedRows& rows);
+
+  Result<const ColumnStore*> GetTable(const std::string& name) const;
 
  private:
-  std::map<std::string, NamedRows> tables_;
+  std::map<std::string, ColumnStore> tables_;
 };
 
 /// Options for data generation.
@@ -62,21 +54,13 @@ struct DataGenOptions {
   uint64_t seed = 0x5eedull;
 };
 
-/// Generates deterministic data for every table in `catalog`.
+/// Generates deterministic data for every table in `catalog`, written
+/// directly into typed columns (no row detour).
 DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
                      Rng* rng);
 
 /// Same, seeding the generator from `options.seed`.
 DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options);
-
-/// Total order on Values (numbers before strings) used for canonical row
-/// sorting.
-bool ValueLess(const Value& a, const Value& b);
-
-/// Canonicalizes in place: projects onto `columns` (which must be a subset of
-/// rows.columns), then sorts rows lexicographically. Two results are
-/// semantically equal iff their canonical forms are equal.
-Status Canonicalize(const std::vector<ColumnRef>& columns, NamedRows* rows);
 
 }  // namespace mqo
 

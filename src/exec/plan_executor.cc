@@ -8,8 +8,9 @@ namespace mqo {
 
 Result<NamedRows> PlanExecutor::SideInput(EqId eq) {
   eq = memo_->Find(eq);
-  auto it = store_.find(eq);
-  if (it != store_.end()) return it->second;
+  if (const ColumnBatch* segment = store_.Get(eq)) {
+    return BatchToRows(*segment);
+  }
   return evaluator_.EvaluateClass(eq);
 }
 
@@ -67,12 +68,12 @@ Result<NamedRows> PlanExecutor::ExecuteUncanonicalized(const PlanNodePtr& plan) 
     }
     case PhysOp::kReadMaterialized: {
       const EqId eq = memo_->Find(plan->eq);
-      auto it = store_.find(eq);
-      if (it == store_.end()) {
+      const ColumnBatch* segment = store_.Get(eq);
+      if (segment == nullptr) {
         return Status::Internal("materialized node E" + std::to_string(eq) +
                                 " not in store");
       }
-      return it->second;
+      return BatchToRows(*segment);
     }
     case PhysOp::kBatchRoot:
       return Status::Unimplemented("execute batch roots via ExecuteConsolidated");
@@ -89,7 +90,10 @@ Result<NamedRows> PlanExecutor::Execute(const PlanNodePtr& plan) {
 
 Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
   MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(compute_plan));
-  store_[memo_->Find(eq)] = std::move(rows);
+  // Segments are stored columnar even for the row engine, so both executors
+  // share one materialization format.
+  MQO_ASSIGN_OR_RETURN(ColumnBatch segment, BatchFromRows(rows));
+  store_.Put(memo_->Find(eq), std::move(segment));
   return Status::OK();
 }
 

@@ -7,16 +7,17 @@
 // results of evaluating each query class directly.
 //
 // Materialized nodes are executed once (their compute plans, in dependency
-// order) into an in-memory store that ReadMaterialized leaves consult —
-// mirroring the cost model's execute-once/read-many accounting.
+// order) into the shared columnar segment store (storage/mat_store.h) that
+// ReadMaterialized leaves consult — mirroring the cost model's
+// execute-once/read-many accounting. The interpreter converts segments at
+// the row/column boundary on every store access.
 
 #ifndef MQO_EXEC_PLAN_EXECUTOR_H_
 #define MQO_EXEC_PLAN_EXECUTOR_H_
 
-#include <map>
-
 #include "exec/evaluator.h"
 #include "optimizer/batch_optimizer.h"
+#include "storage/mat_store.h"
 
 namespace mqo {
 
@@ -48,7 +49,7 @@ class PlanExecutor {
   Memo* memo_;
   const DataSet* data_;
   Evaluator evaluator_;
-  std::map<EqId, NamedRows> store_;
+  MatStore store_;
 };
 
 }  // namespace mqo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "storage/table_reader.h"
+
 namespace mqo {
 
 bool ValueEq(const Value& a, const Value& b) {
@@ -85,13 +87,10 @@ struct AggState {
 
 Result<NamedRows> ScanRows(const DataSet& data, const std::string& table,
                            const std::string& alias) {
-  MQO_ASSIGN_OR_RETURN(const NamedRows* base, data.GetTable(table));
-  NamedRows out;
-  for (const auto& col : base->columns) {
-    out.columns.emplace_back(alias, col.name);
-  }
-  out.rows = base->rows;
-  return out;
+  MQO_ASSIGN_OR_RETURN(const ColumnStore* base, data.GetTable(table));
+  // Row-cursor adapter over native columnar storage: the interpreter's only
+  // contact with base data is this boundary materialization.
+  return TableReader(base).Rows(alias);
 }
 
 Result<NamedRows> FilterRows(const NamedRows& in, const Predicate& predicate) {

@@ -1,9 +1,14 @@
 #include "mqo/facade.h"
 
+#include <algorithm>
+#include <iostream>
+
 #include "common/string_util.h"
 #include "lqdag/rules.h"
 
 namespace mqo {
+
+void MqoOutcome::Print() const { Print(std::cout); }
 
 void MqoOutcome::Print(std::ostream& os) const {
   os << "algorithm        : " << result.algorithm << "\n";
@@ -98,7 +103,8 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
       OptimizeIntoMemo(&memo, queries, options, &outcome.optimization));
   MQO_ASSIGN_OR_RETURN(
       outcome.results,
-      ExecuteConsolidatedWith(options.backend, &memo, &data, plan));
+      ExecuteConsolidatedWith(options.backend, &memo, &data, plan,
+                              options.exec));
   return outcome;
 }
 

@@ -11,7 +11,7 @@
 #ifndef MQO_MQO_FACADE_H_
 #define MQO_MQO_FACADE_H_
 
-#include <iostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -32,6 +32,10 @@ struct MqoOptions {
   ExpansionOptions expansion;
   /// Which engine OptimizeAndExecute* runs the consolidated plan on.
   ExecBackend backend = ExecBackend::kRow;
+  /// Vectorized-engine execution knobs: `exec.num_threads` > 1 turns on
+  /// morsel-parallel scans (results are identical for every value). Ignored
+  /// by the row engine.
+  ExecOptions exec;
 };
 
 /// Result of a facade optimization.
@@ -44,7 +48,9 @@ struct MqoOutcome {
   int shareable_nodes = 0;
 
   /// Writes a human-readable report to `os`.
-  void Print(std::ostream& os = std::cout) const;
+  void Print(std::ostream& os) const;
+  /// Same, to std::cout.
+  void Print() const;
 };
 
 /// Parses each SQL string against `catalog`, builds and expands the combined

@@ -1,4 +1,4 @@
-#include "vexec/column_batch.h"
+#include "storage/column.h"
 
 #include <cmath>
 
@@ -21,49 +21,58 @@ const char* VecTypeToString(VecType t) {
 size_t ColumnVector::size() const {
   switch (type_) {
     case VecType::kInt64:
-      return ints_.size();
+      return data_->ints.size();
     case VecType::kDouble:
-      return doubles_.size();
+      return data_->doubles.size();
     case VecType::kString:
-      return strs_.size();
+      return data_->strs.size();
   }
   return 0;
 }
 
 Value ColumnVector::GetValue(size_t i) const {
-  if (type_ == VecType::kString) return Value(strs_[i]);
+  if (type_ == VecType::kString) return Value(data_->strs[i]);
   return Value(Number(i));
 }
 
 ColumnVector ColumnVector::Gather(const SelVector& sel) const {
   ColumnVector out(type_);
   switch (type_) {
-    case VecType::kInt64:
-      out.ints_.reserve(sel.size());
-      for (uint32_t i : sel) out.ints_.push_back(ints_[i]);
+    case VecType::kInt64: {
+      auto& ints = out.ints();
+      ints.reserve(sel.size());
+      for (uint32_t i : sel) ints.push_back(data_->ints[i]);
       break;
-    case VecType::kDouble:
-      out.doubles_.reserve(sel.size());
-      for (uint32_t i : sel) out.doubles_.push_back(doubles_[i]);
+    }
+    case VecType::kDouble: {
+      auto& doubles = out.doubles();
+      doubles.reserve(sel.size());
+      for (uint32_t i : sel) doubles.push_back(data_->doubles[i]);
       break;
-    case VecType::kString:
-      out.strs_.reserve(sel.size());
-      for (uint32_t i : sel) out.strs_.push_back(strs_[i]);
+    }
+    case VecType::kString: {
+      auto& strs = out.strings();
+      strs.reserve(sel.size());
+      for (uint32_t i : sel) strs.push_back(data_->strs[i]);
       break;
+    }
   }
   return out;
 }
 
 void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
+  // Read through other's payload handle before Mutable() possibly detaches
+  // ours, so self-appends stay correct.
+  const std::shared_ptr<Payload> src = other.data_;
   switch (type_) {
     case VecType::kInt64:
-      ints_.push_back(other.ints_[i]);
+      Mutable()->ints.push_back(src->ints[i]);
       break;
     case VecType::kDouble:
-      doubles_.push_back(other.doubles_[i]);
+      Mutable()->doubles.push_back(src->doubles[i]);
       break;
     case VecType::kString:
-      strs_.push_back(other.strs_[i]);
+      Mutable()->strs.push_back(src->strs[i]);
       break;
   }
 }
@@ -71,13 +80,13 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
 void ColumnVector::Reserve(size_t n) {
   switch (type_) {
     case VecType::kInt64:
-      ints_.reserve(n);
+      Mutable()->ints.reserve(n);
       break;
     case VecType::kDouble:
-      doubles_.reserve(n);
+      Mutable()->doubles.reserve(n);
       break;
     case VecType::kString:
-      strs_.reserve(n);
+      Mutable()->strs.reserve(n);
       break;
   }
 }
@@ -86,7 +95,7 @@ uint64_t ColumnVector::HashCell(size_t i) const {
   // Numbers hash by their double value so int64 and double columns with equal
   // cells land in the same hash-join bucket; -0.0 is canonicalized to 0.0
   // because CellsEqual compares with == but HashDouble hashes bit patterns.
-  if (type_ == VecType::kString) return HashString(strs_[i]);
+  if (type_ == VecType::kString) return HashString(data_->strs[i]);
   const double d = Number(i);
   return HashDouble(d == 0.0 ? 0.0 : d);
 }
@@ -96,7 +105,7 @@ bool ColumnVector::CellsEqual(const ColumnVector& a, size_t i,
   const bool a_num = a.is_numeric();
   if (a_num != b.is_numeric()) return false;
   if (a_num) return a.Number(i) == b.Number(j);
-  return a.strs_[i] == b.strs_[j];
+  return a.data_->strs[i] == b.data_->strs[j];
 }
 
 bool ColumnVector::CellLess(const ColumnVector& a, size_t i,
@@ -104,7 +113,7 @@ bool ColumnVector::CellLess(const ColumnVector& a, size_t i,
   const bool a_num = a.is_numeric();
   if (a_num != b.is_numeric()) return a_num;  // numbers before strings
   if (a_num) return a.Number(i) < b.Number(j);
-  return a.strs_[i] < b.strs_[j];
+  return a.data_->strs[i] < b.data_->strs[j];
 }
 
 Status ColumnBuilder::Append(const Value& v) {
@@ -137,74 +146,13 @@ Result<ColumnVector> ColumnBuilder::Finish() && {
   }
   if (all_integral_) {
     ColumnVector out(VecType::kInt64);
-    out.ints().reserve(nums_.size());
-    for (double d : nums_) out.ints().push_back(static_cast<int64_t>(d));
+    auto& ints = out.ints();
+    ints.reserve(nums_.size());
+    for (double d : nums_) ints.push_back(static_cast<int64_t>(d));
     return out;
   }
   ColumnVector out(VecType::kDouble);
   out.doubles() = std::move(nums_);
-  return out;
-}
-
-int ColumnBatch::ColumnIndex(const ColumnRef& col) const {
-  for (size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == col) return static_cast<int>(i);
-  }
-  return -1;
-}
-
-ColumnBatch ColumnBatch::Gather(const SelVector& sel) const {
-  ColumnBatch out;
-  out.names = names;
-  out.columns.reserve(columns.size());
-  for (const auto& col : columns) out.columns.push_back(col.Gather(sel));
-  out.num_rows = sel.size();
-  return out;
-}
-
-Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
-                                 const std::vector<ColumnRef>& cols) {
-  ColumnBatch out;
-  out.names = cols;
-  out.columns.reserve(cols.size());
-  for (const auto& col : cols) {
-    const int idx = in.ColumnIndex(col);
-    if (idx < 0) {
-      return Status::Internal("project: column " + col.ToString() +
-                              " missing from batch");
-    }
-    out.columns.push_back(in.columns[idx]);
-  }
-  out.num_rows = in.num_rows;
-  return out;
-}
-
-Result<ColumnBatch> BatchFromRows(const NamedRows& rows) {
-  ColumnBatch out;
-  out.names = rows.columns;
-  out.num_rows = rows.rows.size();
-  out.columns.reserve(rows.columns.size());
-  for (size_t c = 0; c < rows.columns.size(); ++c) {
-    ColumnBuilder builder;
-    for (const auto& row : rows.rows) {
-      MQO_RETURN_NOT_OK(builder.Append(row[c]));
-    }
-    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
-    out.columns.push_back(std::move(col));
-  }
-  return out;
-}
-
-NamedRows BatchToRows(const ColumnBatch& batch) {
-  NamedRows out;
-  out.columns = batch.names;
-  out.rows.reserve(batch.num_rows);
-  for (size_t r = 0; r < batch.num_rows; ++r) {
-    std::vector<Value> row;
-    row.reserve(batch.columns.size());
-    for (const auto& col : batch.columns) row.push_back(col.GetValue(r));
-    out.rows.push_back(std::move(row));
-  }
   return out;
 }
 

@@ -1,26 +1,27 @@
-// Columnar batch format for the vectorized execution engine.
+// Typed column vectors: the storage layer's physical representation.
 //
-// A ColumnBatch holds one typed vector per output column instead of one
-// Value-variant per cell: int64 columns (the generated key/date domains),
-// double columns (aggregate outputs and fractional data), and string columns.
-// Operators work batch-at-a-time over these vectors, communicating row
-// subsets through selection vectors and materializing them with gathers —
-// the DataFusion/DuckDB execution style, here as an independent second
-// implementation of the row engine's bag semantics.
+// A ColumnVector holds one typed payload — int64 (key/date domains), double
+// (aggregate outputs and fractional data), or string — behind a shared,
+// copy-on-write handle: copying a ColumnVector shares the payload in O(1),
+// and the first mutation through a non-const accessor detaches a private
+// copy. That makes table scans and materialized-segment reads zero-copy
+// views, while operator kernels that build fresh columns pay nothing extra
+// (a freshly constructed vector is always uniquely owned).
 //
 // Numeric cells compare and hash by value regardless of physical type (an
 // int64 column joins against a double column exactly as the row engine's
 // ValueEq does); strings and numbers never compare equal, and numbers order
 // before strings, matching ValueLess.
 
-#ifndef MQO_VEXEC_COLUMN_BATCH_H_
-#define MQO_VEXEC_COLUMN_BATCH_H_
+#ifndef MQO_STORAGE_COLUMN_H_
+#define MQO_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "exec/dataset.h"
+#include "storage/named_rows.h"
 
 namespace mqo {
 
@@ -32,28 +33,34 @@ const char* VecTypeToString(VecType t);
 /// Selection vector: row positions into a batch, in increasing order.
 using SelVector = std::vector<uint32_t>;
 
-/// One typed column of a batch. Exactly the payload vector matching `type()`
-/// is populated.
+/// One typed column. Exactly the payload vector matching `type()` is
+/// populated. Copies share the payload (copy-on-write).
 class ColumnVector {
  public:
-  explicit ColumnVector(VecType type = VecType::kInt64) : type_(type) {}
+  explicit ColumnVector(VecType type = VecType::kInt64)
+      : type_(type), data_(std::make_shared<Payload>()) {}
 
   VecType type() const { return type_; }
   bool is_numeric() const { return type_ != VecType::kString; }
 
   size_t size() const;
 
-  const std::vector<int64_t>& ints() const { return ints_; }
-  const std::vector<double>& doubles() const { return doubles_; }
-  const std::vector<std::string>& strings() const { return strs_; }
-  std::vector<int64_t>& ints() { return ints_; }
-  std::vector<double>& doubles() { return doubles_; }
-  std::vector<std::string>& strings() { return strs_; }
+  const std::vector<int64_t>& ints() const { return data_->ints; }
+  const std::vector<double>& doubles() const { return data_->doubles; }
+  const std::vector<std::string>& strings() const { return data_->strs; }
+  std::vector<int64_t>& ints() { return Mutable()->ints; }
+  std::vector<double>& doubles() { return Mutable()->doubles; }
+  std::vector<std::string>& strings() { return Mutable()->strs; }
+
+  /// True iff `other` shares this column's payload (a zero-copy view).
+  bool SharesPayloadWith(const ColumnVector& other) const {
+    return data_ == other.data_;
+  }
 
   /// Numeric cell widened to double. Precondition: is_numeric().
   double Number(size_t i) const {
-    return type_ == VecType::kInt64 ? static_cast<double>(ints_[i])
-                                    : doubles_[i];
+    return type_ == VecType::kInt64 ? static_cast<double>(data_->ints[i])
+                                    : data_->doubles[i];
   }
 
   /// Cell as the row engine's Value.
@@ -80,10 +87,22 @@ class ColumnVector {
                        size_t j);
 
  private:
+  struct Payload {
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strs;
+  };
+
+  /// Detaches a private payload copy before mutation if the payload is
+  /// shared. Mutation is single-threaded by construction (morsel workers only
+  /// read shared columns), so plain use_count suffices.
+  Payload* Mutable() {
+    if (data_.use_count() != 1) data_ = std::make_shared<Payload>(*data_);
+    return data_.get();
+  }
+
   VecType type_;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<std::string> strs_;
+  std::shared_ptr<Payload> data_;
 };
 
 /// Accumulates row-engine Values into a typed column: all-integral numeric
@@ -104,29 +123,6 @@ class ColumnBuilder {
   std::vector<std::string> strs_;
 };
 
-/// A batch: parallel typed columns with qualified names, all of `num_rows`.
-struct ColumnBatch {
-  std::vector<ColumnRef> names;
-  std::vector<ColumnVector> columns;
-  size_t num_rows = 0;
-
-  /// Index of `col` in `names`, or -1.
-  int ColumnIndex(const ColumnRef& col) const;
-
-  /// New batch holding the rows at `sel` (gather on every column).
-  ColumnBatch Gather(const SelVector& sel) const;
-};
-
-/// Projects onto `cols` (a subset of in.names) without copying row order.
-Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
-                                 const std::vector<ColumnRef>& cols);
-
-/// Converts a row table to columnar form (typed per column).
-Result<ColumnBatch> BatchFromRows(const NamedRows& rows);
-
-/// Converts back to the row engine's format.
-NamedRows BatchToRows(const ColumnBatch& batch);
-
 }  // namespace mqo
 
-#endif  // MQO_VEXEC_COLUMN_BATCH_H_
+#endif  // MQO_STORAGE_COLUMN_H_

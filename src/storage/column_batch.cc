@@ -1,0 +1,67 @@
+#include "storage/column_batch.h"
+
+namespace mqo {
+
+int ColumnBatch::ColumnIndex(const ColumnRef& col) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColumnBatch ColumnBatch::Gather(const SelVector& sel) const {
+  ColumnBatch out;
+  out.names = names;
+  out.columns.reserve(columns.size());
+  for (const auto& col : columns) out.columns.push_back(col.Gather(sel));
+  out.num_rows = sel.size();
+  return out;
+}
+
+Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
+                                 const std::vector<ColumnRef>& cols) {
+  ColumnBatch out;
+  out.names = cols;
+  out.columns.reserve(cols.size());
+  for (const auto& col : cols) {
+    const int idx = in.ColumnIndex(col);
+    if (idx < 0) {
+      return Status::Internal("project: column " + col.ToString() +
+                              " missing from batch");
+    }
+    out.columns.push_back(in.columns[idx]);
+  }
+  out.num_rows = in.num_rows;
+  return out;
+}
+
+Result<ColumnBatch> BatchFromRows(const NamedRows& rows) {
+  ColumnBatch out;
+  out.names = rows.columns;
+  out.num_rows = rows.rows.size();
+  out.columns.reserve(rows.columns.size());
+  for (size_t c = 0; c < rows.columns.size(); ++c) {
+    ColumnBuilder builder;
+    for (const auto& row : rows.rows) {
+      MQO_RETURN_NOT_OK(builder.Append(row[c]));
+    }
+    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+    out.columns.push_back(std::move(col));
+  }
+  return out;
+}
+
+NamedRows BatchToRows(const ColumnBatch& batch) {
+  NamedRows out;
+  out.columns = batch.names;
+  out.rows.reserve(batch.num_rows);
+  for (size_t r = 0; r < batch.num_rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(batch.columns.size());
+    for (const auto& col : batch.columns) row.push_back(col.GetValue(r));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mqo

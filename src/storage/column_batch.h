@@ -1,0 +1,47 @@
+// Columnar batch: parallel typed column vectors with qualified names.
+//
+// ColumnBatch is the unit of work of the vectorized execution engine
+// (src/vexec/) and the segment format of the materialize-once store shared
+// by both executors. Because ColumnVector payloads are copy-on-write,
+// copying a batch — a scan view of a base table, a materialized-segment
+// read — shares the column payloads and is O(columns), not O(rows).
+//
+// BatchFromRows / BatchToRows are the boundary conversions to the row format
+// (named_rows.h): results handed to callers, canonicalization, and the row
+// interpreter's materialization protocol.
+
+#ifndef MQO_STORAGE_COLUMN_BATCH_H_
+#define MQO_STORAGE_COLUMN_BATCH_H_
+
+#include <vector>
+
+#include "storage/column.h"
+
+namespace mqo {
+
+/// A batch: parallel typed columns with qualified names, all of `num_rows`.
+struct ColumnBatch {
+  std::vector<ColumnRef> names;
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+
+  /// Index of `col` in `names`, or -1.
+  int ColumnIndex(const ColumnRef& col) const;
+
+  /// New batch holding the rows at `sel` (gather on every column).
+  ColumnBatch Gather(const SelVector& sel) const;
+};
+
+/// Projects onto `cols` (a subset of in.names) without copying row order.
+Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,
+                                 const std::vector<ColumnRef>& cols);
+
+/// Converts a row table to columnar form (typed per column).
+Result<ColumnBatch> BatchFromRows(const NamedRows& rows);
+
+/// Converts back to the row engine's format.
+NamedRows BatchToRows(const ColumnBatch& batch);
+
+}  // namespace mqo
+
+#endif  // MQO_STORAGE_COLUMN_BATCH_H_

@@ -1,0 +1,36 @@
+#include "storage/column_store.h"
+
+#include "storage/column_batch.h"
+
+namespace mqo {
+
+Status ColumnStore::AddColumn(std::string name, ColumnVector column) {
+  if (!names_.empty() && column.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(column.size()) +
+        " rows, store has " + std::to_string(num_rows_));
+  }
+  num_rows_ = column.size();
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+int ColumnStore::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<ColumnStore> ColumnStore::FromRows(const NamedRows& rows) {
+  MQO_ASSIGN_OR_RETURN(ColumnBatch batch, BatchFromRows(rows));
+  ColumnStore store;
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    MQO_RETURN_NOT_OK(
+        store.AddColumn(batch.names[c].name, std::move(batch.columns[c])));
+  }
+  return store;
+}
+
+}  // namespace mqo

@@ -1,0 +1,39 @@
+// The materialize-once/read-many segment store shared by both executors.
+//
+// MQO's value proposition is to execute a shared subexpression once and read
+// it many times; this store holds those results as columnar segments
+// (ColumnBatch, COW column payloads), keyed by the memo equivalence class
+// that was materialized. The vectorized engine reads segments zero-copy; the
+// row interpreter converts at the boundary (BatchToRows/BatchFromRows).
+
+#ifndef MQO_STORAGE_MAT_STORE_H_
+#define MQO_STORAGE_MAT_STORE_H_
+
+#include <map>
+
+#include "storage/column_batch.h"
+
+namespace mqo {
+
+/// Columnar segments keyed by materialized class id.
+class MatStore {
+ public:
+  /// Inserts or replaces the segment for `eq`.
+  void Put(int eq, ColumnBatch segment) { segments_[eq] = std::move(segment); }
+
+  /// The segment for `eq`, or nullptr if it was never materialized.
+  const ColumnBatch* Get(int eq) const {
+    auto it = segments_.find(eq);
+    return it == segments_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(int eq) const { return segments_.count(eq) > 0; }
+  size_t size() const { return segments_.size(); }
+
+ private:
+  std::map<int, ColumnBatch> segments_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_STORAGE_MAT_STORE_H_

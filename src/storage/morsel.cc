@@ -1,0 +1,45 @@
+#include "storage/morsel.h"
+
+#include <atomic>
+#include <thread>
+
+namespace mqo {
+
+std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows) {
+  std::vector<Morsel> morsels;
+  if (num_rows == 0) return morsels;
+  if (morsel_rows == 0) morsel_rows = num_rows;
+  morsels.reserve((num_rows + morsel_rows - 1) / morsel_rows);
+  for (size_t begin = 0; begin < num_rows; begin += morsel_rows) {
+    const size_t end = std::min(num_rows, begin + morsel_rows);
+    morsels.push_back(
+        {static_cast<uint32_t>(begin), static_cast<uint32_t>(end)});
+  }
+  return morsels;
+}
+
+void ParallelOverMorsels(const std::vector<Morsel>& morsels, int num_threads,
+                         const std::function<void(size_t, const Morsel&)>& fn) {
+  if (morsels.empty()) return;
+  const size_t workers = std::min<size_t>(
+      num_threads > 1 ? static_cast<size_t>(num_threads) : 1, morsels.size());
+  if (workers <= 1) {
+    for (size_t m = 0; m < morsels.size(); ++m) fn(m, morsels[m]);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels.size()) return;
+      fn(m, morsels[m]);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace mqo

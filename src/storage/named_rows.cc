@@ -1,0 +1,52 @@
+#include "storage/named_rows.h"
+
+#include <algorithm>
+
+namespace mqo {
+
+int NamedRows::ColumnIndex(const ColumnRef& col) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.is_number() != b.is_number()) return a.is_number();
+  if (a.is_number()) return a.number() < b.number();
+  return a.str() < b.str();
+}
+
+Status Canonicalize(const std::vector<ColumnRef>& columns, NamedRows* rows) {
+  std::vector<int> indices;
+  indices.reserve(columns.size());
+  for (const auto& col : columns) {
+    const int idx = rows->ColumnIndex(col);
+    if (idx < 0) {
+      return Status::Internal("canonicalize: column " + col.ToString() +
+                              " missing from result");
+    }
+    indices.push_back(idx);
+  }
+  std::vector<std::vector<Value>> projected;
+  projected.reserve(rows->rows.size());
+  for (const auto& row : rows->rows) {
+    std::vector<Value> p;
+    p.reserve(indices.size());
+    for (int idx : indices) p.push_back(row[idx]);
+    projected.push_back(std::move(p));
+  }
+  std::sort(projected.begin(), projected.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                if (ValueLess(a[i], b[i])) return true;
+                if (ValueLess(b[i], a[i])) return false;
+              }
+              return a.size() < b.size();
+            });
+  rows->columns = columns;
+  rows->rows = std::move(projected);
+  return Status::OK();
+}
+
+}  // namespace mqo

@@ -1,0 +1,48 @@
+// The row-oriented boundary format of the storage layer.
+//
+// Inside the system, base tables and materialized segments live in typed
+// columns (column_store.h); NamedRows is the *boundary* representation used
+// where rows are the natural shape: query results handed to callers,
+// canonicalization for result comparison, and the row interpreter's
+// cursor-driven reference semantics. Conversions between the two live in
+// column_batch.h (BatchFromRows / BatchToRows) and table_reader.h.
+//
+// Numeric values are quantized to integers (exactly representable in double),
+// so SUM/AVG results are independent of evaluation order and result
+// comparison can be exact.
+
+#ifndef MQO_STORAGE_NAMED_ROWS_H_
+#define MQO_STORAGE_NAMED_ROWS_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "common/status.h"
+
+namespace mqo {
+
+/// A runtime value: reuses Literal (number or string).
+using Value = Literal;
+
+/// A table of rows with named, qualified columns.
+struct NamedRows {
+  std::vector<ColumnRef> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Index of `col` in `columns`, or -1.
+  int ColumnIndex(const ColumnRef& col) const;
+};
+
+/// Total order on Values (numbers before strings) used for canonical row
+/// sorting.
+bool ValueLess(const Value& a, const Value& b);
+
+/// Canonicalizes in place: projects onto `columns` (which must be a subset of
+/// rows.columns), then sorts rows lexicographically. Two results are
+/// semantically equal iff their canonical forms are equal.
+Status Canonicalize(const std::vector<ColumnRef>& columns, NamedRows* rows);
+
+}  // namespace mqo
+
+#endif  // MQO_STORAGE_NAMED_ROWS_H_

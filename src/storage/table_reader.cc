@@ -1,0 +1,35 @@
+#include "storage/table_reader.h"
+
+namespace mqo {
+
+ColumnBatch TableReader::Columnar(const std::string& alias) const {
+  ColumnBatch out;
+  out.num_rows = store_->num_rows();
+  out.names.reserve(store_->num_columns());
+  out.columns.reserve(store_->num_columns());
+  for (size_t c = 0; c < store_->num_columns(); ++c) {
+    out.names.emplace_back(alias, store_->name(c));
+    out.columns.push_back(store_->column(c));  // COW: shares the payload
+  }
+  return out;
+}
+
+NamedRows TableReader::Rows(const std::string& alias) const {
+  NamedRows out;
+  out.columns.reserve(store_->num_columns());
+  for (size_t c = 0; c < store_->num_columns(); ++c) {
+    out.columns.emplace_back(alias, store_->name(c));
+  }
+  out.rows.reserve(store_->num_rows());
+  for (Cursor cur = cursor(); cur.Next();) {
+    std::vector<Value> row;
+    row.reserve(store_->num_columns());
+    for (size_t c = 0; c < store_->num_columns(); ++c) {
+      row.push_back(cur.Get(c));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mqo

@@ -14,9 +14,9 @@ const char* ExecBackendToString(ExecBackend backend) {
 
 Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
     ExecBackend backend, Memo* memo, const DataSet* data,
-    const ConsolidatedPlan& plan) {
+    const ConsolidatedPlan& plan, const ExecOptions& exec) {
   if (backend == ExecBackend::kVector) {
-    VectorPlanExecutor executor(memo, data);
+    VectorPlanExecutor executor(memo, data, exec);
     return executor.ExecuteConsolidated(plan);
   }
   PlanExecutor executor(memo, data);
@@ -24,10 +24,10 @@ Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
 }
 
 Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,
-                                  const DataSet* data,
-                                  const PlanNodePtr& plan) {
+                                  const DataSet* data, const PlanNodePtr& plan,
+                                  const ExecOptions& exec) {
   if (backend == ExecBackend::kVector) {
-    VectorPlanExecutor executor(memo, data);
+    VectorPlanExecutor executor(memo, data, exec);
     return executor.Execute(plan);
   }
   PlanExecutor executor(memo, data);

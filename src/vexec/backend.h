@@ -21,15 +21,18 @@ enum class ExecBackend {
 const char* ExecBackendToString(ExecBackend backend);
 
 /// Executes a full consolidated plan (materialized nodes + batch root) with
-/// the selected backend; one result per batched query.
+/// the selected backend; one result per batched query. `exec` configures the
+/// vectorized engine (morsel-parallel threads); the row interpreter is
+/// always serial and ignores it.
 Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
     ExecBackend backend, Memo* memo, const DataSet* data,
-    const ConsolidatedPlan& plan);
+    const ConsolidatedPlan& plan, const ExecOptions& exec = {});
 
 /// Executes one standalone plan tree (no materialized reads) with the
 /// selected backend.
 Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,
-                                  const DataSet* data, const PlanNodePtr& plan);
+                                  const DataSet* data, const PlanNodePtr& plan,
+                                  const ExecOptions& exec = {});
 
 }  // namespace mqo
 

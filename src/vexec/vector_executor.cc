@@ -6,12 +6,12 @@ namespace mqo {
 
 Result<ColumnBatch> VectorPlanExecutor::Scan(const std::string& table,
                                              const std::string& alias) {
-  const auto key = std::make_pair(table, alias);
-  auto it = scan_cache_.find(key);
-  if (it != scan_cache_.end()) return it->second;
-  MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ScanBatch(*data_, table, alias));
-  scan_cache_[key] = batch;
-  return batch;
+  return ScanBatch(*data_, table, alias);
+}
+
+Result<ColumnBatch> VectorPlanExecutor::Filter(const ColumnBatch& in,
+                                               const Predicate& predicate) {
+  return FilterBatch(in, predicate, options_.num_threads, options_.morsel_rows);
 }
 
 Result<ColumnBatch> VectorPlanExecutor::ToClassAttrs(EqId eq,
@@ -22,8 +22,7 @@ Result<ColumnBatch> VectorPlanExecutor::ToClassAttrs(EqId eq,
 
 Result<ColumnBatch> VectorPlanExecutor::SideInputBatch(EqId eq) {
   eq = memo_->Find(eq);
-  auto it = store_.find(eq);
-  if (it != store_.end()) return it->second;
+  if (const ColumnBatch* segment = store_.Get(eq)) return *segment;
   return EvaluateClassBatch(eq);
 }
 
@@ -33,7 +32,7 @@ Result<ColumnBatch> VectorPlanExecutor::EvaluateOpBatch(const MemoOp& op) {
       return Scan(op.table, op.alias);
     case LogicalOp::kSelect: {
       MQO_ASSIGN_OR_RETURN(ColumnBatch in, EvaluateClassBatch(op.children[0]));
-      return FilterBatch(in, op.predicate);
+      return Filter(in, op.predicate);
     }
     case LogicalOp::kJoin: {
       MQO_ASSIGN_OR_RETURN(ColumnBatch left, EvaluateClassBatch(op.children[0]));
@@ -75,12 +74,12 @@ Result<ColumnBatch> VectorPlanExecutor::ExecuteBatchRaw(
     case PhysOp::kIndexScan: {
       if (op == nullptr) return Status::Internal("index scan without op");
       MQO_ASSIGN_OR_RETURN(ColumnBatch in, EvaluateClassBatch(op->children[0]));
-      return FilterBatch(in, op->predicate);
+      return Filter(in, op->predicate);
     }
     case PhysOp::kFilter: {
       if (op == nullptr) return Status::Internal("filter without op");
       MQO_ASSIGN_OR_RETURN(ColumnBatch in, ExecuteBatch(plan->children[0]));
-      return FilterBatch(in, op->predicate);
+      return Filter(in, op->predicate);
     }
     case PhysOp::kBlockNLJoin:
     case PhysOp::kIndexNLJoin:
@@ -123,12 +122,12 @@ Result<ColumnBatch> VectorPlanExecutor::ExecuteBatchRaw(
     }
     case PhysOp::kReadMaterialized: {
       const EqId eq = memo_->Find(plan->eq);
-      auto it = store_.find(eq);
-      if (it == store_.end()) {
+      const ColumnBatch* segment = store_.Get(eq);
+      if (segment == nullptr) {
         return Status::Internal("materialized node E" + std::to_string(eq) +
                                 " not in store");
       }
-      return it->second;
+      return *segment;  // zero-copy segment view
     }
     case PhysOp::kBatchRoot:
       return Status::Unimplemented("execute batch roots via ExecuteConsolidated");
@@ -152,7 +151,7 @@ Result<NamedRows> VectorPlanExecutor::Execute(const PlanNodePtr& plan) {
 Status VectorPlanExecutor::MaterializeNode(EqId eq,
                                            const PlanNodePtr& compute_plan) {
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
-  store_[memo_->Find(eq)] = std::move(batch);
+  store_.Put(memo_->Find(eq), std::move(batch));
   return Status::OK();
 }
 

@@ -3,28 +3,40 @@
 //
 // Executes the optimizer's plan trees — including consolidated MQO plans —
 // batch-at-a-time over ColumnBatch, with the same materialization protocol as
-// the row engine: chosen nodes are executed once (dependency order) into a
-// columnar store that ReadMaterialized leaves and join side-inputs consult.
-// Results are canonicalized to class attributes at the API boundary so the
-// two engines are directly comparable; the differential suite asserts they
-// agree on every workload and materialization choice, which makes this
+// the row engine: chosen nodes are executed once (dependency order) into the
+// shared columnar segment store (storage/mat_store.h) that ReadMaterialized
+// leaves and join side-inputs consult, zero-copy. Base tables are read as
+// zero-copy TableReader views of native columnar storage, and filters run
+// morsel-parallel when ExecOptions::num_threads > 1. Results are
+// canonicalized to class attributes at the API boundary so the two engines
+// are directly comparable; the differential suite asserts they agree on
+// every workload, materialization choice, and thread count, which makes this
 // engine an independent second witness of the MQO sharing semantics.
 
 #ifndef MQO_VEXEC_VECTOR_EXECUTOR_H_
 #define MQO_VEXEC_VECTOR_EXECUTOR_H_
 
-#include <map>
-
 #include "optimizer/batch_optimizer.h"
+#include "storage/mat_store.h"
 #include "vexec/vector_ops.h"
 
 namespace mqo {
 
+/// Execution-time knobs of the vectorized engine.
+struct ExecOptions {
+  /// Worker threads for morsel-parallel scans+filters; 1 = serial. Results
+  /// are identical for every value.
+  int num_threads = 1;
+  /// Rows per morsel (the parallel scheduling granule).
+  size_t morsel_rows = kDefaultMorselRows;
+};
+
 /// Executes physical plans against a dataset, batch-at-a-time.
 class VectorPlanExecutor {
  public:
-  VectorPlanExecutor(Memo* memo, const DataSet* data)
-      : memo_(memo), data_(data) {}
+  VectorPlanExecutor(Memo* memo, const DataSet* data,
+                     const ExecOptions& options = {})
+      : memo_(memo), data_(data), options_(options) {}
 
   /// Executes one plan tree; the result is canonicalized to the plan's class
   /// attributes (same contract as PlanExecutor::Execute).
@@ -49,16 +61,17 @@ class VectorPlanExecutor {
   /// Join inner side not in the plan tree: materialized store first, then
   /// logical evaluation (mirrors PlanExecutor::SideInput).
   Result<ColumnBatch> SideInputBatch(EqId eq);
-  /// Base-table scan through the per-(table, alias) conversion cache.
+  /// Base-table scan: a zero-copy TableReader view (no conversion, no cache).
   Result<ColumnBatch> Scan(const std::string& table, const std::string& alias);
+  /// Filter with this executor's thread/morsel configuration.
+  Result<ColumnBatch> Filter(const ColumnBatch& in, const Predicate& predicate);
   /// Projects `batch` onto the attributes of class `eq`.
   Result<ColumnBatch> ToClassAttrs(EqId eq, ColumnBatch batch);
 
   Memo* memo_;
   const DataSet* data_;
-  std::map<EqId, ColumnBatch> store_;
-  /// Columnar conversions of base tables are shared across scans.
-  std::map<std::pair<std::string, std::string>, ColumnBatch> scan_cache_;
+  ExecOptions options_;
+  MatStore store_;
 };
 
 }  // namespace mqo

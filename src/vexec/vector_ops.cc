@@ -5,24 +5,27 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "storage/table_reader.h"
 
 namespace mqo {
 
 namespace {
 
 /// Appends to `out` the candidate rows of `col` passing `cmp`. `in_sel ==
-/// nullptr` means all `n` rows are candidates. Typed loops are hoisted per
-/// (column type, literal type, op); a numeric/string type mismatch passes no
-/// rows, exactly like CompareValues.
+/// nullptr` means every row of [begin, end) is a candidate (a morsel; the
+/// serial path passes the whole batch). Typed loops are hoisted per (column
+/// type, literal type, op); a numeric/string type mismatch passes no rows,
+/// exactly like CompareValues.
 void CompareColumn(const ColumnVector& col, const Comparison& cmp,
-                   const SelVector* in_sel, size_t n, SelVector* out) {
+                   const SelVector* in_sel, uint32_t begin, uint32_t end,
+                   SelVector* out) {
   auto scan = [&](auto&& pass) {
     if (in_sel != nullptr) {
       for (uint32_t i : *in_sel) {
         if (pass(i)) out->push_back(i);
       }
     } else {
-      for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) {
+      for (uint32_t i = begin; i < end; ++i) {
         if (pass(i)) out->push_back(i);
       }
     }
@@ -155,18 +158,32 @@ bool KeyLess(const ColumnBatch& a, uint32_t i, const ColumnBatch& b, uint32_t j,
   return false;
 }
 
+/// Refines [begin, end) of the batch through every conjunct, leaving the
+/// surviving row positions (ascending) in `sel`.
+void FilterRange(const ColumnBatch& in, const std::vector<Comparison>& conjuncts,
+                 const std::vector<int>& idx, uint32_t begin, uint32_t end,
+                 SelVector* sel) {
+  SelVector next;
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    next.clear();
+    CompareColumn(in.columns[idx[c]], conjuncts[c], c == 0 ? nullptr : sel,
+                  begin, end, &next);
+    std::swap(*sel, next);
+    if (sel->empty()) return;
+  }
+}
+
 }  // namespace
 
 Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
                               const std::string& alias) {
-  MQO_ASSIGN_OR_RETURN(const NamedRows* base, data.GetTable(table));
-  MQO_ASSIGN_OR_RETURN(ColumnBatch out, BatchFromRows(*base));
-  for (auto& name : out.names) name.qualifier = alias;
-  return out;
+  MQO_ASSIGN_OR_RETURN(const ColumnStore* base, data.GetTable(table));
+  return TableReader(base).Columnar(alias);
 }
 
 Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
-                                const Predicate& predicate) {
+                                const Predicate& predicate, int num_threads,
+                                size_t morsel_rows) {
   std::vector<int> idx;
   for (const auto& cmp : predicate.conjuncts()) {
     const int i = in.ColumnIndex(cmp.column);
@@ -177,16 +194,28 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
     idx.push_back(i);
   }
   if (predicate.Empty()) return in;
-  SelVector sel;
-  SelVector next;
   const auto& conjuncts = predicate.conjuncts();
-  for (size_t c = 0; c < conjuncts.size(); ++c) {
-    next.clear();
-    CompareColumn(in.columns[idx[c]], conjuncts[c], c == 0 ? nullptr : &sel,
-                  in.num_rows, &next);
-    std::swap(sel, next);
-    if (sel.empty()) break;
+  const std::vector<Morsel> morsels = MakeMorsels(in.num_rows, morsel_rows);
+  if (num_threads <= 1 || morsels.size() < 2) {
+    SelVector sel;
+    FilterRange(in, conjuncts, idx, 0, static_cast<uint32_t>(in.num_rows),
+                &sel);
+    return in.Gather(sel);
   }
+  // Morsel-parallel scan: each worker refines its own selection vector; the
+  // per-morsel slots are concatenated in morsel order, so the final selection
+  // is ascending and identical to the serial result.
+  std::vector<SelVector> parts(morsels.size());
+  ParallelOverMorsels(morsels, num_threads,
+                      [&](size_t m, const Morsel& morsel) {
+                        FilterRange(in, conjuncts, idx, morsel.begin,
+                                    morsel.end, &parts[m]);
+                      });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  SelVector sel;
+  sel.reserve(total);
+  for (const auto& part : parts) sel.insert(sel.end(), part.begin(), part.end());
   return in.Gather(sel);
 }
 

@@ -1,28 +1,38 @@
 // Vectorized operator kernels over ColumnBatch, mirroring the row engine's
-// bag semantics (exec/row_ops.h) batch-at-a-time: scans convert base tables
-// to typed columns, filters refine selection vectors with typed comparison
-// loops, equi-joins run a build/probe hash join (the fast path the row
-// engine's nested loops lack), merge joins sort-merge argsorted inputs, and
-// aggregation groups through a hash table into columnar fold states.
+// bag semantics (exec/row_ops.h) batch-at-a-time: scans take zero-copy
+// column views of native columnar storage, filters refine selection vectors
+// with typed comparison loops (morsel-parallel when asked), equi-joins run a
+// build/probe hash join (the fast path the row engine's nested loops lack),
+// merge joins sort-merge argsorted inputs, and aggregation groups through a
+// hash table into columnar fold states.
 //
 // Every kernel must be bag-equivalent to its row_ops counterpart — the
-// differential suite (tests/vexec_test.cc) enforces this on every workload.
+// differential suite (tests/vexec_test.cc) enforces this on every workload
+// and every thread count.
 
 #ifndef MQO_VEXEC_VECTOR_OPS_H_
 #define MQO_VEXEC_VECTOR_OPS_H_
 
 #include "algebra/logical_expr.h"
-#include "vexec/column_batch.h"
+#include "exec/dataset.h"
+#include "storage/column_batch.h"
+#include "storage/morsel.h"
 
 namespace mqo {
 
-/// Base-table columns re-qualified under a scan alias.
+/// Base-table columns re-qualified under a scan alias: a zero-copy view of
+/// the table's ColumnStore (COW payloads shared, nothing converted).
 Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
                               const std::string& alias);
 
 /// Rows satisfying every conjunct, via per-conjunct selection refinement.
+/// With `num_threads > 1` the scan is split into fixed-size morsels filtered
+/// by a std::thread pool into per-morsel selection vectors and merged in
+/// morsel order — deterministically identical to the serial result.
 Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
-                                const Predicate& predicate);
+                                const Predicate& predicate,
+                                int num_threads = 1,
+                                size_t morsel_rows = kDefaultMorselRows);
 
 /// Equijoin: builds a hash table on `right`, probes with `left`, gathers the
 /// matching index pairs. Empty predicates degrade to the cross product (as

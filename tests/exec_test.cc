@@ -13,6 +13,7 @@
 #include "exec/evaluator.h"
 #include "lqdag/rules.h"
 #include "parser/parser.h"
+#include "storage/table_reader.h"
 #include "workload/tpcd_queries.h"
 
 namespace mqo {
@@ -53,12 +54,12 @@ TEST(DataSetTest, GenerationIsDeterministicAndBounded) {
   opts.max_rows_per_table = 25;
   DataSet da = GenerateData(cat, opts, &a);
   DataSet db = GenerateData(cat, opts, &b);
-  const NamedRows* ta = da.GetTable("t1").ValueOrDie();
-  const NamedRows* tb = db.GetTable("t1").ValueOrDie();
-  ASSERT_EQ(ta->rows.size(), 25u);
-  for (size_t i = 0; i < ta->rows.size(); ++i) {
-    for (size_t j = 0; j < ta->columns.size(); ++j) {
-      EXPECT_TRUE(ta->rows[i][j] == tb->rows[i][j]);
+  const NamedRows ta = TableReader(da.GetTable("t1").ValueOrDie()).Rows("t1");
+  const NamedRows tb = TableReader(db.GetTable("t1").ValueOrDie()).Rows("t1");
+  ASSERT_EQ(ta.rows.size(), 25u);
+  for (size_t i = 0; i < ta.rows.size(); ++i) {
+    for (size_t j = 0; j < ta.columns.size(); ++j) {
+      EXPECT_TRUE(ta.rows[i][j] == tb.rows[i][j]);
     }
   }
 }
@@ -67,11 +68,13 @@ TEST(DataSetTest, NumericValuesAreIntegers) {
   Catalog cat = MakeTinyCatalog();
   Rng rng(9);
   DataSet data = GenerateData(cat, DataGenOptions{}, &rng);
-  const NamedRows* t = data.GetTable("t2").ValueOrDie();
-  const int vi = t->ColumnIndex(ColumnRef("t2", "v"));
+  const ColumnStore* t = data.GetTable("t2").ValueOrDie();
+  const int vi = t->ColumnIndex("v");
   ASSERT_GE(vi, 0);
-  for (const auto& row : t->rows) {
-    const double v = row[vi].number();
+  // The catalog declares "v" as a double column; native columnar generation
+  // types it accordingly, but the generated values are still quantized.
+  ASSERT_EQ(t->column(vi).type(), VecType::kDouble);
+  for (double v : t->column(vi).doubles()) {
     EXPECT_EQ(v, std::floor(v));
   }
 }
@@ -115,14 +118,14 @@ TEST_F(EvaluatorTest, JoinMatchesHandNestedLoops) {
   EqId eq = memo_.Insert(NormalizeTree(tree));
   Evaluator ev(&memo_, &data_);
   auto joined = ev.EvaluateClass(eq).ValueOrDie();
-  // Count expected matches by hand.
-  const NamedRows* t1 = data_.GetTable("t1").ValueOrDie();
-  const NamedRows* t2 = data_.GetTable("t2").ValueOrDie();
-  const int k1 = t1->ColumnIndex(ColumnRef("t1", "k"));
-  const int k2 = t2->ColumnIndex(ColumnRef("t2", "k"));
+  // Count expected matches by hand, through the row-cursor boundary.
+  const NamedRows t1 = TableReader(data_.GetTable("t1").ValueOrDie()).Rows("t1");
+  const NamedRows t2 = TableReader(data_.GetTable("t2").ValueOrDie()).Rows("t2");
+  const int k1 = t1.ColumnIndex(ColumnRef("t1", "k"));
+  const int k2 = t2.ColumnIndex(ColumnRef("t2", "k"));
   size_t expected = 0;
-  for (const auto& a : t1->rows) {
-    for (const auto& b : t2->rows) {
+  for (const auto& a : t1.rows) {
+    for (const auto& b : t2.rows) {
       if (a[k1].number() == b[k2].number()) ++expected;
     }
   }
@@ -139,10 +142,10 @@ TEST_F(EvaluatorTest, AggregateSumsMatchHandComputation) {
   Evaluator ev(&memo_, &data_);
   auto result = ev.EvaluateClass(eq).ValueOrDie();
   ASSERT_EQ(result.rows.size(), 1u);
-  const NamedRows* t1 = data_.GetTable("t1").ValueOrDie();
-  const int vi = t1->ColumnIndex(ColumnRef("t1", "v"));
+  const ColumnStore* t1 = data_.GetTable("t1").ValueOrDie();
+  const int vi = t1->ColumnIndex("v");
   double expected = 0;
-  for (const auto& row : t1->rows) expected += row[vi].number();
+  for (double v : t1->column(vi).doubles()) expected += v;
   EXPECT_DOUBLE_EQ(result.rows[0][0].number(), expected);
 }
 

@@ -61,9 +61,22 @@ void ExpectSameRows(const NamedRows& expected, const NamedRows& actual,
   }
 }
 
+/// Vector-engine configurations the differential suite must match the row
+/// engine under: serial, and 4 morsel-parallel scan threads. The morsel size
+/// is tiny so the small test tables split into several morsels and the
+/// parallel merge path is genuinely exercised.
+std::vector<ExecOptions> VectorConfigs() {
+  ExecOptions serial;
+  ExecOptions parallel;
+  parallel.num_threads = 4;
+  parallel.morsel_rows = 8;
+  return {serial, parallel};
+}
+
 /// The differential check for one workload: row and vectorized execution
-/// must agree on every standalone per-query plan and on the consolidated
-/// plan chosen by every MQO algorithm (plus the no-sharing plan).
+/// (at every thread count) must agree on every standalone per-query plan and
+/// on the consolidated plan chosen by every MQO algorithm (plus the
+/// no-sharing plan).
 void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
   DataSet data = GenerateData(*memo->catalog(), gen);
   BatchOptimizer optimizer(memo, CostModel());
@@ -77,11 +90,15 @@ void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
     for (size_t q = 0; q < volcano.root_plan->children.size(); ++q) {
       const PlanNodePtr& plan = volcano.root_plan->children[q];
       auto row = ExecutePlanWith(ExecBackend::kRow, memo, &data, plan);
-      auto vec = ExecutePlanWith(ExecBackend::kVector, memo, &data, plan);
       ASSERT_TRUE(row.ok()) << row.status().ToString();
-      ASSERT_TRUE(vec.ok()) << vec.status().ToString();
-      ExpectSameRows(row.ValueOrDie(), vec.ValueOrDie(),
-                     "standalone q" + std::to_string(q));
+      for (const ExecOptions& exec : VectorConfigs()) {
+        auto vec =
+            ExecutePlanWith(ExecBackend::kVector, memo, &data, plan, exec);
+        ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+        ExpectSameRows(row.ValueOrDie(), vec.ValueOrDie(),
+                       "standalone q" + std::to_string(q) + " t" +
+                           std::to_string(exec.num_threads));
+      }
     }
   }
 
@@ -90,16 +107,20 @@ void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
     MqoResult result = RunAlgorithm(alg, &problem);
     ConsolidatedPlan plan = optimizer.Plan(result.materialized);
     auto row = ExecuteConsolidatedWith(ExecBackend::kRow, memo, &data, plan);
-    auto vec = ExecuteConsolidatedWith(ExecBackend::kVector, memo, &data, plan);
     ASSERT_TRUE(row.ok()) << row.status().ToString();
-    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
     const auto& row_results = row.ValueOrDie();
-    const auto& vec_results = vec.ValueOrDie();
     ASSERT_EQ(row_results.size(), roots.size());
-    ASSERT_EQ(vec_results.size(), roots.size());
-    for (size_t q = 0; q < roots.size(); ++q) {
-      ExpectSameRows(row_results[q], vec_results[q],
-                     result.algorithm + " q" + std::to_string(q));
+    for (const ExecOptions& exec : VectorConfigs()) {
+      auto vec = ExecuteConsolidatedWith(ExecBackend::kVector, memo, &data,
+                                         plan, exec);
+      ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+      const auto& vec_results = vec.ValueOrDie();
+      ASSERT_EQ(vec_results.size(), roots.size());
+      for (size_t q = 0; q < roots.size(); ++q) {
+        ExpectSameRows(row_results[q], vec_results[q],
+                       result.algorithm + " q" + std::to_string(q) + " t" +
+                           std::to_string(exec.num_threads));
+      }
     }
   }
 }
@@ -292,17 +313,21 @@ TEST(VexecFacadeTest, OptimizeAndExecuteAgreesAcrossBackends) {
   MqoOptions options;
   options.backend = ExecBackend::kRow;
   auto row = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
-  options.backend = ExecBackend::kVector;
-  auto vec = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
   ASSERT_TRUE(row.ok()) << row.status().ToString();
-  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
   ASSERT_EQ(row.ValueOrDie().results.size(), 2u);
-  ASSERT_EQ(vec.ValueOrDie().results.size(), 2u);
-  EXPECT_EQ(vec.ValueOrDie().backend, ExecBackend::kVector);
-  for (size_t q = 0; q < 2; ++q) {
-    ExpectSameRows(row.ValueOrDie().results[q], vec.ValueOrDie().results[q],
-                   "facade q" + std::to_string(q));
-    EXPECT_GT(row.ValueOrDie().results[q].rows.size(), 0u);
+  options.backend = ExecBackend::kVector;
+  for (int threads : {1, 4}) {
+    options.exec.num_threads = threads;
+    auto vec = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    ASSERT_EQ(vec.ValueOrDie().results.size(), 2u);
+    EXPECT_EQ(vec.ValueOrDie().backend, ExecBackend::kVector);
+    for (size_t q = 0; q < 2; ++q) {
+      ExpectSameRows(row.ValueOrDie().results[q], vec.ValueOrDie().results[q],
+                     "facade q" + std::to_string(q) + " t" +
+                         std::to_string(threads));
+      EXPECT_GT(row.ValueOrDie().results[q].rows.size(), 0u);
+    }
   }
 }
 
