@@ -3,12 +3,14 @@
 // Executes the multi-join Q9 batch (both selection-constant variants) at
 // growing data sizes, standalone (no materialization) and as the
 // MarginalGreedy consolidated MQO plan, on the row interpreter and the
-// columnar engine (serial and with 4 morsel-parallel scan threads). Reports
-// wall time and source-rows-per-second throughput; execution time is where
-// the optimizer's proven sharing wins have to materialize, and the columnar
-// engine's zero-copy scans + hash joins are the route past the row
-// interpreter's nested loops. Results must stay identical across all
-// configurations.
+// columnar engine with a thread sweep (1/2/4/hardware max) over its
+// morsel-parallel pipelines — join build/probe and aggregation included, so
+// the sweep is the scaling curve of the whole engine, not just its scans.
+// Reports wall time and source-rows-per-second throughput; execution time
+// is where the optimizer's proven sharing wins have to materialize, and the
+// columnar engine's zero-copy scans + pipelined hash joins are the route
+// past the row interpreter's nested loops. Results must stay identical
+// across all configurations.
 //
 // Usage: bench_vexec [rows_per_table ...]   (default: 400 1600 6400; pass
 // tiny counts, e.g. `bench_vexec 64 128`, for CI smoke runs). Alongside the
@@ -75,9 +77,12 @@ int main(int argc, char** argv) {
   const ConsolidatedPlan standalone_plan = optimizer.Plan({});
   const ConsolidatedPlan mqo_plan = optimizer.Plan(marginal.materialized);
 
-  const Config configs[] = {{"row", ExecBackend::kRow, 1},
-                            {"vector", ExecBackend::kVector, 1},
-                            {"vector", ExecBackend::kVector, 4}};
+  // The scaling curve of the pipelined engine: the row baseline, then the
+  // vector backend over the shared bench thread sweep.
+  std::vector<Config> configs = {{"row", ExecBackend::kRow, 1}};
+  for (int threads : BenchThreadSweep()) {
+    configs.push_back({"vector", ExecBackend::kVector, threads});
+  }
 
   TablePrinter table({"rows/table", "plan", "backend", "threads", "time (ms)",
                       "throughput", "speedup"});

@@ -6,6 +6,7 @@
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 namespace mqo {
@@ -28,6 +29,16 @@ inline std::vector<int> ParseRowCounts(int argc, char** argv,
     row_counts.push_back(static_cast<int>(n));
   }
   return row_counts.empty() ? defaults : row_counts;
+}
+
+/// The shared thread sweep of the scaling benches: serial, 2, 4, and the
+/// hardware maximum when it adds a distinct point — one policy, so the
+/// BENCH_*.json curves stay comparable across benches.
+inline std::vector<int> BenchThreadSweep() {
+  std::vector<int> sweep = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) sweep.push_back(hw);
+  return sweep;
 }
 
 }  // namespace mqo

@@ -1,0 +1,28 @@
+// Execution-time knobs shared by both engines' callers.
+//
+// ExecOptions travels from the facade (MqoOptions::exec) through the backend
+// dispatch (vexec/backend.h) into the engine that runs the plan. The row
+// interpreter is always serial and ignores it; the vectorized engine feeds
+// it to the pipeline driver (storage/pipeline.h) that schedules every scan,
+// filter, join build/probe and aggregation. Results are identical for every
+// setting — threading is a performance decision, never a semantic one.
+
+#ifndef MQO_EXEC_EXEC_OPTIONS_H_
+#define MQO_EXEC_EXEC_OPTIONS_H_
+
+#include "storage/pipeline.h"
+
+namespace mqo {
+
+/// Execution-time knobs of the vectorized engine: exactly the pipeline
+/// driver's scheduling knobs (`num_threads` worker threads, 1 = serial;
+/// `morsel_rows` per scheduling granule), under the name the engine-facing
+/// layers use. Results are identical for every setting.
+struct ExecOptions : PipelineOptions {
+  /// The pipeline-driver view of these knobs.
+  const PipelineOptions& pipeline() const { return *this; }
+};
+
+}  // namespace mqo
+
+#endif  // MQO_EXEC_EXEC_OPTIONS_H_

@@ -32,9 +32,10 @@ struct MqoOptions {
   ExpansionOptions expansion;
   /// Which engine OptimizeAndExecute* runs the consolidated plan on.
   ExecBackend backend = ExecBackend::kRow;
-  /// Vectorized-engine execution knobs: `exec.num_threads` > 1 turns on
-  /// morsel-parallel scans (results are identical for every value). Ignored
-  /// by the row engine.
+  /// Vectorized-engine execution knobs: `exec.num_threads` > 1 runs every
+  /// pipeline — scans, filters, join build/probe, aggregation — morsel-
+  /// parallel (results are identical for every value). Ignored by the row
+  /// engine.
   ExecOptions exec;
 };
 

@@ -77,6 +77,44 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
   }
 }
 
+void ColumnVector::AppendAll(const ColumnVector& other) {
+  // Read through other's payload handle before Mutable() possibly detaches
+  // ours, so self-appends stay correct.
+  const std::shared_ptr<Payload> src = other.data_;
+  switch (type_) {
+    case VecType::kInt64: {
+      auto& ints = Mutable()->ints;
+      ints.insert(ints.end(), src->ints.begin(), src->ints.end());
+      break;
+    }
+    case VecType::kDouble: {
+      auto& doubles = Mutable()->doubles;
+      doubles.insert(doubles.end(), src->doubles.begin(), src->doubles.end());
+      break;
+    }
+    case VecType::kString: {
+      auto& strs = Mutable()->strs;
+      strs.insert(strs.end(), src->strs.begin(), src->strs.end());
+      break;
+    }
+  }
+}
+
+size_t ColumnVector::ByteSize() const {
+  switch (type_) {
+    case VecType::kInt64:
+      return data_->ints.size() * sizeof(int64_t);
+    case VecType::kDouble:
+      return data_->doubles.size() * sizeof(double);
+    case VecType::kString: {
+      size_t bytes = 0;
+      for (const auto& s : data_->strs) bytes += sizeof(std::string) + s.size();
+      return bytes;
+    }
+  }
+  return 0;
+}
+
 void ColumnVector::Reserve(size_t n) {
   switch (type_) {
     case VecType::kInt64:

@@ -72,7 +72,16 @@ class ColumnVector {
   /// Appends cell `i` of `other`. Precondition: same type().
   void AppendFrom(const ColumnVector& other, size_t i);
 
+  /// Appends every cell of `other`. Precondition: same type(). The bulk
+  /// append the pipeline sinks use to merge per-morsel chunks without a
+  /// serial gather.
+  void AppendAll(const ColumnVector& other);
+
   void Reserve(size_t n);
+
+  /// Payload bytes held by this column (string columns count character
+  /// storage plus per-string object overhead).
+  size_t ByteSize() const;
 
   /// Value-semantics cell hash: equal numbers hash equally across int64 and
   /// double columns.

@@ -1,12 +1,18 @@
 #include "storage/column_batch.h"
 
+#include "storage/morsel.h"
+
 namespace mqo {
 
-int ColumnBatch::ColumnIndex(const ColumnRef& col) const {
+int ColumnIndexIn(const std::vector<ColumnRef>& names, const ColumnRef& col) {
   for (size_t i = 0; i < names.size(); ++i) {
     if (names[i] == col) return static_cast<int>(i);
   }
   return -1;
+}
+
+int ColumnBatch::ColumnIndex(const ColumnRef& col) const {
+  return ColumnIndexIn(names, col);
 }
 
 ColumnBatch ColumnBatch::Gather(const SelVector& sel) const {
@@ -15,6 +21,39 @@ ColumnBatch ColumnBatch::Gather(const SelVector& sel) const {
   out.columns.reserve(columns.size());
   for (const auto& col : columns) out.columns.push_back(col.Gather(sel));
   out.num_rows = sel.size();
+  return out;
+}
+
+size_t ColumnBatch::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& col : columns) bytes += col.ByteSize();
+  return bytes;
+}
+
+ColumnBatch ConcatBatches(std::vector<ColumnBatch> chunks,
+                          const std::vector<ColumnRef>& names,
+                          int num_threads) {
+  ColumnBatch out;
+  out.names = names;
+  if (chunks.empty()) {
+    out.columns.assign(names.size(), ColumnVector());
+    return out;
+  }
+  if (chunks.size() == 1) {
+    out.columns = std::move(chunks[0].columns);
+    out.num_rows = chunks[0].num_rows;
+    return out;
+  }
+  size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.num_rows;
+  out.columns.resize(names.size());
+  ParallelFor(names.size(), num_threads, [&](size_t c) {
+    ColumnVector col(chunks[0].columns[c].type());
+    col.Reserve(total);
+    for (const auto& chunk : chunks) col.AppendAll(chunk.columns[c]);
+    out.columns[c] = std::move(col);
+  });
+  out.num_rows = total;
   return out;
 }
 

@@ -30,7 +30,22 @@ struct ColumnBatch {
 
   /// New batch holding the rows at `sel` (gather on every column).
   ColumnBatch Gather(const SelVector& sel) const;
+
+  /// Total payload bytes across all columns (see ColumnVector::ByteSize).
+  size_t ByteSize() const;
 };
+
+/// Concatenates `chunks` (identical schemas, in order) into one batch, one
+/// column per `num_threads` worker — the pipeline sinks' merge step, which
+/// replaces the serial whole-result gather. Empty input yields an empty
+/// batch with `names` and int64 columns.
+ColumnBatch ConcatBatches(std::vector<ColumnBatch> chunks,
+                          const std::vector<ColumnRef>& names,
+                          int num_threads);
+
+/// Index of `col` in `names`, or -1 — the schema lookup shared by
+/// ColumnBatch::ColumnIndex and the pipeline compiler.
+int ColumnIndexIn(const std::vector<ColumnRef>& names, const ColumnRef& col);
 
 /// Projects onto `cols` (a subset of in.names) without copying row order.
 Result<ColumnBatch> ProjectBatch(const ColumnBatch& in,

@@ -5,6 +5,12 @@
 // (ColumnBatch, COW column payloads), keyed by the memo equivalence class
 // that was materialized. The vectorized engine reads segments zero-copy; the
 // row interpreter converts at the boundary (BatchToRows/BatchFromRows).
+//
+// The store accounts its payload bytes (bytes_used / SegmentBytes) so a
+// memory budget can be enforced on top of it — the stepping stone toward
+// disk-backed (spilling) segments. Accounting charges each segment's owned
+// payloads once; zero-copy views handed to readers share those payloads and
+// cost nothing extra.
 
 #ifndef MQO_STORAGE_MAT_STORE_H_
 #define MQO_STORAGE_MAT_STORE_H_
@@ -19,7 +25,12 @@ namespace mqo {
 class MatStore {
  public:
   /// Inserts or replaces the segment for `eq`.
-  void Put(int eq, ColumnBatch segment) { segments_[eq] = std::move(segment); }
+  void Put(int eq, ColumnBatch segment) {
+    auto it = segments_.find(eq);
+    if (it != segments_.end()) bytes_used_ -= it->second.ByteSize();
+    bytes_used_ += segment.ByteSize();
+    segments_[eq] = std::move(segment);
+  }
 
   /// The segment for `eq`, or nullptr if it was never materialized.
   const ColumnBatch* Get(int eq) const {
@@ -30,8 +41,18 @@ class MatStore {
   bool Contains(int eq) const { return segments_.count(eq) > 0; }
   size_t size() const { return segments_.size(); }
 
+  /// Payload bytes of the segment for `eq`, or 0 if absent.
+  size_t SegmentBytes(int eq) const {
+    auto it = segments_.find(eq);
+    return it == segments_.end() ? 0 : it->second.ByteSize();
+  }
+
+  /// Total payload bytes across all held segments.
+  size_t bytes_used() const { return bytes_used_; }
+
  private:
   std::map<int, ColumnBatch> segments_;
+  size_t bytes_used_ = 0;
 };
 
 }  // namespace mqo

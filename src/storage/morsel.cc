@@ -18,28 +18,43 @@ std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows) {
   return morsels;
 }
 
-void ParallelOverMorsels(const std::vector<Morsel>& morsels, int num_threads,
-                         const std::function<void(size_t, const Morsel&)>& fn) {
-  if (morsels.empty()) return;
-  const size_t workers = std::min<size_t>(
-      num_threads > 1 ? static_cast<size_t>(num_threads) : 1, morsels.size());
+void RunOnWorkers(size_t workers, const std::function<void(size_t)>& body) {
   if (workers <= 1) {
-    for (size_t m = 0; m < morsels.size(); ++m) fn(m, morsels[m]);
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t slot = 1; slot < workers; ++slot) {
+    threads.emplace_back([&body, slot]() { body(slot); });
+  }
+  body(0);  // the calling thread participates as slot 0
+  for (auto& t : threads) t.join();
+}
+
+void ParallelFor(size_t num_tasks, int num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  const size_t workers = std::min<size_t>(
+      num_threads > 1 ? static_cast<size_t>(num_threads) : 1, num_tasks);
+  if (workers <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
   std::atomic<size_t> next{0};
-  auto worker = [&]() {
+  RunOnWorkers(workers, [&](size_t) {
     for (;;) {
-      const size_t m = next.fetch_add(1, std::memory_order_relaxed);
-      if (m >= morsels.size()) return;
-      fn(m, morsels[m]);
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) return;
+      fn(i);
     }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(worker);
-  worker();  // the calling thread participates
-  for (auto& t : threads) t.join();
+  });
+}
+
+void ParallelOverMorsels(const std::vector<Morsel>& morsels, int num_threads,
+                         const std::function<void(size_t, const Morsel&)>& fn) {
+  ParallelFor(morsels.size(), num_threads,
+              [&](size_t m) { fn(m, morsels[m]); });
 }
 
 }  // namespace mqo

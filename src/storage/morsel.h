@@ -7,7 +7,12 @@
 // the slots in morsel order. Because morsels partition the row space in
 // order and every per-morsel result is keyed by its morsel index, the merged
 // output is identical for every thread count — the differential tests run
-// the vector engine at num_threads 1 and 4 and demand exact agreement.
+// the vector engine at num_threads 1, 2 and 8 and demand exact agreement.
+//
+// This header is the single thread-spawn point of the system: RunOnWorkers
+// owns thread creation, ParallelFor and ParallelOverMorsels are thin
+// claiming loops on top of it, and the pipeline driver (storage/pipeline.h)
+// adds per-thread state. No other file starts std::threads.
 
 #ifndef MQO_STORAGE_MORSEL_H_
 #define MQO_STORAGE_MORSEL_H_
@@ -36,11 +41,24 @@ struct Morsel {
 /// rows. Empty input yields no morsels.
 std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows);
 
+/// The shared thread-pool entry point: runs `body(worker_slot)` once per
+/// worker slot in [0, workers), slot 0 on the calling thread and the rest on
+/// freshly spawned std::threads, joining them all before returning. With
+/// `workers <= 1` the body runs inline. Every parallel construct in the
+/// system funnels through here.
+void RunOnWorkers(size_t workers, const std::function<void(size_t)>& body);
+
+/// Runs `fn(task_index)` exactly once for every index in [0, num_tasks), on
+/// up to `num_threads` workers pulling indices from a shared atomic counter.
+/// `fn` must write only to state owned by its task index.
+void ParallelFor(size_t num_tasks, int num_threads,
+                 const std::function<void(size_t)>& fn);
+
 /// Runs `fn(morsel_index, morsel)` for every morsel, on up to `num_threads`
-/// std::thread workers pulling from a shared atomic counter. `fn` must write
-/// only to state owned by its morsel index (e.g. a pre-sized result slot);
-/// it is invoked exactly once per morsel. With `num_threads <= 1` (or a
-/// single morsel) everything runs inline on the calling thread.
+/// workers (see ParallelFor). `fn` must write only to state owned by its
+/// morsel index (e.g. a pre-sized result slot); it is invoked exactly once
+/// per morsel. With `num_threads <= 1` (or a single morsel) everything runs
+/// inline on the calling thread.
 void ParallelOverMorsels(const std::vector<Morsel>& morsels, int num_threads,
                          const std::function<void(size_t, const Morsel&)>& fn);
 

@@ -1,0 +1,72 @@
+// The shared pipeline driver: one task scheduler for every parallel
+// operator.
+//
+// A pipeline runs `source morsels -> operator chain -> thread-local sink`:
+// the driver partitions the source row space into morsels, workers claim
+// morsels from a shared counter (storage/morsel.h owns the threads), and
+// each worker folds the morsels it claims into its own sink state. The
+// caller then merges the per-worker states in a deterministic final step.
+//
+// Determinism contract: morsel-to-worker assignment is scheduling-dependent,
+// so a merge must not depend on which worker processed which morsel. The two
+// deterministic shapes the engine uses are
+//   (a) per-morsel result slots inside the state (keyed by morsel index,
+//       concatenated in morsel order — scans, filters, join probes), and
+//   (b) commutative folds whose output order is fixed by data the morsel
+//       index determines (aggregation states ordered by first-occurrence
+//       position — see vexec/agg_state.h).
+// Both make the merged output identical for every thread count, which is
+// what lets the differential suite demand exact agreement at 1, 2 and 8
+// threads.
+
+#ifndef MQO_STORAGE_PIPELINE_H_
+#define MQO_STORAGE_PIPELINE_H_
+
+#include <atomic>
+
+#include "storage/morsel.h"
+
+namespace mqo {
+
+/// Scheduling knobs of one pipeline run.
+struct PipelineOptions {
+  int num_threads = 1;
+  size_t morsel_rows = kDefaultMorselRows;
+};
+
+/// Runs `process(state, morsel_index, morsel)` for every morsel of
+/// `num_rows` rows, with one default-constructed `State` per worker; each
+/// invocation sees the state of the worker that claimed the morsel. Returns
+/// the per-worker states in slot order (slot 0 ran on the calling thread;
+/// with one worker everything runs inline, so states[0] sees the morsels in
+/// order). The caller owns the merge.
+template <typename State>
+std::vector<State> RunPipeline(
+    size_t num_rows, const PipelineOptions& options,
+    const std::function<void(State&, size_t, const Morsel&)>& process) {
+  const std::vector<Morsel> morsels =
+      MakeMorsels(num_rows, options.morsel_rows);
+  const size_t workers =
+      morsels.empty()
+          ? 1
+          : std::min<size_t>(options.num_threads > 1
+                                 ? static_cast<size_t>(options.num_threads)
+                                 : 1,
+                             morsels.size());
+  std::vector<State> states(workers);
+  if (!morsels.empty()) {
+    std::atomic<size_t> next{0};
+    RunOnWorkers(workers, [&](size_t slot) {
+      for (;;) {
+        const size_t m = next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= morsels.size()) return;
+        process(states[slot], m, morsels[m]);
+      }
+    });
+  }
+  return states;
+}
+
+}  // namespace mqo
+
+#endif  // MQO_STORAGE_PIPELINE_H_

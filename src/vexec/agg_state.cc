@@ -1,0 +1,249 @@
+#include "vexec/agg_state.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+namespace {
+
+constexpr uint64_t kGroupHashSeed = 0x2545f4914f6cdd1dull;
+
+/// CellLess against a materialized Value (ValueLess semantics: numbers
+/// before strings).
+bool CellLessValue(const ColumnVector& col, size_t i, const Value& v) {
+  const bool cell_num = col.is_numeric();
+  if (cell_num != v.is_number()) return cell_num;
+  if (cell_num) return col.Number(i) < v.number();
+  return col.strings()[i] < v.str();
+}
+
+bool ValueLessCell(const Value& v, const ColumnVector& col, size_t i) {
+  const bool v_num = v.is_number();
+  if (v_num != col.is_numeric()) return v_num;
+  if (v_num) return v.number() < col.Number(i);
+  return v.str() < col.strings()[i];
+}
+
+bool CellEqualsValue(const ColumnVector& col, size_t i, const Value& v) {
+  if (col.is_numeric() != v.is_number()) return false;
+  if (v.is_number()) return col.Number(i) == v.number();
+  return col.strings()[i] == v.str();
+}
+
+bool ValuesEqual(const Value& a, const Value& b) {
+  return !ValueLess(a, b) && !ValueLess(b, a);
+}
+
+}  // namespace
+
+size_t AggAccumulator::GroupOf(const ColumnBatch& batch,
+                               const std::vector<int>& group_idx, uint32_t row,
+                               uint64_t hash, uint64_t pos, size_t num_aggs) {
+  std::vector<uint32_t>& bucket = buckets_[hash];
+  for (uint32_t gid : bucket) {
+    bool same = true;
+    for (size_t c = 0; c < group_idx.size(); ++c) {
+      if (!CellEqualsValue(batch.columns[group_idx[c]], row,
+                           group_keys_[gid][c])) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return gid;
+  }
+  const size_t gid = group_keys_.size();
+  std::vector<Value> keys;
+  keys.reserve(group_idx.size());
+  for (int c : group_idx) keys.push_back(batch.columns[c].GetValue(row));
+  group_keys_.push_back(std::move(keys));
+  group_hash_.push_back(hash);
+  first_seen_.push_back(pos);
+  cells_.resize(cells_.size() + num_aggs);
+  bucket.push_back(static_cast<uint32_t>(gid));
+  return gid;
+}
+
+void AggAccumulator::Consume(const ColumnBatch& batch,
+                             const std::vector<int>& group_idx,
+                             const std::vector<int>& arg_idx,
+                             const std::vector<AggExpr>& aggs,
+                             uint64_t order_base) {
+  const size_t num_aggs = aggs.size();
+  for (uint32_t r = 0; r < batch.num_rows; ++r) {
+    uint64_t h = kGroupHashSeed;
+    for (int c : group_idx) h = HashCombine(h, batch.columns[c].HashCell(r));
+    const uint64_t pos = order_base + r;
+    const size_t gid = GroupOf(batch, group_idx, r, h, pos, num_aggs);
+    if (first_seen_[gid] > pos) first_seen_[gid] = pos;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      Cell& cell = cells_[gid * num_aggs + a];
+      cell.count += 1.0;
+      const int c = arg_idx[a];
+      if (c < 0) continue;  // COUNT(*): rows only
+      const ColumnVector& col = batch.columns[c];
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (col.is_numeric()) cell.sum += col.Number(r);
+          break;
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kMin:
+          // Strictly-less replaces, so equal values keep the earliest
+          // position — the serial fold's tie-break.
+          if (!cell.any || CellLessValue(col, r, cell.min_value)) {
+            cell.min_value = col.GetValue(r);
+            cell.min_pos = pos;
+          }
+          break;
+        case AggFunc::kMax:
+          if (!cell.any || ValueLessCell(cell.max_value, col, r)) {
+            cell.max_value = col.GetValue(r);
+            cell.max_pos = pos;
+          }
+          break;
+      }
+      cell.any = true;
+    }
+  }
+}
+
+void AggAccumulator::MergeFrom(const AggAccumulator& other,
+                               const std::vector<AggExpr>& aggs) {
+  const size_t num_aggs = aggs.size();
+  for (size_t og = 0; og < other.group_keys_.size(); ++og) {
+    // Locate (or adopt) the group in this accumulator.
+    std::vector<uint32_t>& bucket = buckets_[other.group_hash_[og]];
+    size_t gid = group_keys_.size();
+    for (uint32_t cand : bucket) {
+      if (group_keys_[cand].size() == other.group_keys_[og].size()) {
+        bool same = true;
+        for (size_t c = 0; c < group_keys_[cand].size(); ++c) {
+          if (!ValuesEqual(group_keys_[cand][c], other.group_keys_[og][c])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          gid = cand;
+          break;
+        }
+      }
+    }
+    if (gid == group_keys_.size()) {
+      group_keys_.push_back(other.group_keys_[og]);
+      group_hash_.push_back(other.group_hash_[og]);
+      first_seen_.push_back(other.first_seen_[og]);
+      cells_.insert(cells_.end(), other.cells_.begin() + og * num_aggs,
+                    other.cells_.begin() + (og + 1) * num_aggs);
+      bucket.push_back(static_cast<uint32_t>(gid));
+      continue;
+    }
+    first_seen_[gid] = std::min(first_seen_[gid], other.first_seen_[og]);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      Cell& mine = cells_[gid * num_aggs + a];
+      const Cell& theirs = other.cells_[og * num_aggs + a];
+      mine.count += theirs.count;
+      mine.sum += theirs.sum;
+      if (!theirs.any) continue;
+      if (!mine.any) {
+        mine.min_value = theirs.min_value;
+        mine.min_pos = theirs.min_pos;
+        mine.max_value = theirs.max_value;
+        mine.max_pos = theirs.max_pos;
+        mine.any = true;
+        continue;
+      }
+      // Equal values resolve to the earliest pipeline position, so the
+      // merged extreme is independent of the worker partition.
+      if (ValueLess(theirs.min_value, mine.min_value) ||
+          (!ValueLess(mine.min_value, theirs.min_value) &&
+           theirs.min_pos < mine.min_pos)) {
+        mine.min_value = theirs.min_value;
+        mine.min_pos = theirs.min_pos;
+      }
+      if (ValueLess(mine.max_value, theirs.max_value) ||
+          (!ValueLess(theirs.max_value, mine.max_value) &&
+           theirs.max_pos < mine.max_pos)) {
+        mine.max_value = theirs.max_value;
+        mine.max_pos = theirs.max_pos;
+      }
+    }
+  }
+}
+
+Result<ColumnBatch> AggAccumulator::Finish(
+    const std::vector<ColumnRef>& group_by, const std::vector<AggExpr>& aggs,
+    const std::vector<std::string>& renames) const {
+  const size_t num_aggs = aggs.size();
+  ColumnBatch out;
+  out.names = group_by;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (a < renames.size() && !renames[a].empty()) {
+      out.names.emplace_back("", renames[a]);
+    } else {
+      out.names.push_back(aggs[a].OutputColumn());
+    }
+  }
+  const size_t num_groups = group_keys_.size();
+  if (num_groups == 0 && group_by.empty()) {
+    // Scalar aggregate over empty input: one row of fold identities.
+    for (size_t a = 0; a < num_aggs; ++a) {
+      ColumnBuilder builder;
+      MQO_RETURN_NOT_OK(builder.Append(Value(0.0)));
+      MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+      out.columns.push_back(std::move(col));
+    }
+    out.num_rows = 1;
+    return out;
+  }
+  // Emit groups by first occurrence in pipeline order: deterministic for
+  // every thread count, and equal to the serial first-appearance order.
+  std::vector<size_t> order(num_groups);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return first_seen_[a] < first_seen_[b];
+  });
+  for (size_t c = 0; c < group_by.size(); ++c) {
+    ColumnBuilder builder;
+    for (size_t g : order) {
+      MQO_RETURN_NOT_OK(builder.Append(group_keys_[g][c]));
+    }
+    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+    out.columns.push_back(std::move(col));
+  }
+  for (size_t a = 0; a < num_aggs; ++a) {
+    ColumnBuilder builder;
+    for (size_t g : order) {
+      const Cell& cell = cells_[g * num_aggs + a];
+      Value v(0.0);
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+          v = Value(cell.sum);
+          break;
+        case AggFunc::kCount:
+          v = Value(cell.count);
+          break;
+        case AggFunc::kAvg:
+          v = Value(cell.count > 0 ? cell.sum / cell.count : 0.0);
+          break;
+        case AggFunc::kMin:
+          v = cell.any ? cell.min_value : Value(0.0);
+          break;
+        case AggFunc::kMax:
+          v = cell.any ? cell.max_value : Value(0.0);
+          break;
+      }
+      MQO_RETURN_NOT_OK(builder.Append(v));
+    }
+    MQO_ASSIGN_OR_RETURN(ColumnVector col, std::move(builder).Finish());
+    out.columns.push_back(std::move(col));
+  }
+  out.num_rows = num_groups;
+  return out;
+}
+
+}  // namespace mqo

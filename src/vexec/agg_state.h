@@ -1,0 +1,79 @@
+// Thread-local aggregation state for pipeline sinks.
+//
+// Each pipeline worker folds its chunks into a private AggAccumulator —
+// hash-grouped keys plus per-(group, aggregate) scalar fold cells — and the
+// sink merges the per-worker accumulators once all morsels are consumed.
+// The merge is commutative (counts and sums add; MIN/MAX compare values),
+// so it is independent of which worker saw which morsel; output order is
+// made deterministic by tracking each group's first-occurrence position in
+// the pipeline's morsel order and emitting groups in that order, which is
+// exactly the serial engine's first-appearance group order. Ties in MIN/MAX
+// (equal values) keep the earliest position, again matching the serial
+// fold.
+//
+// Semantics mirror exec/row_ops.h AggState: COUNT counts rows, SUM folds
+// numeric arguments (non-numeric columns sum to 0), AVG is sum/count, and a
+// scalar aggregate over zero input rows yields one identity row of 0.0 —
+// the empty-input contract the differential suite pins down.
+
+#ifndef MQO_VEXEC_AGG_STATE_H_
+#define MQO_VEXEC_AGG_STATE_H_
+
+#include <unordered_map>
+
+#include "algebra/logical_expr.h"
+#include "storage/column_batch.h"
+
+namespace mqo {
+
+/// One worker's (or the serial path's single) aggregation state.
+class AggAccumulator {
+ public:
+  /// Folds every row of `batch` in. `group_idx` / `arg_idx` are column
+  /// indices into the batch (arg -1 = COUNT(*)); `order_base` positions the
+  /// batch's rows in the pipeline's deterministic global order (row r gets
+  /// position order_base + r).
+  void Consume(const ColumnBatch& batch, const std::vector<int>& group_idx,
+               const std::vector<int>& arg_idx,
+               const std::vector<AggExpr>& aggs, uint64_t order_base);
+
+  /// Folds `other` into this accumulator (commutative up to the
+  /// first-occurrence ordering, which takes the minimum position).
+  void MergeFrom(const AggAccumulator& other, const std::vector<AggExpr>& aggs);
+
+  /// Emits one row per group, ordered by first occurrence, with the same
+  /// output schema as the serial kernel: group columns, then one column per
+  /// aggregate named by `renames` (aggregate subsumption) or the aggregate's
+  /// default output column. A scalar aggregate with no groups emits the
+  /// identity row.
+  Result<ColumnBatch> Finish(const std::vector<ColumnRef>& group_by,
+                             const std::vector<AggExpr>& aggs,
+                             const std::vector<std::string>& renames) const;
+
+ private:
+  /// Scalar fold cell for one (group, aggregate) pair.
+  struct Cell {
+    double count = 0.0;
+    double sum = 0.0;
+    bool any = false;
+    Value min_value;
+    Value max_value;
+    uint64_t min_pos = 0;  ///< Position of min_value, for tie-breaks.
+    uint64_t max_pos = 0;
+  };
+
+  /// Index of the group with `hash` whose keys equal row `row`'s group
+  /// cells, or a fresh group created at `pos`.
+  size_t GroupOf(const ColumnBatch& batch, const std::vector<int>& group_idx,
+                 uint32_t row, uint64_t hash, uint64_t pos, size_t num_aggs);
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  std::vector<std::vector<Value>> group_keys_;
+  std::vector<uint64_t> group_hash_;
+  std::vector<uint64_t> first_seen_;
+  std::vector<Cell> cells_;  ///< group * num_aggs + agg.
+};
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_AGG_STATE_H_

@@ -22,8 +22,9 @@ const char* ExecBackendToString(ExecBackend backend);
 
 /// Executes a full consolidated plan (materialized nodes + batch root) with
 /// the selected backend; one result per batched query. `exec` configures the
-/// vectorized engine (morsel-parallel threads); the row interpreter is
-/// always serial and ignores it.
+/// vectorized engine's pipelines (morsel-parallel threads for scans, join
+/// build/probe and aggregation); the row interpreter is always serial and
+/// ignores it.
 Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
     ExecBackend backend, Memo* memo, const DataSet* data,
     const ConsolidatedPlan& plan, const ExecOptions& exec = {});

@@ -1,0 +1,116 @@
+#include "vexec/join_table.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace mqo {
+
+namespace {
+
+constexpr uint64_t kJoinHashSeed = 0x9ae16a3b2f90404full;
+
+uint64_t HashKeys(const ColumnBatch& batch, const std::vector<int>& cols,
+                  uint32_t row) {
+  uint64_t h = kJoinHashSeed;
+  for (int c : cols) h = HashCombine(h, batch.columns[c].HashCell(row));
+  return h;
+}
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Result<JoinSpec> ResolveJoinSpec(const std::vector<ColumnRef>& left,
+                                 const std::vector<ColumnRef>& right,
+                                 const JoinPredicate& predicate) {
+  JoinSpec spec;
+  spec.out_names.insert(spec.out_names.end(), left.begin(), left.end());
+  spec.out_names.insert(spec.out_names.end(), right.begin(), right.end());
+  std::vector<ColumnRef> sorted = spec.out_names;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::Unimplemented("join with overlapping aliases");
+  }
+  for (const auto& cond : predicate.conditions()) {
+    int li = ColumnIndexIn(left, cond.left);
+    int ri = ColumnIndexIn(right, cond.right);
+    if (li < 0 || ri < 0) {
+      li = ColumnIndexIn(left, cond.right);
+      ri = ColumnIndexIn(right, cond.left);
+    }
+    if (li < 0 || ri < 0) {
+      return Status::Internal("join condition unresolvable: " + cond.ToString());
+    }
+    spec.conds.push_back({li, ri});
+  }
+  return spec;
+}
+
+JoinHashTable JoinHashTable::Build(ColumnBatch build,
+                                   std::vector<int> key_cols,
+                                   const PipelineOptions& options) {
+  JoinHashTable table;
+  table.build_ = std::move(build);
+  table.key_cols_ = std::move(key_cols);
+  const size_t num_rows = table.build_.num_rows;
+  const int threads = options.num_threads;
+
+  // Phase 1: per-row key hashes, morsel-parallel (each worker owns its
+  // morsel's slots of the shared array).
+  std::vector<uint64_t> hashes(num_rows);
+  ParallelOverMorsels(
+      MakeMorsels(num_rows, options.morsel_rows), threads,
+      [&](size_t, const Morsel& morsel) {
+        for (uint32_t r = morsel.begin; r < morsel.end; ++r) {
+          hashes[r] = HashKeys(table.build_, table.key_cols_, r);
+        }
+      });
+
+  // Phase 2: hash-disjoint partitions, one worker per partition. Each
+  // partition scans the hash array in row order, so bucket row lists are
+  // ascending regardless of the partition count — the merged table is
+  // identical for every thread setting. One partition per worker: each
+  // extra partition costs a full (cheap) re-scan of the hash array, so
+  // oversubscribing partitions for load balance is a net loss.
+  const size_t parts =
+      threads > 1 ? NextPow2(std::min<size_t>(static_cast<size_t>(threads), 64))
+                  : 1;
+  table.part_mask_ = parts - 1;
+  table.parts_.resize(parts);
+  ParallelFor(parts, threads, [&](size_t p) {
+    auto& part = table.parts_[p];
+    part.reserve(num_rows / parts + 1);
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      if ((hashes[r] & table.part_mask_) == p) part[hashes[r]].push_back(r);
+    }
+  });
+  return table;
+}
+
+void JoinHashTable::Probe(const ColumnBatch& probe,
+                          const std::vector<int>& probe_keys, uint32_t row,
+                          SelVector* out) const {
+  const uint64_t h = HashKeys(probe, probe_keys, row);
+  const auto& part = parts_[h & part_mask_];
+  const auto it = part.find(h);
+  if (it == part.end()) return;
+  for (uint32_t r : it->second) {
+    bool match = true;
+    for (size_t c = 0; c < key_cols_.size(); ++c) {
+      if (!ColumnVector::CellsEqual(probe.columns[probe_keys[c]], row,
+                                    build_.columns[key_cols_[c]], r)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out->push_back(r);
+  }
+}
+
+}  // namespace mqo

@@ -1,0 +1,74 @@
+// The shared equi-join hash table: built once in parallel, probed
+// concurrently.
+//
+// Build is two phases on the pipeline driver's primitives: (1) key hashes
+// for every build row, morsel-parallel into per-row slots; (2) hash-disjoint
+// partitions, one worker per partition, each scanning the hash array in row
+// order so every bucket's row list stays ascending. Because the partitions
+// split the *hash space* (not the row space), the merged table is a plain
+// concatenation of read-only partitions — no locks, no rehash — and its
+// bucket contents are identical for every thread and partition count. Probes
+// are pure reads, so morsel workers probe the finished table concurrently.
+//
+// An empty key set degrades to one bucket holding every build row: probing
+// any row matches all of them, which is exactly the row engine's
+// cross-product semantics for condition-less joins.
+
+#ifndef MQO_VEXEC_JOIN_TABLE_H_
+#define MQO_VEXEC_JOIN_TABLE_H_
+
+#include <unordered_map>
+
+#include "algebra/logical_expr.h"
+#include "storage/column_batch.h"
+#include "storage/pipeline.h"
+
+namespace mqo {
+
+/// One resolved join: condition column indices and the joined output schema.
+struct JoinSpec {
+  struct Cond {
+    int left;   ///< Key column index on the probe (left) side.
+    int right;  ///< Key column index on the build (right) side.
+  };
+  std::vector<Cond> conds;
+  std::vector<ColumnRef> out_names;  ///< Left names then right names.
+};
+
+/// Resolves `predicate` against the two schemas (either orientation per
+/// condition, as JoinRows does) and rejects overlapping output aliases with
+/// the row engine's Unimplemented status.
+Result<JoinSpec> ResolveJoinSpec(const std::vector<ColumnRef>& left,
+                                 const std::vector<ColumnRef>& right,
+                                 const JoinPredicate& predicate);
+
+/// Read-only hash table over a build-side batch, shared across probe
+/// workers.
+class JoinHashTable {
+ public:
+  /// Builds over `build`, keyed by `key_cols` (column indices into `build`).
+  /// `options.num_threads > 1` parallelizes both build phases.
+  static JoinHashTable Build(ColumnBatch build, std::vector<int> key_cols,
+                             const PipelineOptions& options);
+
+  /// Appends to `out` the build rows whose keys equal probe row `row` of
+  /// `probe` (key columns `probe_keys`, parallel to the build key columns),
+  /// in ascending build-row order. Thread-safe: the table is immutable.
+  void Probe(const ColumnBatch& probe, const std::vector<int>& probe_keys,
+             uint32_t row, SelVector* out) const;
+
+  /// The build-side batch (for gathering matched rows).
+  const ColumnBatch& build() const { return build_; }
+
+  size_t num_partitions() const { return parts_.size(); }
+
+ private:
+  ColumnBatch build_;
+  std::vector<int> key_cols_;
+  uint64_t part_mask_ = 0;  ///< parts_.size() - 1 (a power of two).
+  std::vector<std::unordered_map<uint64_t, SelVector>> parts_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_VEXEC_JOIN_TABLE_H_

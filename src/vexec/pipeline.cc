@@ -1,0 +1,153 @@
+#include "vexec/pipeline.h"
+
+#include <algorithm>
+
+#include "vexec/vector_ops.h"
+
+namespace mqo {
+
+namespace {
+
+/// One worker's sink state: collected chunks keyed by morsel index (collect
+/// sink) or a thread-local aggregation accumulator (aggregate sink), plus
+/// the first error the worker hit.
+struct WorkerState {
+  std::vector<std::pair<size_t, ColumnBatch>> chunks;
+  AggAccumulator agg;
+  Status status;
+};
+
+/// Materializes the kept source columns at `sel` into a chunk.
+ColumnBatch GatherColumns(const ColumnBatch& src, const std::vector<int>& keep,
+                          const std::vector<ColumnRef>& names,
+                          const SelVector& sel) {
+  ColumnBatch out;
+  out.names = names;
+  out.columns.reserve(keep.size());
+  for (int c : keep) out.columns.push_back(src.columns[c].Gather(sel));
+  out.num_rows = sel.size();
+  return out;
+}
+
+}  // namespace
+
+Result<ColumnBatch> FilterChunkOp::Process(ColumnBatch chunk) const {
+  SelVector sel;
+  FilterRangeInto(chunk, conjuncts_, col_idx_, 0,
+                  static_cast<uint32_t>(chunk.num_rows), &sel);
+  return chunk.Gather(sel);
+}
+
+Result<ColumnBatch> ProjectChunkOp::Process(ColumnBatch chunk) const {
+  ColumnBatch out;
+  out.names = names_;
+  out.columns.reserve(col_idx_.size());
+  for (int c : col_idx_) out.columns.push_back(chunk.columns[c]);
+  out.num_rows = chunk.num_rows;
+  return out;
+}
+
+Result<ColumnBatch> ProbeChunkOp::Process(ColumnBatch chunk) const {
+  SelVector left_rows;
+  SelVector right_rows;
+  for (uint32_t r = 0; r < chunk.num_rows; ++r) {
+    const size_t before = right_rows.size();
+    table_->Probe(chunk, probe_key_idx_, r, &right_rows);
+    for (size_t k = before; k < right_rows.size(); ++k) left_rows.push_back(r);
+  }
+  ColumnBatch out;
+  out.names = out_names_;
+  out.columns.reserve(left_out_idx_.size() + table_->build().columns.size());
+  for (int c : left_out_idx_) {
+    out.columns.push_back(chunk.columns[c].Gather(left_rows));
+  }
+  for (const auto& col : table_->build().columns) {
+    out.columns.push_back(col.Gather(right_rows));
+  }
+  out.num_rows = left_rows.size();
+  return out;
+}
+
+Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
+                                   const ExecOptions& options) {
+  if (pipeline.source_filters.empty() && pipeline.ops.empty() &&
+      !pipeline.aggregate) {
+    // Pure column projection of the source: zero-copy (COW handles).
+    ColumnBatch out;
+    out.names = pipeline.chunk_names;
+    out.columns.reserve(pipeline.keep_idx.size());
+    for (int c : pipeline.keep_idx) out.columns.push_back(pipeline.source.columns[c]);
+    out.num_rows = pipeline.source.num_rows;
+    return out;
+  }
+
+  auto process = [&pipeline](WorkerState& state, size_t m,
+                             const Morsel& morsel) {
+    if (!state.status.ok()) return;
+    SelVector sel;
+    if (pipeline.source_filters.empty()) {
+      sel.reserve(morsel.size());
+      for (uint32_t r = morsel.begin; r < morsel.end; ++r) sel.push_back(r);
+    } else {
+      FilterRangeInto(pipeline.source, pipeline.source_filters,
+                      pipeline.source_filter_idx, morsel.begin, morsel.end,
+                      &sel);
+    }
+    ColumnBatch chunk =
+        GatherColumns(pipeline.source, pipeline.keep_idx, pipeline.chunk_names,
+                      sel);
+    for (const auto& op : pipeline.ops) {
+      auto next = op->Process(std::move(chunk));
+      if (!next.ok()) {
+        state.status = next.status();
+        return;
+      }
+      chunk = std::move(next).ValueOrDie();
+    }
+    if (pipeline.aggregate) {
+      // Chunk rows get pipeline positions (m << 32) + r: strictly increasing
+      // across morsels, identical for every thread count.
+      state.agg.Consume(chunk, pipeline.agg_group_idx, pipeline.agg_arg_idx,
+                        pipeline.agg_aggs, static_cast<uint64_t>(m) << 32);
+    } else {
+      state.chunks.emplace_back(m, std::move(chunk));
+    }
+  };
+
+  std::vector<WorkerState> states;
+  if (pipeline.source.num_rows == 0) {
+    // One synthetic empty morsel keeps typed (empty) columns flowing through
+    // the chain and lets the aggregate sink emit its identity row.
+    states.resize(1);
+    process(states[0], 0, Morsel{0, 0});
+  } else {
+    states = RunPipeline<WorkerState>(pipeline.source.num_rows,
+                                      options.pipeline(), process);
+  }
+  for (const auto& state : states) MQO_RETURN_NOT_OK(state.status);
+
+  if (pipeline.aggregate) {
+    AggAccumulator merged = std::move(states[0].agg);
+    for (size_t s = 1; s < states.size(); ++s) {
+      merged.MergeFrom(states[s].agg, pipeline.agg_aggs);
+    }
+    return merged.Finish(pipeline.agg_group_by, pipeline.agg_aggs,
+                         pipeline.agg_renames);
+  }
+  std::vector<std::pair<size_t, ColumnBatch>> ordered;
+  for (auto& state : states) {
+    for (auto& entry : state.chunks) ordered.push_back(std::move(entry));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const std::pair<size_t, ColumnBatch>& a,
+               const std::pair<size_t, ColumnBatch>& b) {
+              return a.first < b.first;
+            });
+  std::vector<ColumnBatch> chunks;
+  chunks.reserve(ordered.size());
+  for (auto& entry : ordered) chunks.push_back(std::move(entry.second));
+  return ConcatBatches(std::move(chunks), pipeline.final_names(),
+                       options.num_threads);
+}
+
+}  // namespace mqo

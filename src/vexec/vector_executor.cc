@@ -1,8 +1,25 @@
 #include "vexec/vector_executor.h"
 
 #include <algorithm>
+#include <set>
 
 namespace mqo {
+
+namespace {
+
+/// One chain element recorded while descending from the pipeline root
+/// toward its source (front = topmost). Predicate pointers reference memo
+/// storage, which outlives the compilation.
+struct ChainDesc {
+  enum Kind { kFilter, kProject, kProbe } kind;
+  const Predicate* predicate = nullptr;             ///< kFilter
+  const std::vector<ColumnRef>* project = nullptr;  ///< kProject
+  const JoinPredicate* join_predicate = nullptr;    ///< kProbe
+  EqId probe_eq = -1;  ///< kProbe: class of the probe-side child.
+  ColumnBatch build;   ///< kProbe: executed build side.
+};
+
+}  // namespace
 
 Result<ColumnBatch> VectorPlanExecutor::Scan(const std::string& table,
                                              const std::string& alias) {
@@ -38,7 +55,8 @@ Result<ColumnBatch> VectorPlanExecutor::EvaluateOpBatch(const MemoOp& op) {
       MQO_ASSIGN_OR_RETURN(ColumnBatch left, EvaluateClassBatch(op.children[0]));
       MQO_ASSIGN_OR_RETURN(ColumnBatch right,
                            EvaluateClassBatch(op.children[1]));
-      return HashJoinBatch(left, right, op.join_predicate);
+      return HashJoinBatch(left, right, op.join_predicate,
+                           options_.num_threads, options_.morsel_rows);
     }
     case LogicalOp::kProject: {
       MQO_ASSIGN_OR_RETURN(ColumnBatch in, EvaluateClassBatch(op.children[0]));
@@ -62,75 +80,306 @@ Result<ColumnBatch> VectorPlanExecutor::EvaluateClassBatch(EqId eq) {
   return ToClassAttrs(eq, std::move(raw));
 }
 
+Result<ColumnBatch> VectorPlanExecutor::RunPipelineFor(const PlanNodePtr& plan,
+                                                       const MemoOp* agg) {
+  // Descend from the pipeline root to its source, recording the operator
+  // chain. Anything that cannot stream (merge joins, nested aggregates)
+  // breaks the pipeline: it executes recursively and becomes the source.
+  std::vector<ChainDesc> descs;
+  ColumnBatch source;
+  PlanNodePtr cur = plan;
+  for (bool at_source = false; !at_source;) {
+    const MemoOp* op =
+        cur->logical_op >= 0 ? &memo_->op(cur->logical_op) : nullptr;
+    switch (cur->op) {
+      case PhysOp::kFilter: {
+        if (op == nullptr) return Status::Internal("filter without op");
+        ChainDesc d;
+        d.kind = ChainDesc::kFilter;
+        d.predicate = &op->predicate;
+        descs.push_back(std::move(d));
+        cur = cur->children[0];
+        break;
+      }
+      case PhysOp::kProject: {
+        if (op == nullptr) return Status::Internal("project without op");
+        ChainDesc d;
+        d.kind = ChainDesc::kProject;
+        d.project = &op->project_columns;
+        descs.push_back(std::move(d));
+        cur = cur->children[0];
+        break;
+      }
+      case PhysOp::kSort:
+        // Bag semantics: the enforcer's ordering never changes the result
+        // relation and no vectorized consumer relies on input order (merge
+        // joins argsort their own inputs), so the enforcer streams through.
+        cur = cur->children[0];
+        break;
+      case PhysOp::kBlockNLJoin:
+      case PhysOp::kIndexNLJoin: {
+        if (op == nullptr) return Status::Internal("join without op");
+        ChainDesc d;
+        d.kind = ChainDesc::kProbe;
+        d.join_predicate = &op->join_predicate;
+        d.probe_eq = cur->children[0]->eq;
+        if (cur->children.size() > 1) {
+          MQO_ASSIGN_OR_RETURN(d.build, ExecuteBatch(cur->children[1]));
+        } else {
+          // BNL/index probes rescan a base relation or materialized node
+          // that is not part of the plan tree.
+          MQO_ASSIGN_OR_RETURN(d.build, SideInputBatch(op->children[1]));
+        }
+        descs.push_back(std::move(d));
+        cur = cur->children[0];
+        break;
+      }
+      case PhysOp::kTableScan: {
+        if (op == nullptr) return Status::Internal("scan without logical op");
+        MQO_ASSIGN_OR_RETURN(source, Scan(op->table, op->alias));
+        at_source = true;
+        break;
+      }
+      case PhysOp::kIndexScan: {
+        if (op == nullptr) return Status::Internal("index scan without op");
+        MQO_ASSIGN_OR_RETURN(source, EvaluateClassBatch(op->children[0]));
+        ChainDesc d;
+        d.kind = ChainDesc::kFilter;
+        d.predicate = &op->predicate;
+        descs.push_back(std::move(d));
+        at_source = true;
+        break;
+      }
+      case PhysOp::kReadMaterialized: {
+        const EqId eq = memo_->Find(cur->eq);
+        const ColumnBatch* segment = store_.Get(eq);
+        if (segment == nullptr) {
+          return Status::Internal("materialized node E" + std::to_string(eq) +
+                                  " not in store");
+        }
+        source = *segment;  // zero-copy segment view
+        at_source = true;
+        break;
+      }
+      default: {
+        // Pipeline breaker (merge join, nested aggregate) or a malformed
+        // batch root: execute it whole — ExecuteBatchRaw dispatches these
+        // directly, so this never re-enters pipeline compilation for the
+        // same node — and stream its class-projected output. Anything else
+        // would loop without progress, so fail loudly instead.
+        if (cur->op != PhysOp::kMergeJoin &&
+            cur->op != PhysOp::kSortAggregate &&
+            cur->op != PhysOp::kBatchRoot) {
+          return Status::Internal("unknown physical operator");
+        }
+        MQO_ASSIGN_OR_RETURN(source, ExecuteBatch(cur));
+        at_source = true;
+        break;
+      }
+    }
+  }
+
+  VecPipeline pipeline;
+  pipeline.source = std::move(source);
+
+  // Filters adjacent to the source fuse into the scan: they evaluate against
+  // source row ranges directly, before any column is materialized. Popping
+  // from the back applies the lowest filter's conjuncts first, as the plan
+  // tree does.
+  while (!descs.empty() && descs.back().kind == ChainDesc::kFilter) {
+    for (const auto& cmp : descs.back().predicate->conjuncts()) {
+      const int idx = ColumnIndexIn(pipeline.source.names, cmp.column);
+      if (idx < 0) {
+        return Status::Internal("predicate column missing: " +
+                                cmp.column.ToString());
+      }
+      pipeline.source_filters.push_back(cmp);
+      pipeline.source_filter_idx.push_back(idx);
+    }
+    descs.pop_back();
+  }
+
+  // Column pruning: walk the remaining chain top-down to find what the sink
+  // and every operator actually read from the source.
+  std::set<ColumnRef> required;
+  if (agg != nullptr) {
+    for (const auto& g : agg->group_by) required.insert(g);
+    for (const auto& a : agg->aggregates) {
+      if (!a.arg.name.empty()) required.insert(a.arg);
+    }
+  } else {
+    const auto& attrs = memo_->Attributes(memo_->Find(plan->eq));
+    required.insert(attrs.begin(), attrs.end());
+  }
+  for (const ChainDesc& d : descs) {
+    switch (d.kind) {
+      case ChainDesc::kFilter:
+        for (const auto& cmp : d.predicate->conjuncts()) {
+          required.insert(cmp.column);
+        }
+        break;
+      case ChainDesc::kProject:
+        required.clear();
+        required.insert(d.project->begin(), d.project->end());
+        break;
+      case ChainDesc::kProbe: {
+        // The probe emits exactly (probe-side class attrs, build columns);
+        // everything above is satisfied from those.
+        const auto& attrs = memo_->Attributes(memo_->Find(d.probe_eq));
+        required.clear();
+        required.insert(attrs.begin(), attrs.end());
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < pipeline.source.names.size(); ++i) {
+    if (required.count(pipeline.source.names[i]) > 0) {
+      pipeline.keep_idx.push_back(static_cast<int>(i));
+      pipeline.chunk_names.push_back(pipeline.source.names[i]);
+    }
+  }
+  if (pipeline.keep_idx.size() != required.size()) {
+    return Status::Internal("pipeline column missing from source");
+  }
+
+  // Assemble the operator chain bottom-up, tracking the chunk schema and
+  // freezing each join's build side into a shared read-only hash table.
+  std::vector<ColumnRef> schema = pipeline.chunk_names;
+  for (auto it = descs.rbegin(); it != descs.rend(); ++it) {
+    ChainDesc& d = *it;
+    switch (d.kind) {
+      case ChainDesc::kFilter: {
+        std::vector<Comparison> conjuncts;
+        std::vector<int> idx;
+        for (const auto& cmp : d.predicate->conjuncts()) {
+          const int i = ColumnIndexIn(schema, cmp.column);
+          if (i < 0) {
+            return Status::Internal("predicate column missing: " +
+                                    cmp.column.ToString());
+          }
+          conjuncts.push_back(cmp);
+          idx.push_back(i);
+        }
+        pipeline.ops.push_back(std::make_unique<FilterChunkOp>(
+            std::move(conjuncts), std::move(idx), schema));
+        break;
+      }
+      case ChainDesc::kProject: {
+        std::vector<int> idx;
+        for (const auto& col : *d.project) {
+          const int i = ColumnIndexIn(schema, col);
+          if (i < 0) {
+            return Status::Internal("project: column " + col.ToString() +
+                                    " missing from batch");
+          }
+          idx.push_back(i);
+        }
+        schema = *d.project;
+        pipeline.ops.push_back(
+            std::make_unique<ProjectChunkOp>(std::move(idx), schema));
+        break;
+      }
+      case ChainDesc::kProbe: {
+        const std::vector<ColumnRef> left_attrs =
+            memo_->Attributes(memo_->Find(d.probe_eq));
+        MQO_ASSIGN_OR_RETURN(
+            JoinSpec spec,
+            ResolveJoinSpec(left_attrs, d.build.names, *d.join_predicate));
+        std::vector<int> probe_keys;
+        std::vector<int> build_keys;
+        for (const auto& c : spec.conds) {
+          const int i = ColumnIndexIn(schema, left_attrs[c.left]);
+          if (i < 0) {
+            return Status::Internal("join condition column missing: " +
+                                    left_attrs[c.left].ToString());
+          }
+          probe_keys.push_back(i);
+          build_keys.push_back(c.right);
+        }
+        std::vector<int> left_out;
+        for (const auto& col : left_attrs) {
+          const int i = ColumnIndexIn(schema, col);
+          if (i < 0) {
+            return Status::Internal("probe column missing: " + col.ToString());
+          }
+          left_out.push_back(i);
+        }
+        auto table = std::make_shared<const JoinHashTable>(JoinHashTable::Build(
+            std::move(d.build), std::move(build_keys), options_.pipeline()));
+        schema = spec.out_names;
+        pipeline.ops.push_back(std::make_unique<ProbeChunkOp>(
+            std::move(table), std::move(probe_keys), std::move(left_out),
+            std::move(spec.out_names)));
+        break;
+      }
+    }
+  }
+
+  if (agg != nullptr) {
+    pipeline.aggregate = true;
+    pipeline.agg_group_by = agg->group_by;
+    pipeline.agg_aggs = agg->aggregates;
+    pipeline.agg_renames = agg->output_renames;
+    for (const auto& g : agg->group_by) {
+      const int i = ColumnIndexIn(schema, g);
+      if (i < 0) {
+        return Status::Internal("group column missing: " + g.ToString());
+      }
+      pipeline.agg_group_idx.push_back(i);
+    }
+    for (const auto& a : agg->aggregates) {
+      if (a.arg.name.empty()) {
+        pipeline.agg_arg_idx.push_back(-1);  // COUNT(*)
+        continue;
+      }
+      const int i = ColumnIndexIn(schema, a.arg);
+      if (i < 0) {
+        return Status::Internal("aggregate argument missing: " +
+                                a.arg.ToString());
+      }
+      pipeline.agg_arg_idx.push_back(i);
+    }
+  }
+
+  return RunVecPipeline(pipeline, options_);
+}
+
 Result<ColumnBatch> VectorPlanExecutor::ExecuteBatchRaw(
     const PlanNodePtr& plan) {
   const MemoOp* op =
       plan->logical_op >= 0 ? &memo_->op(plan->logical_op) : nullptr;
   switch (plan->op) {
-    case PhysOp::kTableScan: {
-      if (op == nullptr) return Status::Internal("scan without logical op");
-      return Scan(op->table, op->alias);
-    }
-    case PhysOp::kIndexScan: {
-      if (op == nullptr) return Status::Internal("index scan without op");
-      MQO_ASSIGN_OR_RETURN(ColumnBatch in, EvaluateClassBatch(op->children[0]));
-      return Filter(in, op->predicate);
-    }
-    case PhysOp::kFilter: {
-      if (op == nullptr) return Status::Internal("filter without op");
-      MQO_ASSIGN_OR_RETURN(ColumnBatch in, ExecuteBatch(plan->children[0]));
-      return Filter(in, op->predicate);
-    }
-    case PhysOp::kBlockNLJoin:
-    case PhysOp::kIndexNLJoin:
     case PhysOp::kMergeJoin: {
+      // Merge joins stay sort-merge (a pipeline breaker) to keep an
+      // independently-implemented second join path hot; equi-predicates in
+      // BNL/index plans take the pipelined hash probe instead.
       if (op == nullptr) return Status::Internal("join without op");
       MQO_ASSIGN_OR_RETURN(ColumnBatch left, ExecuteBatch(plan->children[0]));
       ColumnBatch right;
       if (plan->children.size() > 1) {
         MQO_ASSIGN_OR_RETURN(right, ExecuteBatch(plan->children[1]));
       } else {
-        // BNL/index probes rescan a base relation or materialized node that
-        // is not part of the plan tree.
         MQO_ASSIGN_OR_RETURN(right, SideInputBatch(op->children[1]));
       }
-      // Equi-predicates take the hash-join fast path regardless of the
-      // chosen row-engine join flavor; merge joins stay sort-merge to keep an
-      // independently-implemented second path hot.
-      if (plan->op == PhysOp::kMergeJoin) {
-        return MergeJoinBatch(left, right, op->join_predicate);
-      }
-      return HashJoinBatch(left, right, op->join_predicate);
+      return MergeJoinBatch(left, right, op->join_predicate);
     }
-    case PhysOp::kSort:
-      // Bag semantics: the enforcer's ordering never changes the result
-      // relation and no vectorized consumer relies on input order (merge
-      // joins argsort their own inputs), so skip the physical sort exactly
-      // as the row engine does. SortBatch stays available for
-      // order-sensitive consumers.
-      return ExecuteBatch(plan->children[0]);
     case PhysOp::kSortAggregate: {
       if (op == nullptr) return Status::Internal("aggregate without op");
-      MQO_ASSIGN_OR_RETURN(ColumnBatch in, ExecuteBatch(plan->children[0]));
-      return AggregateBatch(in, op->group_by, op->aggregates,
-                            op->output_renames);
-    }
-    case PhysOp::kProject: {
-      if (op == nullptr) return Status::Internal("project without op");
-      MQO_ASSIGN_OR_RETURN(ColumnBatch in, ExecuteBatch(plan->children[0]));
-      return ProjectBatch(in, op->project_columns);
-    }
-    case PhysOp::kReadMaterialized: {
-      const EqId eq = memo_->Find(plan->eq);
-      const ColumnBatch* segment = store_.Get(eq);
-      if (segment == nullptr) {
-        return Status::Internal("materialized node E" + std::to_string(eq) +
-                                " not in store");
-      }
-      return *segment;  // zero-copy segment view
+      // The chain under the aggregate feeds thread-local aggregation states
+      // directly (no intermediate materialized batch).
+      return RunPipelineFor(plan->children[0], op);
     }
     case PhysOp::kBatchRoot:
       return Status::Unimplemented("execute batch roots via ExecuteConsolidated");
+    case PhysOp::kTableScan:
+    case PhysOp::kIndexScan:
+    case PhysOp::kFilter:
+    case PhysOp::kBlockNLJoin:
+    case PhysOp::kIndexNLJoin:
+    case PhysOp::kSort:
+    case PhysOp::kProject:
+    case PhysOp::kReadMaterialized:
+      return RunPipelineFor(plan, nullptr);
   }
   return Status::Internal("unknown physical operator");
 }
@@ -150,6 +399,9 @@ Result<NamedRows> VectorPlanExecutor::Execute(const PlanNodePtr& plan) {
 
 Status VectorPlanExecutor::MaterializeNode(EqId eq,
                                            const PlanNodePtr& compute_plan) {
+  // The pipeline sink's merged result goes straight into the store: the
+  // per-morsel chunks were gathered on the workers and concatenated column-
+  // parallel, so no serial whole-result gather happens on this thread.
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
   store_.Put(memo_->Find(eq), std::move(batch));
   return Status::OK();

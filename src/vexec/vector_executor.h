@@ -2,34 +2,33 @@
 // exec/plan_executor.h.
 //
 // Executes the optimizer's plan trees — including consolidated MQO plans —
-// batch-at-a-time over ColumnBatch, with the same materialization protocol as
-// the row engine: chosen nodes are executed once (dependency order) into the
-// shared columnar segment store (storage/mat_store.h) that ReadMaterialized
-// leaves and join side-inputs consult, zero-copy. Base tables are read as
-// zero-copy TableReader views of native columnar storage, and filters run
-// morsel-parallel when ExecOptions::num_threads > 1. Results are
-// canonicalized to class attributes at the API boundary so the two engines
-// are directly comparable; the differential suite asserts they agree on
-// every workload, materialization choice, and thread count, which makes this
-// engine an independent second witness of the MQO sharing semantics.
+// by compiling each plan segment between pipeline breakers into a
+// VecPipeline (vexec/pipeline.h) and running it on the shared pipeline
+// driver: scans, filters, join probes and aggregations all go morsel-
+// parallel under ExecOptions::num_threads, with thread-local sink states
+// and a deterministic merge. Breakers are handled between pipelines: a
+// hash join's build side executes first and freezes into a shared
+// read-only JoinHashTable (partitioned parallel build); merge joins keep
+// the independently-implemented sort-merge path; materialized nodes run
+// their compute pipeline once and the sink's merged segment goes straight
+// into the shared MatStore (storage/mat_store.h) that ReadMaterialized
+// leaves and join side-inputs consult, zero-copy.
+//
+// Results are canonicalized to class attributes at the API boundary so the
+// two engines are directly comparable; the differential suite asserts they
+// agree on every workload, materialization choice, and thread count, which
+// makes this engine an independent second witness of the MQO sharing
+// semantics.
 
 #ifndef MQO_VEXEC_VECTOR_EXECUTOR_H_
 #define MQO_VEXEC_VECTOR_EXECUTOR_H_
 
 #include "optimizer/batch_optimizer.h"
 #include "storage/mat_store.h"
+#include "vexec/pipeline.h"
 #include "vexec/vector_ops.h"
 
 namespace mqo {
-
-/// Execution-time knobs of the vectorized engine.
-struct ExecOptions {
-  /// Worker threads for morsel-parallel scans+filters; 1 = serial. Results
-  /// are identical for every value.
-  int num_threads = 1;
-  /// Rows per morsel (the parallel scheduling granule).
-  size_t morsel_rows = kDefaultMorselRows;
-};
 
 /// Executes physical plans against a dataset, batch-at-a-time.
 class VectorPlanExecutor {
@@ -50,10 +49,21 @@ class VectorPlanExecutor {
   Result<std::vector<NamedRows>> ExecuteConsolidated(
       const ConsolidatedPlan& plan);
 
+  /// Bytes held by this executor's materialized-segment store.
+  size_t store_bytes() const { return store_.bytes_used(); }
+
  private:
   /// Plan execution to a batch projected onto the node's class attributes.
   Result<ColumnBatch> ExecuteBatch(const PlanNodePtr& plan);
+  /// Breaker dispatch: merge joins and batch roots directly, everything else
+  /// through pipeline compilation.
   Result<ColumnBatch> ExecuteBatchRaw(const PlanNodePtr& plan);
+  /// Compiles the pipeline rooted at `plan` (descending through filters,
+  /// projects, sorts and join probes until a source or breaker) and runs it.
+  /// `agg`, when set, installs an aggregate sink fed by the chain under the
+  /// aggregate node.
+  Result<ColumnBatch> RunPipelineFor(const PlanNodePtr& plan,
+                                     const MemoOp* agg);
   /// Logical evaluation of a class (first live operator), for index-scan
   /// inputs and join side-inputs that are not plan children.
   Result<ColumnBatch> EvaluateClassBatch(EqId eq);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/hash.h"
 #include "storage/table_reader.h"
+#include "vexec/join_table.h"
 
 namespace mqo {
 
@@ -97,51 +97,21 @@ void CompareColumn(const ColumnVector& col, const Comparison& cmp,
   }
 }
 
-struct CondIdx {
-  int left;
-  int right;
-};
-
-/// Shared join prologue: the duplicate-output-schema rejection and join
-/// condition resolution of JoinRows, against batch schemas.
-Status ResolveJoin(const ColumnBatch& left, const ColumnBatch& right,
-                   const JoinPredicate& predicate, std::vector<CondIdx>* conds,
-                   std::vector<ColumnRef>* out_names) {
-  out_names->clear();
-  out_names->insert(out_names->end(), left.names.begin(), left.names.end());
-  out_names->insert(out_names->end(), right.names.begin(), right.names.end());
-  std::vector<ColumnRef> sorted = *out_names;
-  std::sort(sorted.begin(), sorted.end());
-  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
-    return Status::Unimplemented("join with overlapping aliases");
-  }
-  conds->clear();
-  for (const auto& cond : predicate.conditions()) {
-    int li = left.ColumnIndex(cond.left);
-    int ri = right.ColumnIndex(cond.right);
-    if (li < 0 || ri < 0) {
-      li = left.ColumnIndex(cond.right);
-      ri = right.ColumnIndex(cond.left);
-    }
-    if (li < 0 || ri < 0) {
-      return Status::Internal("join condition unresolvable: " + cond.ToString());
-    }
-    conds->push_back({li, ri});
-  }
-  return Status::OK();
-}
-
-/// Assembles the joined batch from matching (left row, right row) pairs.
+/// Assembles the joined batch from matching (left row, right row) pairs,
+/// one column per worker when `num_threads > 1`.
 ColumnBatch GatherJoin(const ColumnBatch& left, const ColumnBatch& right,
                        std::vector<ColumnRef> out_names,
-                       const SelVector& left_idx, const SelVector& right_idx) {
+                       const SelVector& left_idx, const SelVector& right_idx,
+                       int num_threads = 1) {
   ColumnBatch out;
   out.names = std::move(out_names);
-  out.columns.reserve(left.columns.size() + right.columns.size());
-  for (const auto& col : left.columns) out.columns.push_back(col.Gather(left_idx));
-  for (const auto& col : right.columns) {
-    out.columns.push_back(col.Gather(right_idx));
-  }
+  const size_t left_cols = left.columns.size();
+  out.columns.resize(left_cols + right.columns.size());
+  ParallelFor(out.columns.size(), num_threads, [&](size_t c) {
+    out.columns[c] = c < left_cols
+                         ? left.columns[c].Gather(left_idx)
+                         : right.columns[c - left_cols].Gather(right_idx);
+  });
   out.num_rows = left_idx.size();
   return out;
 }
@@ -158,22 +128,21 @@ bool KeyLess(const ColumnBatch& a, uint32_t i, const ColumnBatch& b, uint32_t j,
   return false;
 }
 
-/// Refines [begin, end) of the batch through every conjunct, leaving the
-/// surviving row positions (ascending) in `sel`.
-void FilterRange(const ColumnBatch& in, const std::vector<Comparison>& conjuncts,
-                 const std::vector<int>& idx, uint32_t begin, uint32_t end,
-                 SelVector* sel) {
+}  // namespace
+
+void FilterRangeInto(const ColumnBatch& in,
+                     const std::vector<Comparison>& conjuncts,
+                     const std::vector<int>& col_idx, uint32_t begin,
+                     uint32_t end, SelVector* sel) {
   SelVector next;
   for (size_t c = 0; c < conjuncts.size(); ++c) {
     next.clear();
-    CompareColumn(in.columns[idx[c]], conjuncts[c], c == 0 ? nullptr : sel,
+    CompareColumn(in.columns[col_idx[c]], conjuncts[c], c == 0 ? nullptr : sel,
                   begin, end, &next);
     std::swap(*sel, next);
     if (sel->empty()) return;
   }
 }
-
-}  // namespace
 
 Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
                               const std::string& alias) {
@@ -198,8 +167,8 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
   const std::vector<Morsel> morsels = MakeMorsels(in.num_rows, morsel_rows);
   if (num_threads <= 1 || morsels.size() < 2) {
     SelVector sel;
-    FilterRange(in, conjuncts, idx, 0, static_cast<uint32_t>(in.num_rows),
-                &sel);
+    FilterRangeInto(in, conjuncts, idx, 0, static_cast<uint32_t>(in.num_rows),
+                    &sel);
     return in.Gather(sel);
   }
   // Morsel-parallel scan: each worker refines its own selection vector; the
@@ -208,8 +177,8 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
   std::vector<SelVector> parts(morsels.size());
   ParallelOverMorsels(morsels, num_threads,
                       [&](size_t m, const Morsel& morsel) {
-                        FilterRange(in, conjuncts, idx, morsel.begin,
-                                    morsel.end, &parts[m]);
+                        FilterRangeInto(in, conjuncts, idx, morsel.begin,
+                                        morsel.end, &parts[m]);
                       });
   size_t total = 0;
   for (const auto& part : parts) total += part.size();
@@ -221,67 +190,61 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
 
 Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
                                   const ColumnBatch& right,
-                                  const JoinPredicate& predicate) {
-  std::vector<CondIdx> conds;
-  std::vector<ColumnRef> out_names;
-  MQO_RETURN_NOT_OK(ResolveJoin(left, right, predicate, &conds, &out_names));
+                                  const JoinPredicate& predicate,
+                                  int num_threads, size_t morsel_rows) {
+  MQO_ASSIGN_OR_RETURN(JoinSpec spec,
+                       ResolveJoinSpec(left.names, right.names, predicate));
+  const PipelineOptions pipeline{num_threads, morsel_rows};
+  std::vector<int> probe_keys;
+  std::vector<int> build_keys;
+  for (const auto& c : spec.conds) {
+    probe_keys.push_back(c.left);
+    build_keys.push_back(c.right);
+  }
+  // Partitioned parallel build over the right side. An empty condition list
+  // degrades to one all-rows bucket, i.e. the cross product.
+  const JoinHashTable table =
+      JoinHashTable::Build(right, std::move(build_keys), pipeline);
+  // Morsel-parallel probe: per-morsel pair slots concatenated in morsel
+  // order reproduce the serial left-major match order exactly.
+  const std::vector<Morsel> morsels = MakeMorsels(left.num_rows, morsel_rows);
+  struct Pairs {
+    SelVector left_idx;
+    SelVector right_idx;
+  };
+  std::vector<Pairs> parts(morsels.size());
+  ParallelOverMorsels(morsels, num_threads, [&](size_t m, const Morsel& morsel) {
+    Pairs& pairs = parts[m];
+    for (uint32_t l = morsel.begin; l < morsel.end; ++l) {
+      const size_t before = pairs.right_idx.size();
+      table.Probe(left, probe_keys, l, &pairs.right_idx);
+      for (size_t k = before; k < pairs.right_idx.size(); ++k) {
+        pairs.left_idx.push_back(l);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& pairs : parts) total += pairs.left_idx.size();
   SelVector left_idx;
   SelVector right_idx;
-  if (conds.empty()) {
-    // Cross product: every pair matches (the row engine's loop with no
-    // conditions).
-    left_idx.reserve(left.num_rows * right.num_rows);
-    right_idx.reserve(left.num_rows * right.num_rows);
-    for (uint32_t l = 0; l < left.num_rows; ++l) {
-      for (uint32_t r = 0; r < right.num_rows; ++r) {
-        left_idx.push_back(l);
-        right_idx.push_back(r);
-      }
-    }
-    return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+  left_idx.reserve(total);
+  right_idx.reserve(total);
+  for (const auto& pairs : parts) {
+    left_idx.insert(left_idx.end(), pairs.left_idx.begin(),
+                    pairs.left_idx.end());
+    right_idx.insert(right_idx.end(), pairs.right_idx.begin(),
+                     pairs.right_idx.end());
   }
-  // Build on the right side: key hash -> right row positions.
-  std::unordered_map<uint64_t, SelVector> table;
-  table.reserve(right.num_rows * 2);
-  for (uint32_t r = 0; r < right.num_rows; ++r) {
-    uint64_t h = 0x9ae16a3b2f90404full;
-    for (const auto& c : conds) {
-      h = HashCombine(h, right.columns[c.right].HashCell(r));
-    }
-    table[h].push_back(r);
-  }
-  // Probe with the left side, re-verifying cell equality per candidate.
-  for (uint32_t l = 0; l < left.num_rows; ++l) {
-    uint64_t h = 0x9ae16a3b2f90404full;
-    for (const auto& c : conds) {
-      h = HashCombine(h, left.columns[c.left].HashCell(l));
-    }
-    auto it = table.find(h);
-    if (it == table.end()) continue;
-    for (uint32_t r : it->second) {
-      bool match = true;
-      for (const auto& c : conds) {
-        if (!ColumnVector::CellsEqual(left.columns[c.left], l,
-                                      right.columns[c.right], r)) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
-        left_idx.push_back(l);
-        right_idx.push_back(r);
-      }
-    }
-  }
-  return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+  return GatherJoin(left, right, std::move(spec.out_names), left_idx,
+                    right_idx, num_threads);
 }
 
 Result<ColumnBatch> MergeJoinBatch(const ColumnBatch& left,
                                    const ColumnBatch& right,
                                    const JoinPredicate& predicate) {
-  std::vector<CondIdx> conds;
-  std::vector<ColumnRef> out_names;
-  MQO_RETURN_NOT_OK(ResolveJoin(left, right, predicate, &conds, &out_names));
+  MQO_ASSIGN_OR_RETURN(JoinSpec spec,
+                       ResolveJoinSpec(left.names, right.names, predicate));
+  const std::vector<JoinSpec::Cond>& conds = spec.conds;
   if (conds.empty()) return HashJoinBatch(left, right, predicate);
   std::vector<int> lcols;
   std::vector<int> rcols;
@@ -344,7 +307,8 @@ Result<ColumnBatch> MergeJoinBatch(const ColumnBatch& left,
     li = le;
     ri = re;
   }
-  return GatherJoin(left, right, std::move(out_names), left_idx, right_idx);
+  return GatherJoin(left, right, std::move(spec.out_names), left_idx,
+                    right_idx);
 }
 
 Result<ColumnBatch> SortBatch(const ColumnBatch& in, const SortOrder& order) {

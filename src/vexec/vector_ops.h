@@ -20,6 +20,15 @@
 
 namespace mqo {
 
+/// Refines rows [begin, end) of `in` through every conjunct (`col_idx` maps
+/// conjunct -> column, pre-resolved), leaving the surviving row positions
+/// (ascending) in `sel`. The per-range filter primitive shared by
+/// FilterBatch and the pipeline layer; thread-safe over disjoint ranges.
+void FilterRangeInto(const ColumnBatch& in,
+                     const std::vector<Comparison>& conjuncts,
+                     const std::vector<int>& col_idx, uint32_t begin,
+                     uint32_t end, SelVector* sel);
+
 /// Base-table columns re-qualified under a scan alias: a zero-copy view of
 /// the table's ColumnStore (COW payloads shared, nothing converted).
 Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
@@ -34,13 +43,17 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
                                 int num_threads = 1,
                                 size_t morsel_rows = kDefaultMorselRows);
 
-/// Equijoin: builds a hash table on `right`, probes with `left`, gathers the
+/// Equijoin: builds a hash table on `right` (partitioned parallel build when
+/// `num_threads > 1`), probes with `left` morsel-parallel, and gathers the
 /// matching index pairs. Empty predicates degrade to the cross product (as
 /// the row engine's nested loops do). Fails with Unimplemented on duplicate
-/// output columns, like JoinRows.
+/// output columns, like JoinRows. Results are identical for every thread
+/// count.
 Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
                                   const ColumnBatch& right,
-                                  const JoinPredicate& predicate);
+                                  const JoinPredicate& predicate,
+                                  int num_threads = 1,
+                                  size_t morsel_rows = kDefaultMorselRows);
 
 /// Equijoin by argsorting both sides on the key columns and merging equal-key
 /// runs. Bag-equal to HashJoinBatch; used for kMergeJoin plans.

@@ -10,6 +10,7 @@
 #include "exec/dataset.h"
 #include "exec/row_ops.h"
 #include "storage/mat_store.h"
+#include "storage/pipeline.h"
 #include "storage/table_reader.h"
 #include "vexec/vector_ops.h"
 
@@ -212,6 +213,78 @@ TEST(MatStoreTest, PutGetAndZeroCopyRead) {
   // without per-read copies.
   ColumnBatch read = *store.Get(7);
   EXPECT_TRUE(read.columns[0].SharesPayloadWith(store.Get(7)->columns[0]));
+}
+
+TEST(MatStoreTest, ByteAccountingTracksPutReplaceAndSegments) {
+  MatStore store;
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_EQ(store.SegmentBytes(1), 0u);
+
+  ColumnBatch a;
+  a.names = {ColumnRef("t", "k"), ColumnRef("t", "s")};
+  a.columns = {IntColumn({1, 2, 3}), StringColumn({"ab", "c", ""})};
+  a.num_rows = 3;
+  const size_t a_bytes = a.ByteSize();
+  // 3 int64 cells plus string payloads (object overhead + characters).
+  EXPECT_EQ(a_bytes, 3 * sizeof(int64_t) + 3 * sizeof(std::string) + 3);
+  store.Put(1, a);
+  EXPECT_EQ(store.bytes_used(), a_bytes);
+  EXPECT_EQ(store.SegmentBytes(1), a_bytes);
+
+  ColumnBatch b;
+  b.names = {ColumnRef("u", "k")};
+  b.columns = {IntColumn({4})};
+  b.num_rows = 1;
+  store.Put(2, b);
+  EXPECT_EQ(store.bytes_used(), a_bytes + sizeof(int64_t));
+
+  // Replacing a segment releases the old accounting.
+  store.Put(1, b);
+  EXPECT_EQ(store.bytes_used(), 2 * sizeof(int64_t));
+  EXPECT_EQ(store.SegmentBytes(1), sizeof(int64_t));
+}
+
+// ---- The shared pipeline driver ---------------------------------------------
+
+TEST(PipelineDriverTest, EveryMorselFoldsIntoExactlyOneWorkerState) {
+  PipelineOptions options;
+  options.num_threads = 4;
+  options.morsel_rows = 16;
+  const size_t num_rows = 1000;
+  // Each worker state records the morsels it claimed; across all states the
+  // morsel indices must partition the morsel space and cover the row space.
+  using State = std::vector<std::pair<size_t, Morsel>>;
+  std::vector<State> states = RunPipeline<State>(
+      num_rows, options,
+      [](State& state, size_t m, const Morsel& morsel) {
+        state.emplace_back(m, morsel);
+      });
+  ASSERT_GT(states.size(), 1u);
+  std::vector<int> seen(MakeMorsels(num_rows, options.morsel_rows).size(), 0);
+  size_t covered = 0;
+  for (const State& state : states) {
+    for (const auto& entry : state) {
+      ++seen[entry.first];
+      covered += entry.second.size();
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  EXPECT_EQ(covered, num_rows);
+}
+
+TEST(PipelineDriverTest, EmptySourceYieldsOneIdleState) {
+  PipelineOptions options;
+  options.num_threads = 8;
+  std::vector<int> states = RunPipeline<int>(
+      0, options, [](int& state, size_t, const Morsel&) { state = 1; });
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0], 0);
+}
+
+TEST(ParallelForTest, CoversEveryTaskExactlyOnce) {
+  std::vector<int> visits(257, 0);
+  ParallelFor(visits.size(), 8, [&](size_t i) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
 }
 
 // ---- Row/column boundary round-trips ----------------------------------------

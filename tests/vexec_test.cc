@@ -62,15 +62,20 @@ void ExpectSameRows(const NamedRows& expected, const NamedRows& actual,
 }
 
 /// Vector-engine configurations the differential suite must match the row
-/// engine under: serial, and 4 morsel-parallel scan threads. The morsel size
-/// is tiny so the small test tables split into several morsels and the
-/// parallel merge path is genuinely exercised.
+/// engine under: serial, and morsel-parallel pipelines at 2 and 8 threads.
+/// The morsel sizes are tiny so the small test tables split into several
+/// morsels and the parallel build/probe/aggregate merge paths are genuinely
+/// exercised (8 threads over 4-row morsels oversubscribes scheduling to
+/// shake out ordering assumptions).
 std::vector<ExecOptions> VectorConfigs() {
   ExecOptions serial;
-  ExecOptions parallel;
-  parallel.num_threads = 4;
-  parallel.morsel_rows = 8;
-  return {serial, parallel};
+  ExecOptions two;
+  two.num_threads = 2;
+  two.morsel_rows = 8;
+  ExecOptions eight;
+  eight.num_threads = 8;
+  eight.morsel_rows = 4;
+  return {serial, two, eight};
 }
 
 /// The differential check for one workload: row and vectorized execution
@@ -215,6 +220,65 @@ TEST(VexecDifferentialTest, TinyCatalogEmptySelection) {
   DataGenOptions gen;
   gen.max_rows_per_table = 20;
   gen.seed = 9;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, JoinAggHeavySkewedKeysAllAlgorithms) {
+  // Three-table equi-join chain feeding grouped and scalar aggregation, over
+  // a tiny key domain so every key repeats heavily: the hash table's bucket
+  // lists get long, probes fan out, and group counts stay small while row
+  // counts explode — the worst case for the parallel build/probe/aggregate
+  // merge order. Two queries share the t1 ⋈ t2 segment, so consolidated
+  // plans exercise pipelines reading materialized segments too.
+  Catalog catalog = MakeTinyCatalog();
+  auto join12 =
+      LogicalExpr::Join(LogicalExpr::Scan("t1"), LogicalExpr::Scan("t2"),
+                        JoinPredicate({KeyJoin("t1", "t2")}));
+  auto join123 = LogicalExpr::Join(join12, LogicalExpr::Scan("t3"),
+                                   JoinPredicate({KeyJoin("t2", "t3")}));
+  auto q1 = LogicalExpr::Aggregate(
+      join123, {ColumnRef("t1", "tag")},
+      {Agg(AggFunc::kSum, ColumnRef("t2", "v")), Agg(AggFunc::kCount),
+       Agg(AggFunc::kMin, ColumnRef("t3", "tag")),
+       Agg(AggFunc::kMax, ColumnRef("t3", "v"))});
+  auto q2 = LogicalExpr::Aggregate(
+      LogicalExpr::Select(join12,
+                          Predicate({Cmp("t1", "v", CompareOp::kLe, 6)})),
+      {},
+      {Agg(AggFunc::kAvg, ColumnRef("t2", "v")), Agg(AggFunc::kCount)});
+  Memo memo(&catalog);
+  memo.InsertBatch({q1, q2});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 3;  // heavy key skew
+  gen.seed = 21;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, EmptyJoinInputsAllAlgorithms) {
+  // One join side filtered down to nothing: the probe pipeline sees empty
+  // chunks everywhere, the grouped aggregation above it must come back
+  // empty, and the scalar aggregation must still emit its identity row —
+  // at every thread count.
+  Catalog catalog = MakeTinyCatalog();
+  auto empty_left = LogicalExpr::Select(
+      LogicalExpr::Scan("t1"), Predicate({Cmp("t1", "v", CompareOp::kLt, -5)}));
+  auto join = LogicalExpr::Join(empty_left, LogicalExpr::Scan("t2"),
+                                JoinPredicate({KeyJoin("t1", "t2")}));
+  auto q1 = LogicalExpr::Aggregate(
+      join, {ColumnRef("t2", "tag")},
+      {Agg(AggFunc::kSum, ColumnRef("t2", "v")), Agg(AggFunc::kCount)});
+  auto q2 = LogicalExpr::Aggregate(
+      join, {},
+      {Agg(AggFunc::kCount), Agg(AggFunc::kMin, ColumnRef("t1", "tag"))});
+  Memo memo(&catalog);
+  memo.InsertBatch({q1, q2});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 30;
+  gen.domain_cap = 8;
+  gen.seed = 31;
   CheckBackendsAgree(&memo, gen);
 }
 
@@ -461,6 +525,42 @@ TEST(VectorOpsTest, AggregateMatchesRowEngine) {
     for (size_t c = 0; c < got.columns.size(); ++c) {
       EXPECT_TRUE(ValueEq(got.rows[r][c], want_canon.rows[r][c]))
           << "row " << r << " col " << got.columns[c].ToString();
+    }
+  }
+}
+
+TEST(VectorOpsTest, ParallelHashJoinIsDeterministicAndMatchesSerial) {
+  // Skewed keys (every key repeats) over enough rows for many 4-row
+  // morsels. The parallel build/probe must reproduce the serial output
+  // exactly — same rows in the same order, not just bag-equal.
+  NamedRows left;
+  left.columns = {ColumnRef("l", "k"), ColumnRef("l", "x")};
+  NamedRows right;
+  right.columns = {ColumnRef("r", "k"), ColumnRef("r", "y")};
+  for (int i = 0; i < 100; ++i) {
+    left.rows.push_back({Value(double(i % 5)), Value(double(i))});
+    right.rows.push_back({Value(double(i % 7)), Value(double(-i))});
+  }
+  auto lb = BatchFromRows(left);
+  auto rb = BatchFromRows(right);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(rb.ok());
+  JoinPredicate pred({KeyJoin("l", "r")});
+  auto serial = HashJoinBatch(lb.ValueOrDie(), rb.ValueOrDie(), pred);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const NamedRows want = BatchToRows(serial.ValueOrDie());
+  ASSERT_GT(want.rows.size(), 0u);
+  for (int threads : {2, 8}) {
+    auto parallel =
+        HashJoinBatch(lb.ValueOrDie(), rb.ValueOrDie(), pred, threads, 4);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    const NamedRows got = BatchToRows(parallel.ValueOrDie());
+    ASSERT_EQ(got.rows.size(), want.rows.size()) << threads << " threads";
+    for (size_t r = 0; r < want.rows.size(); ++r) {
+      for (size_t c = 0; c < want.columns.size(); ++c) {
+        ASSERT_TRUE(ValueEq(got.rows[r][c], want.rows[r][c]))
+            << threads << " threads, row " << r;
+      }
     }
   }
 }
