@@ -1,0 +1,27 @@
+#include "exec/exec_options.h"
+
+#include <cstdlib>
+
+namespace mqo {
+
+MatStoreOptions ExecOptions::mat_store() const {
+  MatStoreOptions options;
+  options.budget_bytes = mat_budget_bytes;
+  options.spill_dir = mat_spill_dir;
+  // Environment overrides fill in only unset knobs, so CI can force the
+  // whole differential suite through eviction + spill without touching the
+  // explicit configurations individual tests assert on.
+  if (options.budget_bytes == 0) {
+    if (const char* env = std::getenv("MQO_MAT_BUDGET_BYTES")) {
+      options.budget_bytes = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  if (options.spill_dir.empty()) {
+    if (const char* env = std::getenv("MQO_SPILL_DIR")) {
+      options.spill_dir = env;
+    }
+  }
+  return options;
+}
+
+}  // namespace mqo

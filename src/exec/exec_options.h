@@ -1,26 +1,43 @@
 // Execution-time knobs shared by both engines' callers.
 //
 // ExecOptions travels from the facade (MqoOptions::exec) through the backend
-// dispatch (vexec/backend.h) into the engine that runs the plan. The row
-// interpreter is always serial and ignores it; the vectorized engine feeds
-// it to the pipeline driver (storage/pipeline.h) that schedules every scan,
-// filter, join build/probe and aggregation. Results are identical for every
-// setting — threading is a performance decision, never a semantic one.
+// dispatch (vexec/backend.h) into the engine that runs the plan. The
+// scheduling knobs feed the pipeline driver (storage/pipeline.h) that
+// schedules every scan, filter, join build/probe and aggregation in the
+// vectorized engine (the row interpreter is always serial and ignores
+// them). The memory-governance knobs configure both engines' shared
+// materialized-segment store (storage/mat_store.h): a resident-byte budget
+// and the spill directory evicted segments are written to. Results are
+// identical for every setting — threading and spilling are performance
+// decisions, never semantic ones.
 
 #ifndef MQO_EXEC_EXEC_OPTIONS_H_
 #define MQO_EXEC_EXEC_OPTIONS_H_
 
+#include "storage/mat_store.h"
 #include "storage/pipeline.h"
 
 namespace mqo {
 
-/// Execution-time knobs of the vectorized engine: exactly the pipeline
-/// driver's scheduling knobs (`num_threads` worker threads, 1 = serial;
-/// `morsel_rows` per scheduling granule), under the name the engine-facing
-/// layers use. Results are identical for every setting.
+/// Execution-time knobs: the pipeline driver's scheduling (`num_threads`
+/// worker threads, 1 = serial; `morsel_rows` per scheduling granule) plus
+/// the materialized-segment store's memory governance. Results are identical
+/// for every setting.
 struct ExecOptions : PipelineOptions {
+  /// Resident-byte budget of the executor's MatStore; 0 = unlimited. The
+  /// environment variable MQO_MAT_BUDGET_BYTES overrides an unset budget
+  /// (CI uses it to force every segment through the spill path).
+  size_t mat_budget_bytes = 0;
+  /// Spill directory for evicted segments; empty = a unique temp directory.
+  /// MQO_SPILL_DIR overrides an empty value.
+  std::string mat_spill_dir;
+
   /// The pipeline-driver view of these knobs.
   const PipelineOptions& pipeline() const { return *this; }
+
+  /// The store configuration these knobs describe, with environment
+  /// overrides applied.
+  MatStoreOptions mat_store() const;
 };
 
 }  // namespace mqo

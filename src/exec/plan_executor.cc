@@ -8,8 +8,11 @@ namespace mqo {
 
 Result<NamedRows> PlanExecutor::SideInput(EqId eq) {
   eq = memo_->Find(eq);
-  if (const ColumnBatch* segment = store_.Get(eq)) {
-    return BatchToRows(*segment);
+  if (store_.Contains(eq)) {
+    // Pin across the row conversion so eviction cannot swap the segment out
+    // mid-read; reload errors surface instead of silently recomputing.
+    MQO_ASSIGN_OR_RETURN(PinnedSegment pinned, store_.Pin(eq));
+    return BatchToRows(pinned.batch());
   }
   return evaluator_.EvaluateClass(eq);
 }
@@ -68,12 +71,13 @@ Result<NamedRows> PlanExecutor::ExecuteUncanonicalized(const PlanNodePtr& plan) 
     }
     case PhysOp::kReadMaterialized: {
       const EqId eq = memo_->Find(plan->eq);
-      const ColumnBatch* segment = store_.Get(eq);
-      if (segment == nullptr) {
+      auto pinned = store_.Pin(eq);
+      if (!pinned.ok()) {
         return Status::Internal("materialized node E" + std::to_string(eq) +
-                                " not in store");
+                                " not in store: " +
+                                pinned.status().ToString());
       }
-      return BatchToRows(*segment);
+      return BatchToRows(pinned.ValueOrDie().batch());
     }
     case PhysOp::kBatchRoot:
       return Status::Unimplemented("execute batch roots via ExecuteConsolidated");
@@ -93,12 +97,16 @@ Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
   // Segments are stored columnar even for the row engine, so both executors
   // share one materialization format.
   MQO_ASSIGN_OR_RETURN(ColumnBatch segment, BatchFromRows(rows));
-  store_.Put(memo_->Find(eq), std::move(segment));
-  return Status::OK();
+  return store_.Put(memo_->Find(eq), std::move(segment));
 }
 
 Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  // Seed the eviction weights before any segment lands: a segment with many
+  // reads still ahead of it is the last one the budget pushes to disk.
+  for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
+    store_.SetExpectedReads(eq, reads);
+  }
   // Materialize chosen nodes children-first (a node's compute plan may read
   // materialized descendants).
   std::vector<EqId> topo = memo_->TopologicalClasses();

@@ -10,22 +10,32 @@
 // order) into the shared columnar segment store (storage/mat_store.h) that
 // ReadMaterialized leaves consult — mirroring the cost model's
 // execute-once/read-many accounting. The interpreter converts segments at
-// the row/column boundary on every store access.
+// the row/column boundary on every store access, pinning the segment for
+// the duration of the conversion. The store runs under the memory budget in
+// ExecOptions (segments evict and spill to disk; reads rehydrate them
+// transparently), so row and vectorized execution stay byte-equivalent at
+// every budget.
 
 #ifndef MQO_EXEC_PLAN_EXECUTOR_H_
 #define MQO_EXEC_PLAN_EXECUTOR_H_
 
 #include "exec/evaluator.h"
+#include "exec/exec_options.h"
 #include "optimizer/batch_optimizer.h"
 #include "storage/mat_store.h"
 
 namespace mqo {
 
-/// Executes physical plans against a dataset.
+/// Executes physical plans against a dataset. The interpreter itself is
+/// always serial; `options` only configures the materialized-segment store.
 class PlanExecutor {
  public:
-  PlanExecutor(Memo* memo, const DataSet* data)
-      : memo_(memo), data_(data), evaluator_(memo, data) {}
+  PlanExecutor(Memo* memo, const DataSet* data,
+               const ExecOptions& options = {})
+      : memo_(memo),
+        data_(data),
+        evaluator_(memo, data),
+        store_(options.mat_store()) {}
 
   /// Executes one plan tree; the result is canonicalized to the plan's class
   /// attributes. ReadMaterialized leaves require the node to be present in
@@ -39,6 +49,10 @@ class PlanExecutor {
   /// the order given, which BatchOptimizer emits dependency-compatible),
   /// then executes the root and returns one result per batched query.
   Result<std::vector<NamedRows>> ExecuteConsolidated(const ConsolidatedPlan& plan);
+
+  /// This executor's materialized-segment store (budget accounting, spill
+  /// stats), for tests and benches.
+  const MatStore& store() const { return store_; }
 
  private:
   Result<NamedRows> ExecuteUncanonicalized(const PlanNodePtr& plan);

@@ -13,7 +13,11 @@ void MqoOutcome::Print() const { Print(std::cout); }
 void MqoOutcome::Print(std::ostream& os) const {
   os << "algorithm        : " << result.algorithm << "\n";
   os << "DAG              : " << dag_classes << " classes, " << dag_ops
-     << " operators, " << shareable_nodes << " shareable\n";
+     << " operators, " << shareable_nodes << " shareable";
+  if (admission_refused > 0) {
+    os << " (" << admission_refused << " refused by budget admission)";
+  }
+  os << "\n";
   os << "no-MQO cost      : " << FormatCost(result.volcano_cost / 1000.0)
      << " s\n";
   os << "consolidated cost: " << FormatCost(result.total_cost / 1000.0)
@@ -29,6 +33,22 @@ void MqoOutcome::Print(std::ostream& os) const {
 }
 
 namespace {
+
+/// Spreads MqoOptions::mat_budget_bytes to the optimizer's cost params and
+/// the executors' store options, unless those were set explicitly.
+MqoOptions WithBudgetApplied(const MqoOptions& options) {
+  MqoOptions out = options;
+  if (options.mat_budget_bytes > 0) {
+    if (out.cost_params.mat_budget_bytes <= 0.0) {
+      out.cost_params.mat_budget_bytes =
+          static_cast<double>(options.mat_budget_bytes);
+    }
+    if (out.exec.mat_budget_bytes == 0) {
+      out.exec.mat_budget_bytes = options.mat_budget_bytes;
+    }
+  }
+  return out;
+}
 
 /// Parses every SQL string of the batch, failing on the first error.
 Result<std::vector<LogicalExprPtr>> ParseBatch(
@@ -59,7 +79,12 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
 
   outcome->dag_classes = expanded.ValueOrDie().classes_after;
   outcome->dag_ops = expanded.ValueOrDie().ops_after;
-  outcome->shareable_nodes = problem.universe_size();
+  outcome->admission_refused =
+      static_cast<int>(problem.admission_refused().size());
+  // The DAG's shareable-node count, independent of the budget's admission
+  // filter (the algorithms ran over the admitted subset).
+  outcome->shareable_nodes =
+      problem.universe_size() + outcome->admission_refused;
   switch (options.algorithm) {
     case MqoOptions::Algorithm::kMarginalGreedy:
       outcome->result = RunMarginalGreedy(&problem, options.marginal_options);
@@ -84,10 +109,11 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
 Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
                                  const std::vector<LogicalExprPtr>& queries,
                                  const MqoOptions& options) {
+  const MqoOptions effective = WithBudgetApplied(options);
   Memo memo(&catalog);
   MqoOutcome outcome;
   MQO_ASSIGN_OR_RETURN(ConsolidatedPlan plan,
-                       OptimizeIntoMemo(&memo, queries, options, &outcome));
+                       OptimizeIntoMemo(&memo, queries, effective, &outcome));
   (void)plan;
   return outcome;
 }
@@ -95,16 +121,17 @@ Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
 Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
     const Catalog& catalog, const std::vector<LogicalExprPtr>& queries,
     const DataSet& data, const MqoOptions& options) {
+  const MqoOptions effective = WithBudgetApplied(options);
   Memo memo(&catalog);
   MqoExecutionOutcome outcome;
-  outcome.backend = options.backend;
+  outcome.backend = effective.backend;
   MQO_ASSIGN_OR_RETURN(
       ConsolidatedPlan plan,
-      OptimizeIntoMemo(&memo, queries, options, &outcome.optimization));
+      OptimizeIntoMemo(&memo, queries, effective, &outcome.optimization));
   MQO_ASSIGN_OR_RETURN(
       outcome.results,
-      ExecuteConsolidatedWith(options.backend, &memo, &data, plan,
-                              options.exec));
+      ExecuteConsolidatedWith(effective.backend, &memo, &data, plan,
+                              effective.exec));
   return outcome;
 }
 

@@ -34,9 +34,16 @@ struct MqoOptions {
   ExecBackend backend = ExecBackend::kRow;
   /// Vectorized-engine execution knobs: `exec.num_threads` > 1 runs every
   /// pipeline — scans, filters, join build/probe, aggregation — morsel-
-  /// parallel (results are identical for every value). Ignored by the row
-  /// engine.
+  /// parallel (results are identical for every value). The row engine is
+  /// serial but honours the store-governance knobs below.
   ExecOptions exec;
+  /// Byte budget of the executors' materialized-segment store; 0 =
+  /// unlimited. A non-zero budget flows to both sides of the system: the
+  /// optimizer (cost_params.mat_budget_bytes — admission control plus a
+  /// spill penalty on oversized materialized sets) and the executors
+  /// (exec.mat_budget_bytes — eviction and disk spill at run time).
+  /// Explicitly-set cost_params/exec budgets win over this convenience knob.
+  size_t mat_budget_bytes = 0;
 };
 
 /// Result of a facade optimization.
@@ -46,7 +53,10 @@ struct MqoOutcome {
   std::vector<std::string> materialized_plans;  ///< One per materialized node.
   int dag_classes = 0;
   int dag_ops = 0;
-  int shareable_nodes = 0;
+  int shareable_nodes = 0;   ///< Shareable nodes in the DAG (budget-independent).
+  /// Shareable nodes the budget's admission control refused (0 without a
+  /// budget); the algorithms ran over shareable_nodes − admission_refused.
+  int admission_refused = 0;
 
   /// Writes a human-readable report to `os`.
   void Print(std::ostream& os) const;

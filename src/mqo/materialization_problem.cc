@@ -4,15 +4,49 @@ namespace mqo {
 
 MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
     : optimizer_(optimizer), universe_(ShareableNodes(*optimizer->memo())) {
+  const CostModel& cm = optimizer_->cost_model();
+  if (cm.params().mat_budget_bytes > 0.0) {
+    // Admission control: refuse nodes whose standalone recomputation is
+    // cheaper than the spill round trip of their footprint. With
+    // StandaloneMatCost = compute + write and the round trip = write + read
+    // of the same footprint, this refuses exactly the nodes whose compute
+    // cost undercuts one sequential read of their own result — segments
+    // that can never repay the budget pressure of holding them.
+    std::vector<EqId> admitted;
+    for (EqId e : universe_) {
+      const double blocks = cm.Blocks(optimizer_->MatFootprintBytes(e));
+      const double spill_round_trip =
+          cm.SeqWriteCost(blocks) + cm.SeqReadCost(blocks);
+      if (optimizer_->StandaloneMatCost(e) <= spill_round_trip) {
+        refused_.push_back(e);
+      } else {
+        admitted.push_back(e);
+      }
+    }
+    universe_ = std::move(admitted);
+  }
   const int n = static_cast<int>(universe_.size());
   benefit_ = std::make_unique<LambdaSetFunction>(
       n, [this](const ElementSet& s) {
-        return optimizer_->BestCost({}) - optimizer_->BestCost(ToEqIds(s));
+        const std::set<EqId> eqs = ToEqIds(s);
+        return optimizer_->BestCost({}) -
+               (optimizer_->BestCost(eqs) + SpillPenalty(eqs));
       });
   best_cost_ = std::make_unique<LambdaSetFunction>(
       n, [this](const ElementSet& s) {
-        return optimizer_->BestCost(ToEqIds(s));
+        const std::set<EqId> eqs = ToEqIds(s);
+        return optimizer_->BestCost(eqs) + SpillPenalty(eqs);
       });
+}
+
+double MaterializationProblem::FootprintBytes(const std::set<EqId>& eqs) const {
+  double bytes = 0.0;
+  for (EqId e : eqs) bytes += optimizer_->MatFootprintBytes(e);
+  return bytes;
+}
+
+double MaterializationProblem::SpillPenalty(const std::set<EqId>& eqs) const {
+  return optimizer_->cost_model().SpillPenalty(FootprintBytes(eqs));
 }
 
 std::set<EqId> MaterializationProblem::ToEqIds(const ElementSet& s) const {

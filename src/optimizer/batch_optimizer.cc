@@ -164,4 +164,45 @@ double BatchOptimizer::StandaloneMatCost(EqId eq) {
   return compute->total_cost + search.WriteCost(eq);
 }
 
+double BatchOptimizer::MatFootprintBytes(EqId eq) {
+  return stats_.ClassStats(memo_->Find(eq)).SizeBytes();
+}
+
+namespace {
+
+void CountSegmentReads(const Memo& memo, const PlanNodePtr& plan,
+                       const std::set<EqId>& materialized,
+                       std::unordered_map<EqId, double>* reads) {
+  if (plan == nullptr) return;
+  if (plan->op == PhysOp::kReadMaterialized) {
+    (*reads)[memo.Find(plan->eq)] += 1.0;
+  } else if (plan->logical_op >= 0 && plan->children.size() == 1 &&
+             (plan->op == PhysOp::kBlockNLJoin ||
+              plan->op == PhysOp::kIndexNLJoin ||
+              plan->op == PhysOp::kMergeJoin)) {
+    // A join whose inner side is not a plan child rescans it as a side
+    // input; the executors serve that from the store when materialized.
+    const MemoOp& op = memo.op(plan->logical_op);
+    const EqId inner = memo.Find(op.children[1]);
+    if (materialized.count(inner) > 0) (*reads)[inner] += 1.0;
+  }
+  for (const PlanNodePtr& child : plan->children) {
+    CountSegmentReads(memo, child, materialized, reads);
+  }
+}
+
+}  // namespace
+
+std::unordered_map<EqId, double> ExpectedSegmentReads(
+    const Memo& memo, const ConsolidatedPlan& plan) {
+  std::set<EqId> materialized;
+  for (const auto& m : plan.materialized) materialized.insert(memo.Find(m.eq));
+  std::unordered_map<EqId, double> reads;
+  CountSegmentReads(memo, plan.root_plan, materialized, &reads);
+  for (const auto& m : plan.materialized) {
+    CountSegmentReads(memo, m.compute_plan, materialized, &reads);
+  }
+  return reads;
+}
+
 }  // namespace mqo

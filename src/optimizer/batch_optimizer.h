@@ -46,6 +46,15 @@ struct BatchOptimizerOptions {
   SearchOptions search;
 };
 
+/// Expected number of materialized-store reads per materialized class in
+/// `plan`: ReadMaterialized leaves across the root plan and every compute
+/// plan, plus join side-inputs (single-child join nodes whose inner is a
+/// materialized class — BNL/index probes rescan those from the store). The
+/// executors feed this to MatStore::SetExpectedReads so eviction can weigh
+/// segments by the reads still ahead of them.
+std::unordered_map<EqId, double> ExpectedSegmentReads(
+    const Memo& memo, const ConsolidatedPlan& plan);
+
 /// Cost oracle for the MQO algorithms. Evaluations are cached per set, and
 /// instrumentation counters expose how many full optimizations were run.
 class BatchOptimizer {
@@ -67,6 +76,11 @@ class BatchOptimizer {
   /// write; the "standalone materialization cost" used by the use-benefit
   /// decomposition.
   double StandaloneMatCost(EqId eq);
+
+  /// Estimated payload bytes of node `eq`'s materialized segment (the
+  /// stats layer's result-size estimate) — what the memory-governed store's
+  /// budget would be charged for holding it.
+  double MatFootprintBytes(EqId eq);
 
   /// Pins S as the incremental base: subsequent bc(S ∪ {x}) / bc(S \ {x})
   /// calls clone the pinned search and re-plan only the ancestor classes of

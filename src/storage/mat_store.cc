@@ -1,0 +1,197 @@
+#include "storage/mat_store.h"
+
+#include <cassert>
+
+namespace mqo {
+
+PinnedSegment& PinnedSegment::operator=(PinnedSegment&& o) noexcept {
+  if (this != &o) {
+    Release();
+    store_ = o.store_;
+    eq_ = o.eq_;
+    batch_ = o.batch_;
+    o.store_ = nullptr;
+    o.batch_ = nullptr;
+  }
+  return *this;
+}
+
+void PinnedSegment::Release() {
+  if (store_ != nullptr) store_->Unpin(eq_);
+  store_ = nullptr;
+  batch_ = nullptr;
+}
+
+void MatStore::Unpin(int eq) {
+  auto it = entries_.find(eq);
+  if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+Status MatStore::Put(int eq, ColumnBatch segment) {
+  Entry& e = entries_[eq];
+  if (e.pins > 0) {
+    // Replacing the batch in place would yank it out from under live
+    // PinnedSegment leases, whose contract is a stable batch().
+    return Status::Internal("Put would replace pinned segment E" +
+                            std::to_string(eq));
+  }
+  if (e.resident) bytes_used_ -= e.bytes;
+  if (!e.spill_path.empty()) {
+    // The old spill file holds stale content now.
+    bytes_spilled_ -= e.resident ? 0 : e.bytes;
+    spill_dir_.RemoveFile(e.spill_path);
+    e.spill_path.clear();
+  }
+  e.bytes = segment.ByteSize();
+  e.batch = std::move(segment);
+  e.resident = true;
+  e.last_use = ++tick_;
+  auto hint = read_hints_.find(eq);
+  if (hint != read_hints_.end()) {
+    e.expected_reads = hint->second;
+    read_hints_.erase(hint);
+  }
+  bytes_used_ += e.bytes;
+  ++stats_.puts;
+  return EnforceBudget(-1);
+}
+
+Result<MatStore::Entry*> MatStore::Touch(int eq) {
+  auto it = entries_.find(eq);
+  if (it == entries_.end()) {
+    return Status::NotFound("segment E" + std::to_string(eq) +
+                            " was never materialized");
+  }
+  Entry& e = it->second;
+  ++stats_.gets;
+  if (!e.resident) {
+    auto reloaded = ReadSegmentFile(e.spill_path);
+    if (!reloaded.ok()) {
+      last_error_ = reloaded.status();
+      return reloaded.status();
+    }
+    e.batch = std::move(reloaded).ValueOrDie();
+    e.resident = true;
+    bytes_used_ += e.bytes;
+    bytes_spilled_ -= e.bytes;
+    ++stats_.reloads;
+    stats_.bytes_reloaded += e.bytes;
+    // The spill file stays valid (segments are immutable between Puts), so
+    // a future eviction releases the payload without rewriting the file.
+    MQO_RETURN_NOT_OK(EnforceBudget(eq));
+  } else {
+    ++stats_.hits;
+  }
+  e.last_use = ++tick_;
+  if (e.expected_reads > 0.0) e.expected_reads -= 1.0;
+  return &e;
+}
+
+const ColumnBatch* MatStore::Get(int eq) {
+  auto touched = Touch(eq);
+  return touched.ok() ? &touched.ValueOrDie()->batch : nullptr;
+}
+
+Result<PinnedSegment> MatStore::Pin(int eq) {
+  MQO_ASSIGN_OR_RETURN(Entry * e, Touch(eq));
+  ++e->pins;
+  return PinnedSegment(this, eq, &e->batch);
+}
+
+Status MatStore::Evict(Entry* e) {
+  if (e->spill_path.empty()) {
+    auto path = spill_dir_.NextPath();
+    if (!path.ok()) {
+      last_error_ = path.status();
+      return path.status();
+    }
+    Status written = WriteSegmentFile(path.ValueOrDie(), e->batch);
+    if (!written.ok()) {
+      last_error_ = written;
+      spill_dir_.RemoveFile(path.ValueOrDie());
+      return written;
+    }
+    e->spill_path = std::move(path).ValueOrDie();
+    ++stats_.spill_writes;
+  }
+  e->batch = ColumnBatch{};  // release the store's payload references
+  e->resident = false;
+  bytes_used_ -= e->bytes;
+  bytes_spilled_ += e->bytes;
+  ++stats_.evictions;
+  stats_.bytes_spilled += e->bytes;
+  return Status::OK();
+}
+
+Status MatStore::EnforceBudget(int protect_eq) {
+  if (options_.budget_bytes == 0) return Status::OK();
+  while (bytes_used_ > options_.budget_bytes) {
+    // Victim: the unpinned resident segment with the smallest remaining
+    // reload saving (expected reads x bytes), oldest first on ties, key as
+    // the final tiebreaker — deterministic for a fixed operation sequence.
+    int victim = -1;
+    Entry* victim_entry = nullptr;
+    double victim_weight = 0.0;
+    for (auto& [eq, e] : entries_) {
+      if (!e.resident || e.pins > 0 || eq == protect_eq) continue;
+      const double weight = e.expected_reads * static_cast<double>(e.bytes);
+      const bool better =
+          victim == -1 || weight < victim_weight ||
+          (weight == victim_weight &&
+           (e.last_use < victim_entry->last_use ||
+            (e.last_use == victim_entry->last_use && eq < victim)));
+      if (better) {
+        victim = eq;
+        victim_entry = &e;
+        victim_weight = weight;
+      }
+    }
+    if (victim == -1) break;  // everything left is pinned or protected
+    MQO_RETURN_NOT_OK(Evict(victim_entry));
+  }
+  return Status::OK();
+}
+
+bool MatStore::Erase(int eq) {
+  auto it = entries_.find(eq);
+  if (it == entries_.end() || it->second.pins > 0) return false;
+  Entry& e = it->second;
+  if (e.resident) bytes_used_ -= e.bytes;
+  else bytes_spilled_ -= e.bytes;
+  if (!e.spill_path.empty()) spill_dir_.RemoveFile(e.spill_path);
+  entries_.erase(it);
+  return true;
+}
+
+void MatStore::Clear() {
+  for (auto& [eq, e] : entries_) {
+    assert(e.pins == 0 && "Clear with live pins");
+    (void)eq;
+    if (!e.spill_path.empty()) spill_dir_.RemoveFile(e.spill_path);
+  }
+  entries_.clear();
+  read_hints_.clear();
+  bytes_used_ = 0;
+  bytes_spilled_ = 0;
+}
+
+void MatStore::SetExpectedReads(int eq, double reads) {
+  auto it = entries_.find(eq);
+  if (it != entries_.end()) {
+    it->second.expected_reads = reads;
+  } else {
+    read_hints_[eq] = reads;
+  }
+}
+
+bool MatStore::IsResident(int eq) const {
+  auto it = entries_.find(eq);
+  return it != entries_.end() && it->second.resident;
+}
+
+size_t MatStore::SegmentBytes(int eq) const {
+  auto it = entries_.find(eq);
+  return it == entries_.end() ? 0 : it->second.bytes;
+}
+
+}  // namespace mqo

@@ -1,4 +1,5 @@
-// The materialize-once/read-many segment store shared by both executors.
+// The materialize-once/read-many segment store shared by both executors —
+// now memory-governed.
 //
 // MQO's value proposition is to execute a shared subexpression once and read
 // it many times; this store holds those results as columnar segments
@@ -6,53 +7,174 @@
 // that was materialized. The vectorized engine reads segments zero-copy; the
 // row interpreter converts at the boundary (BatchToRows/BatchFromRows).
 //
-// The store accounts its payload bytes (bytes_used / SegmentBytes) so a
-// memory budget can be enforced on top of it — the stepping stone toward
-// disk-backed (spilling) segments. Accounting charges each segment's owned
-// payloads once; zero-copy views handed to readers share those payloads and
-// cost nothing extra.
+// Memory governance: a byte budget caps the resident payload bytes. When a
+// Put (or a reload) pushes the store over budget, victims are evicted —
+// written once to a spill directory (storage/spill.h) and their in-memory
+// payloads released. Get/Pin rehydrate spilled segments transparently, so
+// callers never observe the difference beyond latency. Eviction is
+// cost-weighted LRU over remaining expected reads: the victim is the
+// unpinned resident segment with the smallest remaining reload saving
+// (expected remaining reads x payload bytes), ties broken least-recently-
+// used first, then by key — fully deterministic for a fixed operation
+// sequence. Pinned segments are never evicted, so zero-copy readers and
+// in-flight pipelines hold stable batches; because column payloads are
+// copy-on-write, a batch copied out of the store stays valid even after the
+// store later evicts the segment.
+//
+// Accounting charges each resident segment's owned payloads once; zero-copy
+// views handed to readers share those payloads and cost nothing extra. A
+// segment larger than the whole budget is spilled straight back out by the
+// enforcing Put; a reload may leave the store transiently over budget until
+// the next Put or reload enforces again (never evicting the segment it just
+// brought in, to rule out reload thrash within one access).
 
 #ifndef MQO_STORAGE_MAT_STORE_H_
 #define MQO_STORAGE_MAT_STORE_H_
 
-#include <map>
+#include <unordered_map>
 
-#include "storage/column_batch.h"
+#include "storage/spill.h"
 
 namespace mqo {
 
-/// Columnar segments keyed by materialized class id.
-class MatStore {
+/// Governance knobs of one MatStore.
+struct MatStoreOptions {
+  /// Resident-byte budget; 0 disables governance (nothing ever spills).
+  size_t budget_bytes = 0;
+  /// Spill directory; empty = a unique temp directory, created lazily on
+  /// the first eviction and removed when the store dies.
+  std::string spill_dir;
+};
+
+/// Operation counters, exposed for tests and bench_mat_store.
+struct MatStoreStats {
+  int64_t puts = 0;
+  int64_t gets = 0;          ///< Get/Pin calls that found a segment.
+  int64_t hits = 0;          ///< ... served resident (no disk touch).
+  int64_t evictions = 0;     ///< Segments whose payload was released.
+  int64_t spill_writes = 0;  ///< Evictions that had to write the file.
+  int64_t reloads = 0;       ///< Gets served by reading the spill file.
+  size_t bytes_spilled = 0;
+  size_t bytes_reloaded = 0;
+};
+
+class MatStore;
+
+/// RAII read lease on one segment: while any PinnedSegment for `eq` is
+/// alive, the store will not evict that segment, so batch() is stable for
+/// the pin's whole lifetime (pipelines, probes, boundary conversions).
+class PinnedSegment {
  public:
-  /// Inserts or replaces the segment for `eq`.
-  void Put(int eq, ColumnBatch segment) {
-    auto it = segments_.find(eq);
-    if (it != segments_.end()) bytes_used_ -= it->second.ByteSize();
-    bytes_used_ += segment.ByteSize();
-    segments_[eq] = std::move(segment);
-  }
+  PinnedSegment() = default;
+  PinnedSegment(PinnedSegment&& o) noexcept { *this = std::move(o); }
+  PinnedSegment& operator=(PinnedSegment&& o) noexcept;
+  PinnedSegment(const PinnedSegment&) = delete;
+  PinnedSegment& operator=(const PinnedSegment&) = delete;
+  ~PinnedSegment() { Release(); }
 
-  /// The segment for `eq`, or nullptr if it was never materialized.
-  const ColumnBatch* Get(int eq) const {
-    auto it = segments_.find(eq);
-    return it == segments_.end() ? nullptr : &it->second;
-  }
+  bool valid() const { return store_ != nullptr; }
+  const ColumnBatch& batch() const { return *batch_; }
 
-  bool Contains(int eq) const { return segments_.count(eq) > 0; }
-  size_t size() const { return segments_.size(); }
-
-  /// Payload bytes of the segment for `eq`, or 0 if absent.
-  size_t SegmentBytes(int eq) const {
-    auto it = segments_.find(eq);
-    return it == segments_.end() ? 0 : it->second.ByteSize();
-  }
-
-  /// Total payload bytes across all held segments.
-  size_t bytes_used() const { return bytes_used_; }
+  /// Drops the pin early (idempotent).
+  void Release();
 
  private:
-  std::map<int, ColumnBatch> segments_;
+  friend class MatStore;
+  PinnedSegment(MatStore* store, int eq, const ColumnBatch* batch)
+      : store_(store), eq_(eq), batch_(batch) {}
+
+  MatStore* store_ = nullptr;
+  int eq_ = -1;
+  const ColumnBatch* batch_ = nullptr;
+};
+
+/// Columnar segments keyed by materialized class id, held under a byte
+/// budget. Not thread-safe: both executors access the store from the driver
+/// thread between pipeline runs; worker threads only read batches already
+/// pinned or copied out (COW payloads make those reads immutable).
+class MatStore {
+ public:
+  MatStore() = default;
+  explicit MatStore(MatStoreOptions options)
+      : options_(options), spill_dir_(options.spill_dir) {}
+  MatStore(const MatStore&) = delete;
+  MatStore& operator=(const MatStore&) = delete;
+
+  /// Inserts or replaces the segment for `eq`, then enforces the budget
+  /// (which may spill this segment or others). Fails on spill I/O errors
+  /// and on replacing a segment that is currently pinned.
+  Status Put(int eq, ColumnBatch segment);
+
+  /// The segment for `eq`, reloaded from its spill file if it was evicted,
+  /// or nullptr if it was never materialized (or its reload failed — see
+  /// last_error()). The pointer is stable until the segment is next evicted,
+  /// erased, or replaced; prefer Pin() to hold it across other store calls.
+  const ColumnBatch* Get(int eq);
+
+  /// Like Get, but returns a RAII lease that blocks eviction of `eq` while
+  /// alive. NotFound if never materialized; Internal on reload failure.
+  Result<PinnedSegment> Pin(int eq);
+
+  /// Drops the segment (resident or spilled) and its spill file. Returns
+  /// true when something was erased. Pinned segments cannot be erased.
+  bool Erase(int eq);
+
+  /// Drops every segment and every spill file. No segment may be pinned.
+  void Clear();
+
+  /// Expected number of future reads of `eq` — the eviction-cost weight.
+  /// Each Get/Pin of `eq` consumes one. May be set before the Put.
+  void SetExpectedReads(int eq, double reads);
+
+  bool Contains(int eq) const { return entries_.count(eq) > 0; }
+  /// True iff the segment is held in memory (false when spilled or absent).
+  bool IsResident(int eq) const;
+  size_t size() const { return entries_.size(); }
+
+  /// Payload bytes of the segment for `eq` (resident or spilled), 0 if
+  /// absent.
+  size_t SegmentBytes(int eq) const;
+
+  /// Resident payload bytes — what the budget governs.
+  size_t bytes_used() const { return bytes_used_; }
+  /// Payload bytes currently living in spill files instead of memory.
+  size_t bytes_spilled() const { return bytes_spilled_; }
+  size_t budget_bytes() const { return options_.budget_bytes; }
+  const MatStoreStats& stats() const { return stats_; }
+  /// Status of the most recent failed spill/reload, OK when none failed.
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  friend class PinnedSegment;
+
+  struct Entry {
+    ColumnBatch batch;       ///< Payload; columns empty while spilled.
+    bool resident = false;
+    size_t bytes = 0;        ///< Payload bytes, resident or not.
+    std::string spill_path;  ///< Non-empty once spilled at least once.
+    int pins = 0;
+    uint64_t last_use = 0;
+    double expected_reads = 0.0;  ///< Remaining, decremented per Get/Pin.
+  };
+
+  /// Rehydrates + bumps LRU/read accounting; shared by Get and Pin.
+  Result<Entry*> Touch(int eq);
+  /// Spills victims until bytes_used() <= budget, never touching pinned
+  /// segments or `protect_eq` (the segment just reloaded; -1 = none).
+  Status EnforceBudget(int protect_eq);
+  /// Writes `e` out (if not already on disk) and releases its payload.
+  Status Evict(Entry* e);
+  void Unpin(int eq);
+
+  MatStoreOptions options_;
+  SpillDir spill_dir_;
+  std::unordered_map<int, Entry> entries_;
+  std::unordered_map<int, double> read_hints_;  ///< Set before Put.
   size_t bytes_used_ = 0;
+  size_t bytes_spilled_ = 0;
+  uint64_t tick_ = 0;
+  MatStoreStats stats_;
+  Status last_error_;
 };
 
 }  // namespace mqo

@@ -13,6 +13,13 @@
 // owns thread creation, ParallelFor and ParallelOverMorsels are thin
 // claiming loops on top of it, and the pipeline driver (storage/pipeline.h)
 // adds per-thread state. No other file starts std::threads.
+//
+// Threads are persistent: RunOnWorkers dispatches worker slots onto a
+// process-wide pool that parks its threads between calls and grows to the
+// largest worker count ever requested, so running many pipelines back to
+// back (the executors run one pipeline per plan segment) no longer pays a
+// thread spawn + join per run. Calls from inside a pool worker degrade to
+// inline serial execution, which keeps accidental nesting correct.
 
 #ifndef MQO_STORAGE_MORSEL_H_
 #define MQO_STORAGE_MORSEL_H_
@@ -43,10 +50,14 @@ std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows);
 
 /// The shared thread-pool entry point: runs `body(worker_slot)` once per
 /// worker slot in [0, workers), slot 0 on the calling thread and the rest on
-/// freshly spawned std::threads, joining them all before returning. With
-/// `workers <= 1` the body runs inline. Every parallel construct in the
-/// system funnels through here.
+/// the persistent worker pool, waiting for all slots before returning. With
+/// `workers <= 1` (or when called from a pool worker) the body runs inline.
+/// Every parallel construct in the system funnels through here.
 void RunOnWorkers(size_t workers, const std::function<void(size_t)>& body);
+
+/// Number of threads currently parked in the persistent pool (for tests and
+/// instrumentation; 0 until the first multi-worker RunOnWorkers call).
+size_t WorkerPoolSize();
 
 /// Runs `fn(task_index)` exactly once for every index in [0, num_tasks), on
 /// up to `num_threads` workers pulling indices from a shared atomic counter.

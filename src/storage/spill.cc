@@ -1,0 +1,199 @@
+#include "storage/spill.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mqo {
+
+namespace {
+
+// File layout: header, then each column as (qualifier, name, type, count,
+// payload). Strings are length-prefixed; numeric payloads are raw arrays.
+constexpr uint32_t kMagic = 0x4753514du;  // "MQSG"
+constexpr uint32_t kVersion = 1;
+
+/// Distinguishes files from concurrently-live stores sharing one directory.
+std::atomic<uint64_t> g_spill_serial{0};
+
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+bool WriteRaw(std::FILE* f, const void* data, size_t bytes) {
+  return bytes == 0 || std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadRaw(std::FILE* f, void* data, size_t bytes) {
+  return bytes == 0 || std::fread(data, 1, bytes, f) == bytes;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, T v) {
+  return WriteRaw(f, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return ReadRaw(f, v, sizeof(T));
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  return WritePod<uint64_t>(f, s.size()) && WriteRaw(f, s.data(), s.size());
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint64_t len = 0;
+  if (!ReadPod(f, &len)) return false;
+  s->resize(len);
+  return ReadRaw(f, &(*s)[0], len);
+}
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::Internal("spill " + op + " failed: " + path + " (" +
+                          std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("open", path);
+  FileCloser closer{f};
+  bool ok = WritePod(f, kMagic) && WritePod(f, kVersion) &&
+            WritePod<uint64_t>(f, batch.num_rows) &&
+            WritePod<uint64_t>(f, batch.columns.size());
+  for (size_t c = 0; ok && c < batch.columns.size(); ++c) {
+    const ColumnVector& col = batch.columns[c];
+    ok = WriteString(f, batch.names[c].qualifier) &&
+         WriteString(f, batch.names[c].name) &&
+         WritePod<uint8_t>(f, static_cast<uint8_t>(col.type())) &&
+         WritePod<uint64_t>(f, col.size());
+    if (!ok) break;
+    switch (col.type()) {
+      case VecType::kInt64:
+        ok = WriteRaw(f, col.ints().data(), col.size() * sizeof(int64_t));
+        break;
+      case VecType::kDouble:
+        ok = WriteRaw(f, col.doubles().data(), col.size() * sizeof(double));
+        break;
+      case VecType::kString:
+        for (const std::string& s : col.strings()) {
+          if (!(ok = WriteString(f, s))) break;
+        }
+        break;
+    }
+  }
+  // Flush before reporting success: a buffered write that only fails at
+  // close time (e.g. ENOSPC) must not let the caller discard its in-memory
+  // copy of the segment.
+  if (ok) ok = std::fflush(f) == 0;
+  if (!ok) return IoError("write", path);
+  return Status::OK();
+}
+
+Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("open", path);
+  FileCloser closer{f};
+  uint32_t magic = 0, version = 0;
+  uint64_t num_rows = 0, num_cols = 0;
+  if (!ReadPod(f, &magic) || !ReadPod(f, &version) || !ReadPod(f, &num_rows) ||
+      !ReadPod(f, &num_cols) || magic != kMagic || version != kVersion) {
+    return Status::Internal("spill file corrupt or truncated: " + path);
+  }
+  ColumnBatch batch;
+  batch.num_rows = num_rows;
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    ColumnRef ref;
+    uint8_t type = 0;
+    uint64_t count = 0;
+    if (!ReadString(f, &ref.qualifier) || !ReadString(f, &ref.name) ||
+        !ReadPod(f, &type) || !ReadPod(f, &count) ||
+        type > static_cast<uint8_t>(VecType::kString)) {
+      return Status::Internal("spill file corrupt or truncated: " + path);
+    }
+    ColumnVector col(static_cast<VecType>(type));
+    bool ok = true;
+    switch (col.type()) {
+      case VecType::kInt64:
+        col.ints().resize(count);
+        ok = ReadRaw(f, col.ints().data(), count * sizeof(int64_t));
+        break;
+      case VecType::kDouble:
+        col.doubles().resize(count);
+        ok = ReadRaw(f, col.doubles().data(), count * sizeof(double));
+        break;
+      case VecType::kString: {
+        col.strings().resize(count);
+        for (uint64_t i = 0; ok && i < count; ++i) {
+          ok = ReadString(f, &col.strings()[i]);
+        }
+        break;
+      }
+    }
+    if (!ok) {
+      return Status::Internal("spill file corrupt or truncated: " + path);
+    }
+    batch.names.push_back(std::move(ref));
+    batch.columns.push_back(std::move(col));
+  }
+  return batch;
+}
+
+Status SpillDir::EnsureDir() {
+  if (!dir_.empty()) return Status::OK();
+  if (requested_.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmp != nullptr ? tmp : "/tmp") +
+                       "/mqo-spill-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      return IoError("mkdtemp", tmpl);
+    }
+    dir_ = buf.data();
+    return Status::OK();
+  }
+  if (mkdir(requested_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return IoError("mkdir", requested_);
+  }
+  dir_ = requested_;
+  return Status::OK();
+}
+
+Result<std::string> SpillDir::NextPath() {
+  MQO_RETURN_NOT_OK(EnsureDir());
+  std::string path = dir_ + "/seg_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(g_spill_serial.fetch_add(1)) + "_" +
+                     std::to_string(next_file_++) + ".mqsg";
+  files_.push_back(path);
+  return path;
+}
+
+void SpillDir::RemoveFile(const std::string& path) {
+  ::unlink(path.c_str());
+  for (auto it = files_.begin(); it != files_.end(); ++it) {
+    if (*it == path) {
+      files_.erase(it);
+      break;
+    }
+  }
+}
+
+SpillDir::~SpillDir() {
+  for (const std::string& path : files_) ::unlink(path.c_str());
+  // Remove the directory when nothing is left in it; stores sharing an
+  // explicit directory leave it for the last one out.
+  if (!dir_.empty()) ::rmdir(dir_.c_str());
+}
+
+}  // namespace mqo

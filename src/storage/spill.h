@@ -1,0 +1,69 @@
+// Disk-spilled columnar segments: the on-disk format behind the
+// memory-governed MatStore (storage/mat_store.h).
+//
+// A spilled segment is one ColumnBatch serialized to a single file: typed
+// column payloads written raw (int64/double vectors byte-for-byte, strings
+// length-prefixed), so a spill -> reload round trip reproduces the batch
+// exactly — same schema, same types, same cells, same ByteSize. The format
+// is private to one process run (host endianness, no versioned evolution);
+// spill files never outlive the store that wrote them.
+//
+// SpillDir owns the directory lifecycle: it creates the directory lazily on
+// the first spill (a unique directory under TMPDIR when no path is given),
+// hands out collision-free file paths, and removes everything it created on
+// destruction — a crashed-free run leaves no spill residue behind.
+
+#ifndef MQO_STORAGE_SPILL_H_
+#define MQO_STORAGE_SPILL_H_
+
+#include <string>
+
+#include "storage/column_batch.h"
+
+namespace mqo {
+
+/// Serializes `batch` to `path`, replacing any existing file.
+Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch);
+
+/// Reads a segment previously written by WriteSegmentFile. The returned
+/// batch is byte-identical to the one written (schema, types, cells).
+Result<ColumnBatch> ReadSegmentFile(const std::string& path);
+
+/// A spill directory: created lazily, populated with files the caller
+/// writes, removed on destruction.
+///
+/// With an empty `dir`, NextPath() creates a fresh unique directory under
+/// $TMPDIR (or /tmp). With an explicit `dir`, the directory is created if
+/// missing. Destruction removes every path handed out plus the directory
+/// itself when it is empty — shared directories survive as long as another
+/// store still has files in them.
+class SpillDir {
+ public:
+  explicit SpillDir(std::string dir = "") : requested_(std::move(dir)) {}
+  ~SpillDir();
+
+  SpillDir(const SpillDir&) = delete;
+  SpillDir& operator=(const SpillDir&) = delete;
+
+  /// A fresh file path inside the directory (creating the directory on
+  /// first use). Paths are unique across stores sharing one directory.
+  Result<std::string> NextPath();
+
+  /// Deletes one file previously returned by NextPath (missing is fine).
+  void RemoveFile(const std::string& path);
+
+  /// The resolved directory, empty until the first NextPath() call.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Status EnsureDir();
+
+  std::string requested_;  ///< Caller-supplied path; empty = unique temp dir.
+  std::string dir_;        ///< Resolved path once created.
+  uint64_t next_file_ = 0;
+  std::vector<std::string> files_;  ///< Paths handed out and not yet removed.
+};
+
+}  // namespace mqo
+
+#endif  // MQO_STORAGE_SPILL_H_

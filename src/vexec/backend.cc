@@ -19,7 +19,9 @@ Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
     VectorPlanExecutor executor(memo, data, exec);
     return executor.ExecuteConsolidated(plan);
   }
-  PlanExecutor executor(memo, data);
+  // The row interpreter is serial but its segment store honours the same
+  // memory budget, so both engines spill under identical pressure.
+  PlanExecutor executor(memo, data, exec);
   return executor.ExecuteConsolidated(plan);
 }
 
@@ -30,7 +32,7 @@ Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,
     VectorPlanExecutor executor(memo, data, exec);
     return executor.Execute(plan);
   }
-  PlanExecutor executor(memo, data);
+  PlanExecutor executor(memo, data, exec);
   return executor.Execute(plan);
 }
 

@@ -39,7 +39,12 @@ Result<ColumnBatch> VectorPlanExecutor::ToClassAttrs(EqId eq,
 
 Result<ColumnBatch> VectorPlanExecutor::SideInputBatch(EqId eq) {
   eq = memo_->Find(eq);
-  if (const ColumnBatch* segment = store_.Get(eq)) return *segment;
+  if (store_.Contains(eq)) {
+    MQO_ASSIGN_OR_RETURN(PinnedSegment pinned, store_.Pin(eq));
+    // The COW copy shares the pinned payloads and keeps them alive after
+    // the pin drops, even if the store later evicts the segment.
+    return ColumnBatch(pinned.batch());
+  }
   return EvaluateClassBatch(eq);
 }
 
@@ -87,6 +92,10 @@ Result<ColumnBatch> VectorPlanExecutor::RunPipelineFor(const PlanNodePtr& plan,
   // breaks the pipeline: it executes recursively and becomes the source.
   std::vector<ChainDesc> descs;
   ColumnBatch source;
+  // Holds the pipeline's source segment pinned (when the source is a
+  // materialized read) until the pipeline has run: in-flight pipelines never
+  // see their segment evicted under them.
+  PinnedSegment source_pin;
   PlanNodePtr cur = plan;
   for (bool at_source = false; !at_source;) {
     const MemoOp* op =
@@ -152,12 +161,14 @@ Result<ColumnBatch> VectorPlanExecutor::RunPipelineFor(const PlanNodePtr& plan,
       }
       case PhysOp::kReadMaterialized: {
         const EqId eq = memo_->Find(cur->eq);
-        const ColumnBatch* segment = store_.Get(eq);
-        if (segment == nullptr) {
+        auto pinned = store_.Pin(eq);
+        if (!pinned.ok()) {
           return Status::Internal("materialized node E" + std::to_string(eq) +
-                                  " not in store");
+                                  " not in store: " +
+                                  pinned.status().ToString());
         }
-        source = *segment;  // zero-copy segment view
+        source = pinned.ValueOrDie().batch();  // zero-copy segment view
+        source_pin = std::move(pinned).ValueOrDie();
         at_source = true;
         break;
       }
@@ -403,12 +414,16 @@ Status VectorPlanExecutor::MaterializeNode(EqId eq,
   // per-morsel chunks were gathered on the workers and concatenated column-
   // parallel, so no serial whole-result gather happens on this thread.
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
-  store_.Put(memo_->Find(eq), std::move(batch));
-  return Status::OK();
+  return store_.Put(memo_->Find(eq), std::move(batch));
 }
 
 Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  // Seed eviction weights (reads still ahead of each segment) before any
+  // segment lands, as the row executor does.
+  for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
+    store_.SetExpectedReads(eq, reads);
+  }
   // Materialize chosen nodes children-first, as the row executor does.
   std::vector<EqId> topo = memo_->TopologicalClasses();
   auto position = [&](EqId e) {

@@ -14,6 +14,14 @@
 // into the shared MatStore (storage/mat_store.h) that ReadMaterialized
 // leaves and join side-inputs consult, zero-copy.
 //
+// The store is memory-governed (ExecOptions::mat_budget_bytes): pipeline
+// sinks Put their merged segments under the budget, which may evict older
+// segments to the spill directory; readers pin segments for the lifetime of
+// the pipeline consuming them, and spilled segments rehydrate transparently
+// on access. Because column payloads are copy-on-write, a source batch
+// copied from a pinned segment stays valid even after the pin drops and the
+// store evicts the segment.
+//
 // Results are canonicalized to class attributes at the API boundary so the
 // two engines are directly comparable; the differential suite asserts they
 // agree on every workload, materialization choice, and thread count, which
@@ -35,7 +43,10 @@ class VectorPlanExecutor {
  public:
   VectorPlanExecutor(Memo* memo, const DataSet* data,
                      const ExecOptions& options = {})
-      : memo_(memo), data_(data), options_(options) {}
+      : memo_(memo),
+        data_(data),
+        options_(options),
+        store_(options.mat_store()) {}
 
   /// Executes one plan tree; the result is canonicalized to the plan's class
   /// attributes (same contract as PlanExecutor::Execute).
@@ -51,6 +62,9 @@ class VectorPlanExecutor {
 
   /// Bytes held by this executor's materialized-segment store.
   size_t store_bytes() const { return store_.bytes_used(); }
+
+  /// The store itself (budget accounting, spill stats), for tests/benches.
+  const MatStore& store() const { return store_; }
 
  private:
   /// Plan execution to a batch projected onto the node's class attributes.

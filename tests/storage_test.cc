@@ -5,6 +5,9 @@
 // the BatchFromRows/BatchToRows boundary round-trips on edge cases.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
 
 #include "catalog/tpcd.h"
 #include "exec/dataset.h"
@@ -215,6 +218,26 @@ TEST(MatStoreTest, PutGetAndZeroCopyRead) {
   EXPECT_TRUE(read.columns[0].SharesPayloadWith(store.Get(7)->columns[0]));
 }
 
+TEST(MatStoreTest, EraseAndClearReleaseAccounting) {
+  MatStore store;
+  ColumnBatch a;
+  a.names = {ColumnRef("t", "k")};
+  a.columns = {IntColumn({1, 2, 3})};
+  a.num_rows = 3;
+  ASSERT_TRUE(store.Put(1, a).ok());
+  ASSERT_TRUE(store.Put(2, a).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.bytes_used(), 2 * a.ByteSize());
+  EXPECT_TRUE(store.Erase(1));
+  EXPECT_FALSE(store.Erase(1));  // already gone
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_EQ(store.bytes_used(), a.ByteSize());
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes_used(), 0u);
+  EXPECT_EQ(store.Get(2), nullptr);
+}
+
 TEST(MatStoreTest, ByteAccountingTracksPutReplaceAndSegments) {
   MatStore store;
   EXPECT_EQ(store.bytes_used(), 0u);
@@ -242,6 +265,222 @@ TEST(MatStoreTest, ByteAccountingTracksPutReplaceAndSegments) {
   store.Put(1, b);
   EXPECT_EQ(store.bytes_used(), 2 * sizeof(int64_t));
   EXPECT_EQ(store.SegmentBytes(1), sizeof(int64_t));
+}
+
+// ---- Memory governance: budget, eviction, spill -----------------------------
+
+/// A segment with one int64 column of `n` cells (payload = n * 8 bytes).
+ColumnBatch IntSegment(int64_t first, size_t n) {
+  ColumnBatch b;
+  b.names = {ColumnRef("t", "k")};
+  ColumnVector col(VecType::kInt64);
+  for (size_t i = 0; i < n; ++i) col.ints().push_back(first + int64_t(i));
+  b.columns = {std::move(col)};
+  b.num_rows = n;
+  return b;
+}
+
+TEST(MatStoreBudgetTest, ZeroBudgetDisablesGovernance) {
+  MatStoreOptions options;
+  options.budget_bytes = 0;  // 0 = unlimited, nothing ever spills
+  MatStore store(options);
+  for (int eq = 0; eq < 8; ++eq) {
+    ASSERT_TRUE(store.Put(eq, IntSegment(eq, 64)).ok());
+  }
+  EXPECT_EQ(store.bytes_used(), 8 * 64 * sizeof(int64_t));
+  EXPECT_EQ(store.bytes_spilled(), 0u);
+  EXPECT_EQ(store.stats().evictions, 0);
+  for (int eq = 0; eq < 8; ++eq) EXPECT_TRUE(store.IsResident(eq));
+}
+
+TEST(MatStoreBudgetTest, EvictsSpillsAndReloadsByteIdentical) {
+  const size_t seg_bytes = 32 * sizeof(int64_t);
+  MatStoreOptions options;
+  options.budget_bytes = 2 * seg_bytes;
+  MatStore store(options);
+
+  // A mixed-type segment so the spill format covers every column type.
+  ColumnBatch mixed;
+  mixed.names = {ColumnRef("t", "k"), ColumnRef("t", "v"),
+                 ColumnRef("t", "tag")};
+  mixed.columns = {IntColumn({1, -2, 3}), ColumnVector(VecType::kDouble),
+                   StringColumn({"ab", "", "xyz"})};
+  mixed.columns[1].doubles() = {0.5, -0.0, 1e18};
+  mixed.num_rows = 3;
+  const size_t mixed_bytes = mixed.ByteSize();
+
+  ASSERT_TRUE(store.Put(1, IntSegment(100, 32)).ok());
+  ASSERT_TRUE(store.Put(2, IntSegment(200, 32)).ok());
+  ASSERT_TRUE(store.Put(3, mixed).ok());
+  // Budget holds two int segments; putting the third evicted the oldest.
+  EXPECT_FALSE(store.IsResident(1));
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.bytes_spilled(), seg_bytes);
+  EXPECT_EQ(store.SegmentBytes(1), seg_bytes);
+  EXPECT_GE(store.stats().spill_writes, 1);
+
+  // Reload is transparent and byte-identical.
+  const ColumnBatch* reloaded = store.Get(1);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_TRUE(store.IsResident(1));
+  EXPECT_EQ(reloaded->ByteSize(), seg_bytes);
+  ASSERT_EQ(reloaded->num_rows, 32u);
+  EXPECT_EQ(reloaded->columns[0].type(), VecType::kInt64);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(reloaded->columns[0].ints()[i], 100 + int64_t(i));
+  }
+  EXPECT_EQ(store.stats().reloads, 1);
+  EXPECT_EQ(store.stats().bytes_reloaded, seg_bytes);
+
+  // Force the mixed segment through the same round trip.
+  while (store.IsResident(3)) {
+    ASSERT_TRUE(store.Put(9, IntSegment(900, 32)).ok());
+    ASSERT_NE(store.Get(1), nullptr);  // keep 1 hot so 3 ages out
+  }
+  const ColumnBatch* mixed_back = store.Get(3);
+  ASSERT_NE(mixed_back, nullptr);
+  EXPECT_EQ(mixed_back->ByteSize(), mixed_bytes);
+  ASSERT_EQ(mixed_back->columns.size(), 3u);
+  EXPECT_EQ(mixed_back->names[2], ColumnRef("t", "tag"));
+  EXPECT_EQ(mixed_back->columns[1].type(), VecType::kDouble);
+  EXPECT_EQ(mixed_back->columns[1].doubles()[2], 1e18);
+  EXPECT_EQ(mixed_back->columns[2].strings()[0], "ab");
+  EXPECT_EQ(mixed_back->columns[2].strings()[1], "");
+}
+
+TEST(MatStoreBudgetTest, SegmentLargerThanBudgetSpillsButStaysReadable) {
+  MatStoreOptions options;
+  options.budget_bytes = 16;  // smaller than any segment below
+  MatStore store(options);
+  ASSERT_TRUE(store.Put(7, IntSegment(0, 100)).ok());
+  // The store can never hold it: it went straight to disk.
+  EXPECT_TRUE(store.Contains(7));
+  EXPECT_FALSE(store.IsResident(7));
+  EXPECT_EQ(store.bytes_used(), 0u);
+  const ColumnBatch* back = store.Get(7);
+  ASSERT_NE(back, nullptr);
+  ASSERT_EQ(back->num_rows, 100u);
+  EXPECT_EQ(back->columns[0].ints()[99], 99);
+  // The reload may sit over budget until the next enforcement point.
+  EXPECT_TRUE(store.IsResident(7));
+  ASSERT_TRUE(store.Put(8, IntSegment(5, 2)).ok());
+  EXPECT_FALSE(store.IsResident(7));  // enforced again: the giant goes back
+}
+
+TEST(MatStoreBudgetTest, EvictionOrderIsDeterministicCostWeightedLru) {
+  const size_t seg_bytes = 32 * sizeof(int64_t);
+  for (int round = 0; round < 3; ++round) {  // determinism across repeats
+    MatStoreOptions options;
+    options.budget_bytes = 2 * seg_bytes;
+    MatStore store(options);
+    ASSERT_TRUE(store.Put(1, IntSegment(0, 32)).ok());
+    ASSERT_TRUE(store.Put(2, IntSegment(0, 32)).ok());
+    // Equal weights: LRU decides — 1 is oldest and goes first.
+    ASSERT_TRUE(store.Put(3, IntSegment(0, 32)).ok());
+    EXPECT_FALSE(store.IsResident(1));
+    EXPECT_TRUE(store.IsResident(2));
+    EXPECT_TRUE(store.IsResident(3));
+    // Remaining expected reads outweigh recency: 2 is older AND has reads
+    // ahead of it, so the newer-but-worthless 3 is evicted instead.
+    store.SetExpectedReads(2, 5.0);
+    ASSERT_TRUE(store.Put(4, IntSegment(0, 32)).ok());
+    EXPECT_TRUE(store.IsResident(2));
+    EXPECT_FALSE(store.IsResident(3));
+  }
+}
+
+TEST(MatStoreBudgetTest, PinnedSegmentSurvivesEvictionPressure) {
+  const size_t seg_bytes = 32 * sizeof(int64_t);
+  MatStoreOptions options;
+  options.budget_bytes = seg_bytes;  // room for exactly one segment
+  MatStore store(options);
+  ASSERT_TRUE(store.Put(1, IntSegment(10, 32)).ok());
+  auto pinned = store.Pin(1);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  // Budget pressure cannot touch the pinned segment; the newcomers spill.
+  ASSERT_TRUE(store.Put(2, IntSegment(20, 32)).ok());
+  ASSERT_TRUE(store.Put(3, IntSegment(30, 32)).ok());
+  EXPECT_TRUE(store.IsResident(1));
+  EXPECT_FALSE(store.IsResident(2));
+  EXPECT_FALSE(store.IsResident(3));
+  EXPECT_EQ(pinned.ValueOrDie().batch().columns[0].ints()[0], 10);
+  EXPECT_FALSE(store.Erase(1));  // pinned segments cannot be erased
+  // ... nor replaced: the pin's batch() must stay stable for its lifetime.
+  EXPECT_FALSE(store.Put(1, IntSegment(99, 4)).ok());
+  EXPECT_EQ(pinned.ValueOrDie().batch().columns[0].ints()[0], 10);
+  // Releasing the pin makes it evictable again.
+  pinned.ValueOrDie().Release();
+  ASSERT_TRUE(store.Put(4, IntSegment(40, 32)).ok());
+  EXPECT_FALSE(store.IsResident(1));
+  EXPECT_TRUE(store.Contains(1));
+}
+
+TEST(MatStoreBudgetTest, PinRehydratesAndCowCopyOutlivesEviction) {
+  const size_t seg_bytes = 32 * sizeof(int64_t);
+  MatStoreOptions options;
+  options.budget_bytes = seg_bytes;
+  MatStore store(options);
+  ASSERT_TRUE(store.Put(1, IntSegment(10, 32)).ok());
+  ASSERT_TRUE(store.Put(2, IntSegment(20, 32)).ok());  // spills 1
+  ASSERT_FALSE(store.IsResident(1));
+  ColumnBatch copy;
+  {
+    auto pinned = store.Pin(1);  // rehydrates from disk
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    copy = pinned.ValueOrDie().batch();  // COW: shares payloads
+    EXPECT_TRUE(copy.columns[0].SharesPayloadWith(
+        pinned.ValueOrDie().batch().columns[0]));
+  }
+  // Pin released; evict 1 again. The caller's COW copy keeps the payload.
+  ASSERT_TRUE(store.Put(3, IntSegment(30, 32)).ok());
+  ASSERT_FALSE(store.IsResident(1));
+  EXPECT_EQ(copy.columns[0].ints()[31], 41);
+  // Pinning something never materialized is NotFound, not a crash.
+  EXPECT_EQ(store.Pin(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillFileTest, RoundTripIsExactIncludingEmptyBatch) {
+  SpillDir dir;
+  auto path = dir.NextPath();
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+
+  ColumnBatch b;
+  b.names = {ColumnRef("q", "k"), ColumnRef("", "synth")};
+  b.columns = {IntColumn({5, 6}), StringColumn({"a", "bb"})};
+  b.num_rows = 2;
+  ASSERT_TRUE(WriteSegmentFile(path.ValueOrDie(), b).ok());
+  auto back = ReadSegmentFile(path.ValueOrDie());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().num_rows, 2u);
+  EXPECT_EQ(back.ValueOrDie().names, b.names);
+  EXPECT_EQ(back.ValueOrDie().ByteSize(), b.ByteSize());
+  EXPECT_EQ(back.ValueOrDie().columns[0].ints(), b.columns[0].ints());
+  EXPECT_EQ(back.ValueOrDie().columns[1].strings(), b.columns[1].strings());
+
+  // Zero-row, zero-column edge: still a valid file.
+  auto empty_path = dir.NextPath();
+  ASSERT_TRUE(empty_path.ok());
+  ASSERT_TRUE(WriteSegmentFile(empty_path.ValueOrDie(), ColumnBatch{}).ok());
+  auto empty = ReadSegmentFile(empty_path.ValueOrDie());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.ValueOrDie().num_rows, 0u);
+  EXPECT_TRUE(empty.ValueOrDie().columns.empty());
+}
+
+TEST(SpillFileTest, StoreDestructionRemovesSpillDirectory) {
+  std::string dir = ::testing::TempDir() + "mqo_spill_cleanup_test";
+  {
+    MatStoreOptions options;
+    options.budget_bytes = 8;
+    options.spill_dir = dir;
+    MatStore store(options);
+    ASSERT_TRUE(store.Put(1, IntSegment(0, 16)).ok());
+    EXPECT_FALSE(store.IsResident(1));
+    // The directory exists while the store holds spilled segments.
+    EXPECT_EQ(::access(dir.c_str(), F_OK), 0);
+  }
+  // Destruction removed the spill files and the (now empty) directory.
+  EXPECT_NE(::access(dir.c_str(), F_OK), 0);
 }
 
 // ---- The shared pipeline driver ---------------------------------------------
@@ -285,6 +524,32 @@ TEST(ParallelForTest, CoversEveryTaskExactlyOnce) {
   std::vector<int> visits(257, 0);
   ParallelFor(visits.size(), 8, [&](size_t i) { ++visits[i]; });
   for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(WorkerPoolTest, ThreadsPersistAcrossRuns) {
+  // Two parallel runs back to back: the second reuses the pool the first
+  // spawned (the pool only ever grows, up to the largest request).
+  ParallelFor(64, 4, [](size_t) {});
+  const size_t after_first = WorkerPoolSize();
+  EXPECT_GE(after_first, 3u);
+  std::vector<int> visits(64, 0);
+  ParallelFor(visits.size(), 4, [&](size_t i) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
+  EXPECT_EQ(WorkerPoolSize(), after_first);
+}
+
+TEST(WorkerPoolTest, NestedParallelismRunsInlineAndStaysCorrect) {
+  // A body that itself calls ParallelFor must not deadlock on the pool:
+  // nested calls degrade to inline execution on the pool worker.
+  std::vector<std::array<int, 16>> visits(8);
+  for (auto& inner : visits) inner.fill(0);
+  ParallelFor(visits.size(), 4, [&](size_t outer) {
+    ParallelFor(visits[outer].size(), 4,
+                [&](size_t inner) { ++visits[outer][inner]; });
+  });
+  for (const auto& inner : visits) {
+    for (int v : inner) EXPECT_EQ(v, 1);
+  }
 }
 
 // ---- Row/column boundary round-trips ----------------------------------------

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "catalog/tpcd.h"
 #include "exec/row_ops.h"
 #include "lqdag/rules.h"
@@ -107,7 +109,11 @@ void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
     }
   }
 
-  // Consolidated plans under every selection algorithm.
+  // Consolidated plans under every selection algorithm. Each vector config
+  // runs twice: with an unlimited store budget, and with a budget so tiny
+  // that every materialized segment is evicted to disk and reloaded —
+  // spilling is a performance decision and must never change answers. The
+  // row engine gets the same budgeted treatment once per algorithm.
   for (Algorithm alg : kAllAlgorithms) {
     MqoResult result = RunAlgorithm(alg, &problem);
     ConsolidatedPlan plan = optimizer.Plan(result.materialized);
@@ -115,16 +121,32 @@ void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
     ASSERT_TRUE(row.ok()) << row.status().ToString();
     const auto& row_results = row.ValueOrDie();
     ASSERT_EQ(row_results.size(), roots.size());
-    for (const ExecOptions& exec : VectorConfigs()) {
-      auto vec = ExecuteConsolidatedWith(ExecBackend::kVector, memo, &data,
-                                         plan, exec);
-      ASSERT_TRUE(vec.ok()) << vec.status().ToString();
-      const auto& vec_results = vec.ValueOrDie();
-      ASSERT_EQ(vec_results.size(), roots.size());
+    {
+      ExecOptions budgeted;
+      budgeted.mat_budget_bytes = 1;  // forces eviction + spill of everything
+      auto row_spill = ExecuteConsolidatedWith(ExecBackend::kRow, memo, &data,
+                                               plan, budgeted);
+      ASSERT_TRUE(row_spill.ok()) << row_spill.status().ToString();
       for (size_t q = 0; q < roots.size(); ++q) {
-        ExpectSameRows(row_results[q], vec_results[q],
-                       result.algorithm + " q" + std::to_string(q) + " t" +
-                           std::to_string(exec.num_threads));
+        ExpectSameRows(row_results[q], row_spill.ValueOrDie()[q],
+                       result.algorithm + " q" + std::to_string(q) +
+                           " row budgeted");
+      }
+    }
+    for (ExecOptions exec : VectorConfigs()) {
+      for (size_t budget : {size_t{0}, size_t{1}}) {
+        exec.mat_budget_bytes = budget;
+        auto vec = ExecuteConsolidatedWith(ExecBackend::kVector, memo, &data,
+                                           plan, exec);
+        ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+        const auto& vec_results = vec.ValueOrDie();
+        ASSERT_EQ(vec_results.size(), roots.size());
+        for (size_t q = 0; q < roots.size(); ++q) {
+          ExpectSameRows(row_results[q], vec_results[q],
+                         result.algorithm + " q" + std::to_string(q) + " t" +
+                             std::to_string(exec.num_threads) + " budget " +
+                             std::to_string(budget));
+        }
       }
     }
   }
@@ -392,6 +414,117 @@ TEST(VexecFacadeTest, OptimizeAndExecuteAgreesAcrossBackends) {
                          std::to_string(threads));
       EXPECT_GT(row.ValueOrDie().results[q].rows.size(), 0u);
     }
+  }
+}
+
+TEST(VexecBudgetTest, TinyBudgetForcesSpillsWithoutChangingResults) {
+  // Drive the vector executor directly so the store's spill counters are
+  // observable: with a 1-byte budget every materialized segment must evict
+  // to disk and every read must reload, and the answers must not move.
+  Catalog catalog = MakeExample1Catalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeExample1Queries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 60;
+  gen.seed = 77;
+  DataSet data = GenerateData(catalog, gen);
+  BatchOptimizer optimizer(&memo, CostModel());
+  MaterializationProblem problem(&optimizer);
+  MqoResult result = RunGreedy(&problem);
+  ASSERT_FALSE(result.materialized.empty());
+  ConsolidatedPlan plan = optimizer.Plan(result.materialized);
+
+  VectorPlanExecutor unlimited(&memo, &data);
+  auto base = unlimited.ExecuteConsolidated(plan);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  if (std::getenv("MQO_MAT_BUDGET_BYTES") == nullptr) {
+    // Skip under the CI budget-spill job, which forces a budget on every
+    // executor-owned store via the environment.
+    EXPECT_EQ(unlimited.store().stats().evictions, 0);
+  }
+
+  ExecOptions exec;
+  exec.mat_budget_bytes = 1;
+  VectorPlanExecutor budgeted(&memo, &data, exec);
+  auto spilled = budgeted.ExecuteConsolidated(plan);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  const MatStoreStats& stats = budgeted.store().stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(stats.reloads, 0);
+  EXPECT_GT(stats.bytes_spilled, 0u);
+  // At most the last reloaded segment may still sit resident (a reload
+  // stays over budget until the next enforcement point).
+  EXPECT_LE(budgeted.store().bytes_used(), stats.bytes_reloaded);
+  ASSERT_EQ(base.ValueOrDie().size(), spilled.ValueOrDie().size());
+  for (size_t q = 0; q < base.ValueOrDie().size(); ++q) {
+    ExpectSameRows(base.ValueOrDie()[q], spilled.ValueOrDie()[q],
+                   "budgeted q" + std::to_string(q));
+  }
+}
+
+TEST(VexecBudgetTest, FacadeBudgetKnobKeepsAnswersAndFeedsAdmission) {
+  // MqoOptions::mat_budget_bytes flows to both the optimizer (admission /
+  // spill penalty may change the chosen set) and the executors (spill at
+  // run time); the query answers must be identical either way.
+  Catalog catalog = MakeTpcdCatalog(1);
+  const std::vector<std::string> batch = {
+      "SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND o_orderdate < date '1995-03-15' "
+      "GROUP BY o_orderdate",
+      "SELECT o_orderdate, SUM(l_extendedprice) FROM orders, lineitem "
+      "WHERE o_orderkey = l_orderkey AND o_orderdate < date '1995-06-15' "
+      "GROUP BY o_orderdate"};
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 30;
+  gen.seed = 11;
+  DataSet data = GenerateData(catalog, gen);
+  MqoOptions options;
+  options.backend = ExecBackend::kVector;
+  auto unbudgeted = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
+  ASSERT_TRUE(unbudgeted.ok()) << unbudgeted.status().ToString();
+  for (size_t budget : {size_t{1}, size_t{64 * 1024}}) {
+    options.mat_budget_bytes = budget;
+    auto budgeted = OptimizeAndExecuteSqlBatch(catalog, batch, data, options);
+    ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+    ASSERT_EQ(budgeted.ValueOrDie().results.size(), 2u);
+    for (size_t q = 0; q < 2; ++q) {
+      ExpectSameRows(unbudgeted.ValueOrDie().results[q],
+                     budgeted.ValueOrDie().results[q],
+                     "facade budget " + std::to_string(budget) + " q" +
+                         std::to_string(q));
+    }
+  }
+}
+
+TEST(VexecBudgetTest, AdmissionRefusesNodesCheaperToRecompute) {
+  // With a budget, nodes whose compute cost undercuts one sequential read
+  // of their result leave the universe; without one, nothing is refused.
+  Catalog catalog = MakeExample1Catalog();
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeExample1Queries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  BatchOptimizer unbounded(&memo, CostModel());
+  MaterializationProblem open_problem(&unbounded);
+  EXPECT_TRUE(open_problem.admission_refused().empty());
+
+  CostParams params;
+  params.mat_budget_bytes = 1.0;
+  BatchOptimizer bounded(&memo, CostModel(params));
+  MaterializationProblem tight_problem(&bounded);
+  EXPECT_EQ(tight_problem.universe_size() +
+                static_cast<int>(tight_problem.admission_refused().size()),
+            open_problem.universe_size());
+  // The spill penalty makes any nonempty set dearer than the raw bc(S).
+  if (tight_problem.universe_size() > 0) {
+    ElementSet single(tight_problem.universe_size());
+    single.Add(0);
+    const std::set<EqId> eqs = tight_problem.ToEqIds(single);
+    EXPECT_GT(tight_problem.SpillPenalty(eqs), 0.0);
+    EXPECT_GE(tight_problem.best_cost().Value(single),
+              bounded.BestCost(eqs));
   }
 }
 
