@@ -94,14 +94,20 @@ Result<NamedRows> PlanExecutor::Execute(const PlanNodePtr& plan) {
 
 Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
   MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(compute_plan));
+  eq = memo_->Find(eq);
+  // Observed cardinality of the shared subexpression: later optimizations
+  // match it by structural fingerprint and estimate against reality.
+  feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
+                   static_cast<double>(rows.rows.size()));
   // Segments are stored columnar even for the row engine, so both executors
   // share one materialization format.
   MQO_ASSIGN_OR_RETURN(ColumnBatch segment, BatchFromRows(rows));
-  return store_.Put(memo_->Find(eq), std::move(segment));
+  return store_.Put(eq, std::move(segment));
 }
 
 Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  feedback_.clear();
   // Seed the eviction weights before any segment lands: a segment with many
   // reads still ahead of it is the last one the budget pushes to disk.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {

@@ -22,6 +22,7 @@
 #include "exec/evaluator.h"
 #include "exec/exec_options.h"
 #include "optimizer/batch_optimizer.h"
+#include "stats/feedback.h"
 #include "storage/mat_store.h"
 
 namespace mqo {
@@ -54,6 +55,13 @@ class PlanExecutor {
   /// stats), for tests and benches.
   const MatStore& store() const { return store_; }
 
+  /// Observed cardinalities of the segments materialized by the most recent
+  /// ExecuteConsolidated run, keyed by structural class fingerprint. Feeding
+  /// these into a later optimization (StatsOptions::feedback) re-seeds its
+  /// row estimates — and hence footprints, spill penalties and eviction
+  /// weights — from reality.
+  const CardinalityFeedback& feedback() const { return feedback_; }
+
  private:
   Result<NamedRows> ExecuteUncanonicalized(const PlanNodePtr& plan);
   /// Input rows for a join's inner side that is not a plan child (base
@@ -64,6 +72,8 @@ class PlanExecutor {
   const DataSet* data_;
   Evaluator evaluator_;
   MatStore store_;
+  CardinalityFeedback feedback_;
+  std::unordered_map<EqId, uint64_t> fingerprints_;
 };
 
 }  // namespace mqo

@@ -12,6 +12,7 @@ void MqoOutcome::Print() const { Print(std::cout); }
 
 void MqoOutcome::Print(std::ostream& os) const {
   os << "algorithm        : " << result.algorithm << "\n";
+  os << "statistics       : " << StatsModeToString(stats_mode) << "\n";
   os << "DAG              : " << dag_classes << " classes, " << dag_ops
      << " operators, " << shareable_nodes << " shareable";
   if (admission_refused > 0) {
@@ -61,12 +62,25 @@ Result<std::vector<LogicalExprPtr>> ParseBatch(
   return queries;
 }
 
+/// Statistics configuration for one optimization: the caller resolves where
+/// collected stats come from (`registry` may be an external or call-local
+/// one, or null, which degrades kCollected to kCatalogGuess).
+StatsOptions StatsOptionsFor(const MqoOptions& options,
+                             const TableStatsRegistry* registry) {
+  StatsOptions stats;
+  stats.mode = ResolveStatsMode(options.stats_mode);
+  stats.table_stats = registry;
+  stats.feedback = options.feedback;
+  return stats;
+}
+
 /// Shared orchestration: inserts the batch into `memo`, expands, runs the
 /// selected algorithm, and renders the chosen consolidated plan. The memo is
 /// caller-owned so execution paths can keep it alive alongside the plan.
 Result<ConsolidatedPlan> OptimizeIntoMemo(
     Memo* memo, const std::vector<LogicalExprPtr>& queries,
-    const MqoOptions& options, MqoOutcome* outcome) {
+    const MqoOptions& options, const StatsOptions& stats,
+    MqoOutcome* outcome) {
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
   }
@@ -74,7 +88,11 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
   auto expanded = ExpandMemo(memo, options.expansion);
   MQO_RETURN_NOT_OK(expanded.status());
 
-  BatchOptimizer optimizer(memo, CostModel(options.cost_params));
+  BatchOptimizerOptions optimizer_options;
+  optimizer_options.stats = stats;
+  BatchOptimizer optimizer(memo, CostModel(options.cost_params),
+                           optimizer_options);
+  outcome->stats_mode = optimizer.stats()->mode();
   MaterializationProblem problem(&optimizer);
 
   outcome->dag_classes = expanded.ValueOrDie().classes_after;
@@ -112,8 +130,13 @@ Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
   const MqoOptions effective = WithBudgetApplied(options);
   Memo memo(&catalog);
   MqoOutcome outcome;
-  MQO_ASSIGN_OR_RETURN(ConsolidatedPlan plan,
-                       OptimizeIntoMemo(&memo, queries, effective, &outcome));
+  // No data in sight: collected statistics are only available through an
+  // externally-supplied registry.
+  MQO_ASSIGN_OR_RETURN(
+      ConsolidatedPlan plan,
+      OptimizeIntoMemo(&memo, queries, effective,
+                       StatsOptionsFor(effective, effective.table_stats),
+                       &outcome));
   (void)plan;
   return outcome;
 }
@@ -125,14 +148,62 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
   Memo memo(&catalog);
   MqoExecutionOutcome outcome;
   outcome.backend = effective.backend;
+  StatsOptions stats = StatsOptionsFor(effective, effective.table_stats);
+  // kCollected with no external registry: analyze the executed dataset into
+  // a call-local one, lazily per table touched by the optimization.
+  TableStatsRegistry local_registry;
+  if (stats.mode == StatsMode::kCollected && stats.table_stats == nullptr) {
+    AnalyzeOptions analyze;
+    analyze.num_threads = effective.exec.num_threads;
+    local_registry = TableStatsRegistry(&data, analyze);
+    stats.table_stats = &local_registry;
+  }
   MQO_ASSIGN_OR_RETURN(
       ConsolidatedPlan plan,
-      OptimizeIntoMemo(&memo, queries, effective, &outcome.optimization));
+      OptimizeIntoMemo(&memo, queries, effective, stats,
+                       &outcome.optimization));
   MQO_ASSIGN_OR_RETURN(
-      outcome.results,
-      ExecuteConsolidatedWith(effective.backend, &memo, &data, plan,
-                              effective.exec));
+      ExecResult executed,
+      ExecuteConsolidatedResult(effective.backend, &memo, &data, plan,
+                                effective.exec));
+  outcome.results = std::move(executed.results);
+  outcome.feedback = std::move(executed.feedback);
   return outcome;
+}
+
+MqoSession::MqoSession(const Catalog* catalog, const DataSet* data,
+                       MqoOptions options)
+    : catalog_(catalog), data_(data), options_(std::move(options)) {
+  AnalyzeOptions analyze;
+  analyze.num_threads = options_.exec.num_threads;
+  registry_ = TableStatsRegistry(data_, analyze);
+}
+
+Result<MqoExecutionOutcome> MqoSession::Run(
+    const std::vector<std::string>& sql_batch) {
+  MQO_ASSIGN_OR_RETURN(std::vector<LogicalExprPtr> queries,
+                       ParseBatch(*catalog_, sql_batch));
+  return Run(queries);
+}
+
+Result<MqoExecutionOutcome> MqoSession::Run(
+    const std::vector<LogicalExprPtr>& queries) {
+  MqoOptions effective = options_;
+  effective.table_stats = &registry_;
+  effective.feedback = &feedback_;
+  MQO_ASSIGN_OR_RETURN(
+      MqoExecutionOutcome outcome,
+      OptimizeAndExecuteBatch(*catalog_, queries, *data_, effective));
+  // Fold this run's observations into the session: the next batch's
+  // estimates — and the footprints/eviction weights derived from them —
+  // re-seed from what actually happened.
+  feedback_.MergeFrom(outcome.feedback);
+  return outcome;
+}
+
+void MqoSession::InvalidateStats() {
+  registry_.BindData(data_);
+  feedback_.clear();
 }
 
 Result<MqoExecutionOutcome> OptimizeAndExecuteSqlBatch(

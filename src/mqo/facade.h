@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cost/stats.h"
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
 #include "parser/parser.h"
@@ -44,6 +45,23 @@ struct MqoOptions {
   /// (exec.mat_budget_bytes — eviction and disk spill at run time).
   /// Explicitly-set cost_params/exec budgets win over this convenience knob.
   size_t mat_budget_bytes = 0;
+  /// Statistics source of the optimizer (cost/stats.h): kCatalogGuess
+  /// reproduces the paper-exact estimates; kCollected analyzes the executed
+  /// DataSet (lazily, on first optimization) into sampled histograms and
+  /// distinct sketches. kDefault resolves via the MQO_STATS_MODE environment
+  /// variable ("collected"/"catalog"), else kCatalogGuess. Collection needs
+  /// data, so OptimizeSqlBatch/OptimizeBatch use kCollected only when
+  /// `table_stats` is supplied.
+  StatsMode stats_mode = StatsMode::kDefault;
+  /// Externally-owned collected statistics to reuse across calls (an
+  /// MqoSession shares one registry so tables analyze once per session).
+  /// When null and stats_mode resolves to kCollected, the execute paths
+  /// analyze into a call-local registry.
+  const TableStatsRegistry* table_stats = nullptr;
+  /// Observed cardinalities from earlier executions (MqoExecutionOutcome::
+  /// feedback); matched by structural fingerprint, they override the
+  /// estimator's row counts so this optimization sees reality.
+  const CardinalityFeedback* feedback = nullptr;
 };
 
 /// Result of a facade optimization.
@@ -57,6 +75,10 @@ struct MqoOutcome {
   /// Shareable nodes the budget's admission control refused (0 without a
   /// budget); the algorithms ran over shareable_nodes − admission_refused.
   int admission_refused = 0;
+  /// Statistics source the optimization actually ran with (kDefault
+  /// resolved; kCollected degraded to kCatalogGuess when no data/registry
+  /// was available).
+  StatsMode stats_mode = StatsMode::kCatalogGuess;
 
   /// Writes a human-readable report to `os`.
   void Print(std::ostream& os) const;
@@ -81,6 +103,11 @@ struct MqoExecutionOutcome {
   MqoOutcome optimization;
   ExecBackend backend = ExecBackend::kRow;  ///< Engine that produced results.
   std::vector<NamedRows> results;  ///< One per query, canonicalized.
+  /// Observed cardinalities of the run's materialized segments (keyed by
+  /// structural fingerprint). Pass as MqoOptions::feedback — or run batches
+  /// through an MqoSession — so later optimizations estimate against
+  /// reality.
+  CardinalityFeedback feedback;
 };
 
 /// Optimizes the batch and executes the consolidated plan against `data`
@@ -93,6 +120,47 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteSqlBatch(
 Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
     const Catalog& catalog, const std::vector<LogicalExprPtr>& queries,
     const DataSet& data, const MqoOptions& options = {});
+
+/// A multi-batch optimization session over one catalog + dataset: collected
+/// statistics are shared across batches (each table analyzes once, lazily)
+/// and every batch's observed materialized-segment cardinalities feed the
+/// next batch's optimization — re-seeding row estimates, and through them
+/// the footprints, spill penalties and eviction weights the memory-governed
+/// store is driven by. The closed loop of optimize → execute → observe.
+///
+///   MqoSession session(&catalog, &data, options);
+///   auto first  = session.Run(batch1);   // estimates from stats collection
+///   auto second = session.Run(batch2);   // + observed cardinalities of run 1
+class MqoSession {
+ public:
+  /// `catalog` and `data` must outlive the session.
+  MqoSession(const Catalog* catalog, const DataSet* data,
+             MqoOptions options = {});
+
+  /// Optimizes and executes one SQL batch with the session's accumulated
+  /// statistics and feedback, then folds the run's observations back in.
+  Result<MqoExecutionOutcome> Run(const std::vector<std::string>& sql_batch);
+
+  /// Same, starting from already-built logical trees.
+  Result<MqoExecutionOutcome> Run(const std::vector<LogicalExprPtr>& queries);
+
+  /// Cardinalities observed so far (across every Run).
+  const CardinalityFeedback& feedback() const { return feedback_; }
+
+  /// The session's collected-statistics registry.
+  const TableStatsRegistry& table_stats() const { return registry_; }
+
+  /// Data-regeneration hook: drops collected statistics and observed
+  /// cardinalities (they describe data that no longer exists).
+  void InvalidateStats();
+
+ private:
+  const Catalog* catalog_;
+  const DataSet* data_;
+  MqoOptions options_;
+  TableStatsRegistry registry_;
+  CardinalityFeedback feedback_;
+};
 
 }  // namespace mqo
 

@@ -8,7 +8,7 @@ namespace mqo {
 
 BatchOptimizer::BatchOptimizer(Memo* memo, CostModel cost_model,
                                BatchOptimizerOptions options)
-    : memo_(memo), cm_(cost_model), options_(options), stats_(memo) {
+    : memo_(memo), cm_(cost_model), options_(options), stats_(memo, options.stats) {
   assert(memo_->root() >= 0 && "InsertBatch must run before optimization");
 }
 

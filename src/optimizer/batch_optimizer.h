@@ -44,6 +44,10 @@ struct BatchOptimizerOptions {
   bool incremental = true;
   /// Physical search knobs (e.g. the index nested-loops join extension).
   SearchOptions search;
+  /// Statistics source of the estimator (cost/stats.h): catalog guesses
+  /// (default, paper-exact plans) or collected table statistics, plus
+  /// optional runtime cardinality feedback.
+  StatsOptions stats;
 };
 
 /// Expected number of materialized-store reads per materialized class in

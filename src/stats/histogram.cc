@@ -1,0 +1,154 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mqo {
+
+namespace {
+
+/// Distinct values in sorted_values[begin, end).
+double CountDistinct(const std::vector<double>& sorted_values, size_t begin,
+                     size_t end) {
+  double d = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    if (i == begin || sorted_values[i] != sorted_values[i - 1]) d += 1.0;
+  }
+  return std::max(1.0, d);
+}
+
+}  // namespace
+
+std::shared_ptr<const EquiDepthHistogram> EquiDepthHistogram::Build(
+    const std::vector<double>& sorted_values, size_t buckets,
+    double total_rows, double total_distinct_hint) {
+  const size_t n = sorted_values.size();
+  if (n == 0 || buckets == 0) return nullptr;
+  std::vector<HistogramBucket> out;
+  out.reserve(std::min(buckets, n));
+  size_t begin = 0;
+  for (size_t b = 0; b < buckets && begin < n; ++b) {
+    // Equal-depth boundaries; the last bucket absorbs rounding.
+    size_t end = b + 1 == buckets ? n : ((b + 1) * n) / buckets;
+    if (end <= begin) continue;
+    // Keep equal values in one bucket: extend past the boundary while the
+    // boundary splits a run of duplicates (keeps FractionEq honest for
+    // heavy hitters).
+    while (end < n && sorted_values[end] == sorted_values[end - 1]) ++end;
+    HistogramBucket bucket;
+    bucket.lo = sorted_values[begin];
+    bucket.hi = sorted_values[end - 1];
+    bucket.fraction = static_cast<double>(end - begin) / static_cast<double>(n);
+    bucket.distinct = CountDistinct(sorted_values, begin, end);
+    out.push_back(bucket);
+    begin = end;
+  }
+  total_rows = std::max(total_rows, 0.0);
+  // A sample sees at most n distinct values; when the column-level estimate
+  // says the truth is higher, scale multi-value buckets up proportionally.
+  // Single-value buckets (lo == hi) stay exact, and no bucket can hold more
+  // distinct values than rows.
+  double sampled_distinct = 0.0;
+  for (const auto& b : out) sampled_distinct += b.distinct;
+  if (total_distinct_hint > sampled_distinct && sampled_distinct > 0.0) {
+    const double scale = total_distinct_hint / sampled_distinct;
+    for (auto& b : out) {
+      if (b.hi > b.lo) {
+        b.distinct = std::min(b.distinct * scale,
+                              std::max(1.0, b.fraction * total_rows));
+      }
+    }
+  }
+  return std::shared_ptr<const EquiDepthHistogram>(
+      new EquiDepthHistogram(std::move(out), total_rows));
+}
+
+double EquiDepthHistogram::FractionLe(double v) const {
+  // Exact at and beyond the domain edge (renormalized fractions may sum to
+  // 1 only up to rounding).
+  if (v >= buckets_.back().hi) return 1.0;
+  double acc = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.hi <= v) {
+      acc += b.fraction;
+    } else if (b.lo > v) {
+      break;
+    } else {
+      // v inside (lo, hi): continuous interpolation within the bucket.
+      acc += b.fraction * ((v - b.lo) / (b.hi - b.lo));
+      break;
+    }
+  }
+  return std::min(1.0, acc);
+}
+
+double EquiDepthHistogram::FractionLt(double v) const {
+  return std::max(0.0, FractionLe(v) - FractionEq(v));
+}
+
+double EquiDepthHistogram::FractionEq(double v) const {
+  for (const auto& b : buckets_) {
+    if (v < b.lo) break;
+    if (v <= b.hi) return b.fraction / std::max(1.0, b.distinct);
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::FractionBetween(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  // P(lo <= x <= hi) = P(x <= hi) - P(x < lo).
+  return std::max(0.0, FractionLe(hi) - FractionLe(lo) + FractionEq(lo));
+}
+
+double EquiDepthHistogram::DistinctBetween(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  double acc = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.hi < lo) continue;
+    if (b.lo > hi) break;
+    if (b.lo >= lo && b.hi <= hi) {
+      acc += b.distinct;
+    } else if (b.hi > b.lo) {
+      const double olo = std::max(lo, b.lo);
+      const double ohi = std::min(hi, b.hi);
+      acc += b.distinct * std::max(0.0, (ohi - olo) / (b.hi - b.lo));
+    } else {
+      acc += b.distinct;  // single-value bucket inside [lo, hi]
+    }
+  }
+  return std::max(acc, hi >= lo ? 1.0 : 0.0);
+}
+
+double EquiDepthHistogram::TotalDistinct() const {
+  double acc = 0.0;
+  for (const auto& b : buckets_) acc += b.distinct;
+  return acc;
+}
+
+std::shared_ptr<const EquiDepthHistogram> EquiDepthHistogram::Clip(
+    double lo, double hi) const {
+  if (hi < lo) return nullptr;
+  std::vector<HistogramBucket> out;
+  double surviving = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    HistogramBucket nb = b;
+    if (b.lo < lo || b.hi > hi) {
+      nb.lo = std::max(lo, b.lo);
+      nb.hi = std::min(hi, b.hi);
+      const double share =
+          b.hi > b.lo ? std::max(0.0, (nb.hi - nb.lo) / (b.hi - b.lo)) : 1.0;
+      nb.fraction = b.fraction * share;
+      nb.distinct = std::max(1.0, b.distinct * share);
+    }
+    if (nb.fraction <= 0.0) continue;
+    surviving += nb.fraction;
+    out.push_back(nb);
+  }
+  if (out.empty() || surviving <= 0.0) return nullptr;
+  for (auto& b : out) b.fraction /= surviving;
+  return std::shared_ptr<const EquiDepthHistogram>(
+      new EquiDepthHistogram(std::move(out), total_rows_ * surviving));
+}
+
+}  // namespace mqo

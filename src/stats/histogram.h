@@ -1,0 +1,99 @@
+// Equi-depth histograms over numeric columns.
+//
+// Built from a sorted (possibly sampled) value vector: ~buckets() ranges each
+// holding an equal share of the rows, so selectivity interpolation is
+// accurate exactly where the data is dense. Each bucket keeps its value
+// range, its row fraction, and the number of distinct sample values it
+// covers, which supports three estimates the System-R constants guessed at:
+//   range predicates  — FractionLe/FractionLt (empirical CDF, interpolated
+//                       inside a bucket),
+//   point predicates  — FractionEq (bucket depth / bucket distincts),
+//   join overlap      — FractionBetween + DistinctBetween restricted to the
+//                       overlapping key range of the two inputs.
+// Clip() derives the histogram of a filtered relation from its input's, so
+// selectivities keep compounding through operator trees instead of falling
+// back to magic constants after the first filter.
+
+#ifndef MQO_STATS_HISTOGRAM_H_
+#define MQO_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mqo {
+
+/// One equi-depth bucket: values in [lo, hi] holding `fraction` of the rows
+/// and ~`distinct` distinct values. Buckets are ordered and non-overlapping;
+/// gaps between hi and the next lo carry no rows.
+struct HistogramBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double fraction = 0.0;  ///< Share of the described rows (sums to 1).
+  double distinct = 1.0;  ///< Distinct values covered by the bucket.
+};
+
+/// Equi-depth histogram of one numeric column. Immutable after construction;
+/// shared between RelStats copies via shared_ptr.
+class EquiDepthHistogram {
+ public:
+  /// Builds from `sorted_values` (ascending; typically a sample) compressed
+  /// into at most `buckets` equi-depth ranges. `total_rows` is the row count
+  /// the sample describes (== sorted_values.size() when unsampled). Returns
+  /// nullptr for empty input.
+  ///
+  /// `total_distinct_hint` (0 = none) is the column-level distinct estimate
+  /// (e.g. a KMV sketch's, which sees every row): bucket distinct counts are
+  /// tallied over the sample and would otherwise be absolute sample counts,
+  /// far below the truth for sampled high-cardinality columns — the hint
+  /// rescales multi-value buckets so TotalDistinct() ≈ the hint while each
+  /// bucket keeps its sampled share (and never exceeds its row count).
+  static std::shared_ptr<const EquiDepthHistogram> Build(
+      const std::vector<double>& sorted_values, size_t buckets,
+      double total_rows, double total_distinct_hint = 0.0);
+
+  /// Fraction of rows with value <= v (empirical CDF, interpolated).
+  double FractionLe(double v) const;
+
+  /// Fraction of rows with value < v. Clamped at 0: at a bucket's lower
+  /// edge the continuous Le interpolation excludes the point mass Eq
+  /// subtracts.
+  double FractionLt(double v) const;
+
+  /// Fraction of rows with value == v (bucket depth over bucket distincts).
+  double FractionEq(double v) const;
+
+  /// Fraction of rows with lo <= value <= hi (0 when hi < lo).
+  double FractionBetween(double lo, double hi) const;
+
+  /// Estimated distinct values in [lo, hi] (partial buckets scaled).
+  double DistinctBetween(double lo, double hi) const;
+
+  /// Total distinct values across all buckets.
+  double TotalDistinct() const;
+
+  /// Histogram of the rows restricted to [lo, hi]: buckets outside drop,
+  /// partial buckets trim and rescale, fractions renormalize to 1. Returns
+  /// nullptr when no rows survive. `total_rows` of the result scales by the
+  /// surviving fraction.
+  std::shared_ptr<const EquiDepthHistogram> Clip(double lo, double hi) const;
+
+  double min_value() const { return buckets_.front().lo; }
+  double max_value() const { return buckets_.back().hi; }
+  /// Rows this histogram describes (feedback rescales RelStats rows; the
+  /// histogram's fractions are row-count independent).
+  double total_rows() const { return total_rows_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+
+ private:
+  EquiDepthHistogram(std::vector<HistogramBucket> buckets, double total_rows)
+      : buckets_(std::move(buckets)), total_rows_(total_rows) {}
+
+  std::vector<HistogramBucket> buckets_;  ///< Ordered, never empty.
+  double total_rows_ = 0.0;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_STATS_HISTOGRAM_H_

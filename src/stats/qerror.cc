@@ -1,0 +1,54 @@
+#include "stats/qerror.h"
+
+#include <algorithm>
+
+#include "exec/evaluator.h"
+
+namespace mqo {
+
+std::vector<double> QErrors::All() const {
+  std::vector<double> all = scans;
+  all.insert(all.end(), filters.begin(), filters.end());
+  all.insert(all.end(), joins.begin(), joins.end());
+  return all;
+}
+
+QErrors ComputeQErrors(Memo* memo, const DataSet& data, StatsEstimator* est) {
+  Evaluator eval(memo, &data);
+  QErrors out;
+  for (EqId eq : memo->AllClasses()) {
+    auto ops = memo->ClassOps(eq);
+    if (ops.empty()) continue;
+    const LogicalOp kind = memo->op(ops.front()).kind;
+    if (kind != LogicalOp::kScan && kind != LogicalOp::kSelect &&
+        kind != LogicalOp::kJoin) {
+      continue;
+    }
+    auto rows = eval.EvaluateClass(eq);
+    if (!rows.ok()) continue;
+    const double actual =
+        std::max(1.0, static_cast<double>(rows.ValueOrDie().rows.size()));
+    const double estimate = std::max(1.0, est->ClassStats(eq).rows);
+    const double q = std::max(estimate / actual, actual / estimate);
+    switch (kind) {
+      case LogicalOp::kScan:
+        out.scans.push_back(q);
+        break;
+      case LogicalOp::kSelect:
+        out.filters.push_back(q);
+        break;
+      default:
+        out.joins.push_back(q);
+        break;
+    }
+  }
+  return out;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace mqo

@@ -1,0 +1,40 @@
+// Estimation-accuracy measurement: q-error of a StatsEstimator against
+// actually-evaluated cardinalities.
+//
+// Shared by tests/stats_test.cc (assertion gates) and bench/bench_stats.cc
+// (the BENCH_stats.json trajectory), so both always measure the same thing:
+// for every scan/filter/join class of a memo, q = max(estimate/actual,
+// actual/estimate) with both sides floored at one row, actuals from the
+// reference evaluator.
+
+#ifndef MQO_STATS_QERROR_H_
+#define MQO_STATS_QERROR_H_
+
+#include <vector>
+
+#include "cost/stats.h"
+#include "exec/dataset.h"
+
+namespace mqo {
+
+/// Q-errors of one estimator over a memo, split by operator kind.
+struct QErrors {
+  std::vector<double> scans;
+  std::vector<double> filters;
+  std::vector<double> joins;
+
+  /// All three groups concatenated.
+  std::vector<double> All() const;
+};
+
+/// Evaluates every scan/filter/join class of `memo` against `data` and
+/// returns the estimator's q-errors. Classes the evaluator cannot produce
+/// are skipped.
+QErrors ComputeQErrors(Memo* memo, const DataSet& data, StatsEstimator* est);
+
+/// Median of `values` (upper median; 0 for empty input).
+double Median(std::vector<double> values);
+
+}  // namespace mqo
+
+#endif  // MQO_STATS_QERROR_H_

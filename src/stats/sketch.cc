@@ -1,0 +1,40 @@
+#include "stats/sketch.h"
+
+namespace mqo {
+
+namespace {
+
+/// splitmix64 finalizer: the estimator needs uniformly distributed hashes,
+/// but callers feed value hashes that may be weak (numeric HashCell is the
+/// raw double bit pattern), so the sketch avalanches internally.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void KmvSketch::Insert(uint64_t mixed) {
+  if (mins_.size() >= k_ && mixed >= *mins_.rbegin()) return;
+  mins_.insert(mixed);
+  if (mins_.size() > k_) mins_.erase(std::prev(mins_.end()));
+}
+
+void KmvSketch::Add(uint64_t hash) { Insert(Mix(hash)); }
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  for (uint64_t h : other.mins_) Insert(h);
+}
+
+double KmvSketch::Estimate() const {
+  if (mins_.size() < k_) return static_cast<double>(mins_.size());
+  // The k-th smallest of d uniform hashes sits near k/d of the hash space:
+  // d ≈ (k-1) / (kth / 2^64).
+  const double kth = static_cast<double>(*mins_.rbegin());
+  const double normalized = kth / 18446744073709551616.0;  // 2^64
+  if (normalized <= 0.0) return static_cast<double>(mins_.size());
+  return static_cast<double>(k_ - 1) / normalized;
+}
+
+}  // namespace mqo

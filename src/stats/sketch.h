@@ -1,0 +1,55 @@
+// KMV (k-minimum-values) distinct-count sketch.
+//
+// The statistics subsystem needs distinct counts that (a) come from the data
+// instead of catalog declarations, (b) merge across morsel workers without
+// ordering sensitivity, and (c) stay small for tables of any size. A KMV
+// sketch keeps the k smallest distinct 64-bit hashes it has seen; with
+// fewer than k values observed the estimate is exact, beyond that the k-th
+// smallest hash estimates the density of the hash space and hence the
+// distinct count ((k-1) / kth_normalized). Merging two sketches is a set
+// union re-capped to k — associative, commutative, and deterministic, which
+// is exactly what the morsel-parallel AnalyzeTable merge requires.
+
+#ifndef MQO_STATS_SKETCH_H_
+#define MQO_STATS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+
+namespace mqo {
+
+/// Distinct-count sketch over 64-bit value hashes. Deterministic: the state
+/// after any sequence of Add/Merge calls depends only on the set of hashes
+/// observed, never on their order.
+class KmvSketch {
+ public:
+  static constexpr size_t kDefaultK = 256;
+
+  explicit KmvSketch(size_t k = kDefaultK) : k_(k == 0 ? 1 : k) {}
+
+  /// Observes one value hash (e.g. ColumnVector::HashCell).
+  void Add(uint64_t hash);
+
+  /// Set-unions `other` into this sketch (re-capped to k).
+  void Merge(const KmvSketch& other);
+
+  /// Estimated number of distinct values observed. Exact while fewer than k
+  /// distinct hashes have been seen.
+  double Estimate() const;
+
+  /// Number of hashes currently retained (min(k, distinct observed)).
+  size_t size() const { return mins_.size(); }
+  size_t k() const { return k_; }
+
+ private:
+  /// Inserts an already-avalanched hash (Add mixes; Merge copies raw).
+  void Insert(uint64_t mixed);
+
+  size_t k_;
+  std::set<uint64_t> mins_;  ///< The k smallest distinct mixed hashes seen.
+};
+
+}  // namespace mqo
+
+#endif  // MQO_STATS_SKETCH_H_

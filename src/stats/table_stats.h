@@ -1,0 +1,107 @@
+// Data-driven table statistics: collection (AnalyzeTable) and the registry
+// the optimizer consults.
+//
+// AnalyzeTable runs one morsel-parallel pass over a ColumnStore (the shared
+// pipeline driver in storage/pipeline.h) computing, per column: row count,
+// numeric min/max, a KMV distinct sketch, an average stored width, and —
+// for numeric columns — an equi-depth histogram built from a deterministic
+// stride sample (all rows below AnalyzeOptions::sample_target). Workers fold
+// morsels into thread-local accumulators; the merge is order-independent
+// (sketch union, min/max, stride-keyed samples), so results are identical at
+// every thread count.
+//
+// TableStatsRegistry caches TableStatsData per base table, analyzing lazily
+// on first access from a bound DataSet — the "first optimization pays the
+// scan" model. Re-binding data (regeneration) invalidates everything.
+
+#ifndef MQO_STATS_TABLE_STATS_H_
+#define MQO_STATS_TABLE_STATS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/dataset.h"
+#include "stats/histogram.h"
+#include "stats/sketch.h"
+
+namespace mqo {
+
+/// Knobs of one analyze pass.
+struct AnalyzeOptions {
+  /// Histogram resolution (equi-depth buckets).
+  size_t histogram_buckets = 64;
+  /// Row threshold above which histograms sample (deterministic stride)
+  /// instead of reading every value.
+  size_t sample_target = 4096;
+  /// KMV sketch size (distinct-count accuracy / memory trade-off).
+  size_t sketch_k = KmvSketch::kDefaultK;
+  /// Worker threads of the analyze pipeline (1 = serial).
+  int num_threads = 1;
+};
+
+/// Collected statistics of one column.
+struct ColumnStatsData {
+  std::string name;          ///< Unqualified column name.
+  bool numeric = false;      ///< min/max and histogram meaningful.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  double distinct = 1.0;     ///< Sketch estimate (exact for small columns).
+  double avg_width_bytes = 8.0;
+  std::shared_ptr<const KmvSketch> sketch;  ///< For downstream merging.
+  std::shared_ptr<const EquiDepthHistogram> histogram;  ///< Numeric only.
+};
+
+/// Collected statistics of one table.
+struct TableStatsData {
+  double row_count = 0.0;
+  std::vector<ColumnStatsData> columns;
+
+  /// Column lookup by unqualified name; nullptr if unknown.
+  const ColumnStatsData* Find(const std::string& name) const;
+};
+
+/// One pass over `store` computing TableStatsData (see file comment).
+TableStatsData AnalyzeTable(const ColumnStore& store,
+                            const AnalyzeOptions& options = {});
+
+/// Lazily-populated per-table statistics, keyed by base-table name.
+///
+/// Not thread-safe: the optimizer runs single-threaded; only the analyze
+/// pass itself goes parallel (inside AnalyzeTable). Get() is const because
+/// estimation paths hold const registries; the cache is the only mutation.
+class TableStatsRegistry {
+ public:
+  TableStatsRegistry() = default;
+  explicit TableStatsRegistry(const DataSet* data, AnalyzeOptions options = {})
+      : data_(data), options_(options) {}
+
+  /// Stats for `table`, analyzing lazily from the bound DataSet on first
+  /// access. nullptr when no data is bound or the table has none.
+  const TableStatsData* Get(const std::string& table) const;
+
+  /// Installs pre-computed stats (tests, external collectors).
+  void Put(std::string table, TableStatsData stats);
+
+  /// Drops one table's cached stats (re-analyzed on next Get).
+  void Invalidate(const std::string& table) { cache_.erase(table); }
+
+  /// Drops everything and re-points at `data` — the data-regeneration hook.
+  void BindData(const DataSet* data) {
+    cache_.clear();
+    data_ = data;
+  }
+
+  size_t num_analyzed() const { return cache_.size(); }
+  const AnalyzeOptions& options() const { return options_; }
+
+ private:
+  const DataSet* data_ = nullptr;
+  AnalyzeOptions options_;
+  mutable std::map<std::string, TableStatsData> cache_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_STATS_TABLE_STATS_H_

@@ -110,6 +110,20 @@ class WorkerPool {
 
 }  // namespace
 
+size_t AdaptiveMorselRows(size_t num_rows, size_t workers) {
+  workers = std::max<size_t>(workers, 1);
+  const size_t target = workers * kMorselsPerWorkerTarget;
+  const size_t rows = (num_rows + target - 1) / target;
+  return std::min(kMaxMorselRows, std::max(kMinMorselRows, rows));
+}
+
+size_t ResolveMorselRows(size_t num_rows, int num_threads,
+                         size_t morsel_rows) {
+  if (morsel_rows != kAdaptiveMorselRows) return morsel_rows;
+  return AdaptiveMorselRows(
+      num_rows, num_threads > 1 ? static_cast<size_t>(num_threads) : 1);
+}
+
 std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows) {
   std::vector<Morsel> morsels;
   if (num_rows == 0) return morsels;

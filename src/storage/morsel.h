@@ -32,8 +32,35 @@
 namespace mqo {
 
 /// Default rows per morsel: big enough to amortize dispatch, small enough
-/// that a few thousand rows already parallelize.
+/// that a few thousand rows already parallelize. Used where a fixed granule
+/// is wanted (e.g. TableReader::Morsels); the pipeline driver sizes morsels
+/// adaptively instead (AdaptiveMorselRows).
 constexpr size_t kDefaultMorselRows = 1024;
+
+/// Sentinel for PipelineOptions::morsel_rows: derive the granule from the
+/// input size and worker count instead of a fixed constant.
+constexpr size_t kAdaptiveMorselRows = 0;
+
+/// Clamps of the adaptive granule: morsels never smaller than dispatch can
+/// amortize, never larger than cache-friendly chunking allows.
+constexpr size_t kMinMorselRows = 256;
+constexpr size_t kMaxMorselRows = 64 * 1024;
+
+/// Morsels the adaptive policy aims to hand each worker: enough that the
+/// shared-counter claiming loop load-balances skewed operators, few enough
+/// that dispatch stays negligible.
+constexpr size_t kMorselsPerWorkerTarget = 4;
+
+/// Core-count-aware morsel granule: `num_rows / (workers * target)` clamped
+/// to [kMinMorselRows, kMaxMorselRows]. The worker pool grows to the largest
+/// worker count requested, so `workers` is exactly the pool share this run
+/// can occupy.
+size_t AdaptiveMorselRows(size_t num_rows, size_t workers);
+
+/// Resolves a PipelineOptions-style morsel_rows value: kAdaptiveMorselRows
+/// derives the granule from `num_rows` and `num_threads` (1 worker when
+/// serial); any explicit value passes through untouched.
+size_t ResolveMorselRows(size_t num_rows, int num_threads, size_t morsel_rows);
 
 /// A contiguous row range [begin, end).
 struct Morsel {

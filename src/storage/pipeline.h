@@ -28,10 +28,15 @@
 
 namespace mqo {
 
-/// Scheduling knobs of one pipeline run.
+/// Scheduling knobs of one pipeline run. morsel_rows defaults to the
+/// adaptive policy (kAdaptiveMorselRows): the granule derives from the
+/// source size and the worker count (AdaptiveMorselRows) instead of a fixed
+/// constant, so big scans chunk coarsely and small inputs still split
+/// across the pool. An explicit value pins the granule (tests do, to force
+/// many tiny morsels).
 struct PipelineOptions {
   int num_threads = 1;
-  size_t morsel_rows = kDefaultMorselRows;
+  size_t morsel_rows = kAdaptiveMorselRows;
 };
 
 /// Runs `process(state, morsel_index, morsel)` for every morsel of
@@ -44,8 +49,9 @@ template <typename State>
 std::vector<State> RunPipeline(
     size_t num_rows, const PipelineOptions& options,
     const std::function<void(State&, size_t, const Morsel&)>& process) {
-  const std::vector<Morsel> morsels =
-      MakeMorsels(num_rows, options.morsel_rows);
+  const std::vector<Morsel> morsels = MakeMorsels(
+      num_rows,
+      ResolveMorselRows(num_rows, options.num_threads, options.morsel_rows));
   const size_t workers =
       morsels.empty()
           ? 1

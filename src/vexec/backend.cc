@@ -15,14 +15,28 @@ const char* ExecBackendToString(ExecBackend backend) {
 Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
     ExecBackend backend, Memo* memo, const DataSet* data,
     const ConsolidatedPlan& plan, const ExecOptions& exec) {
+  MQO_ASSIGN_OR_RETURN(ExecResult result, ExecuteConsolidatedResult(
+                                              backend, memo, data, plan, exec));
+  return std::move(result.results);
+}
+
+Result<ExecResult> ExecuteConsolidatedResult(ExecBackend backend, Memo* memo,
+                                             const DataSet* data,
+                                             const ConsolidatedPlan& plan,
+                                             const ExecOptions& exec) {
+  ExecResult out;
   if (backend == ExecBackend::kVector) {
     VectorPlanExecutor executor(memo, data, exec);
-    return executor.ExecuteConsolidated(plan);
+    MQO_ASSIGN_OR_RETURN(out.results, executor.ExecuteConsolidated(plan));
+    out.feedback = executor.feedback();
+    return out;
   }
   // The row interpreter is serial but its segment store honours the same
   // memory budget, so both engines spill under identical pressure.
   PlanExecutor executor(memo, data, exec);
-  return executor.ExecuteConsolidated(plan);
+  MQO_ASSIGN_OR_RETURN(out.results, executor.ExecuteConsolidated(plan));
+  out.feedback = executor.feedback();
+  return out;
 }
 
 Result<NamedRows> ExecutePlanWith(ExecBackend backend, Memo* memo,

@@ -20,12 +20,27 @@ enum class ExecBackend {
 
 const char* ExecBackendToString(ExecBackend backend);
 
+/// Everything one consolidated execution produced: the per-query results,
+/// plus the observed cardinalities of the segments it materialized (keyed by
+/// structural class fingerprint — see stats/feedback.h). Feeding the
+/// feedback into a later optimization closes the optimize→execute→observe
+/// loop.
+struct ExecResult {
+  std::vector<NamedRows> results;  ///< One per batched query, canonicalized.
+  CardinalityFeedback feedback;    ///< Actual rows per materialized segment.
+};
+
 /// Executes a full consolidated plan (materialized nodes + batch root) with
 /// the selected backend; one result per batched query. `exec` configures the
 /// vectorized engine's pipelines (morsel-parallel threads for scans, join
 /// build/probe and aggregation); the row interpreter is always serial and
 /// ignores it.
 Result<std::vector<NamedRows>> ExecuteConsolidatedWith(
+    ExecBackend backend, Memo* memo, const DataSet* data,
+    const ConsolidatedPlan& plan, const ExecOptions& exec = {});
+
+/// Same, additionally surfacing the run's cardinality feedback.
+Result<ExecResult> ExecuteConsolidatedResult(
     ExecBackend backend, Memo* memo, const DataSet* data,
     const ConsolidatedPlan& plan, const ExecOptions& exec = {});
 

@@ -65,7 +65,9 @@ JoinHashTable JoinHashTable::Build(ColumnBatch build,
   // morsel's slots of the shared array).
   std::vector<uint64_t> hashes(num_rows);
   ParallelOverMorsels(
-      MakeMorsels(num_rows, options.morsel_rows), threads,
+      MakeMorsels(num_rows,
+                  ResolveMorselRows(num_rows, threads, options.morsel_rows)),
+      threads,
       [&](size_t, const Morsel& morsel) {
         for (uint32_t r = morsel.begin; r < morsel.end; ++r) {
           hashes[r] = HashKeys(table.build_, table.key_cols_, r);

@@ -414,11 +414,17 @@ Status VectorPlanExecutor::MaterializeNode(EqId eq,
   // per-morsel chunks were gathered on the workers and concatenated column-
   // parallel, so no serial whole-result gather happens on this thread.
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
-  return store_.Put(memo_->Find(eq), std::move(batch));
+  eq = memo_->Find(eq);
+  // Observed cardinality of the shared subexpression, for feedback-driven
+  // re-optimization (same contract as the row engine).
+  feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
+                   static_cast<double>(batch.num_rows));
+  return store_.Put(eq, std::move(batch));
 }
 
 Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  feedback_.clear();
   // Seed eviction weights (reads still ahead of each segment) before any
   // segment lands, as the row executor does.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {

@@ -32,6 +32,7 @@
 #define MQO_VEXEC_VECTOR_EXECUTOR_H_
 
 #include "optimizer/batch_optimizer.h"
+#include "stats/feedback.h"
 #include "storage/mat_store.h"
 #include "vexec/pipeline.h"
 #include "vexec/vector_ops.h"
@@ -66,6 +67,11 @@ class VectorPlanExecutor {
   /// The store itself (budget accounting, spill stats), for tests/benches.
   const MatStore& store() const { return store_; }
 
+  /// Observed cardinalities of the segments materialized by the most recent
+  /// ExecuteConsolidated run, keyed by structural class fingerprint (same
+  /// contract as PlanExecutor::feedback).
+  const CardinalityFeedback& feedback() const { return feedback_; }
+
  private:
   /// Plan execution to a batch projected onto the node's class attributes.
   Result<ColumnBatch> ExecuteBatch(const PlanNodePtr& plan);
@@ -96,6 +102,8 @@ class VectorPlanExecutor {
   const DataSet* data_;
   ExecOptions options_;
   MatStore store_;
+  CardinalityFeedback feedback_;
+  std::unordered_map<EqId, uint64_t> fingerprints_;
 };
 
 }  // namespace mqo

@@ -164,7 +164,8 @@ Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
   }
   if (predicate.Empty()) return in;
   const auto& conjuncts = predicate.conjuncts();
-  const std::vector<Morsel> morsels = MakeMorsels(in.num_rows, morsel_rows);
+  const std::vector<Morsel> morsels = MakeMorsels(
+      in.num_rows, ResolveMorselRows(in.num_rows, num_threads, morsel_rows));
   if (num_threads <= 1 || morsels.size() < 2) {
     SelVector sel;
     FilterRangeInto(in, conjuncts, idx, 0, static_cast<uint32_t>(in.num_rows),
@@ -207,7 +208,9 @@ Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
       JoinHashTable::Build(right, std::move(build_keys), pipeline);
   // Morsel-parallel probe: per-morsel pair slots concatenated in morsel
   // order reproduce the serial left-major match order exactly.
-  const std::vector<Morsel> morsels = MakeMorsels(left.num_rows, morsel_rows);
+  const std::vector<Morsel> morsels = MakeMorsels(
+      left.num_rows,
+      ResolveMorselRows(left.num_rows, num_threads, morsel_rows));
   struct Pairs {
     SelVector left_idx;
     SelVector right_idx;

@@ -41,7 +41,7 @@ Result<ColumnBatch> ScanBatch(const DataSet& data, const std::string& table,
 Result<ColumnBatch> FilterBatch(const ColumnBatch& in,
                                 const Predicate& predicate,
                                 int num_threads = 1,
-                                size_t morsel_rows = kDefaultMorselRows);
+                                size_t morsel_rows = kAdaptiveMorselRows);
 
 /// Equijoin: builds a hash table on `right` (partitioned parallel build when
 /// `num_threads > 1`), probes with `left` morsel-parallel, and gathers the
@@ -53,7 +53,7 @@ Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
                                   const ColumnBatch& right,
                                   const JoinPredicate& predicate,
                                   int num_threads = 1,
-                                  size_t morsel_rows = kDefaultMorselRows);
+                                  size_t morsel_rows = kAdaptiveMorselRows);
 
 /// Equijoin by argsorting both sides on the key columns and merging equal-key
 /// runs. Bag-equal to HashJoinBatch; used for kMergeJoin plans.

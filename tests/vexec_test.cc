@@ -83,10 +83,19 @@ std::vector<ExecOptions> VectorConfigs() {
 /// The differential check for one workload: row and vectorized execution
 /// (at every thread count) must agree on every standalone per-query plan and
 /// on the consolidated plan chosen by every MQO algorithm (plus the
-/// no-sharing plan).
+/// no-sharing plan). The optimizer honours MQO_STATS_MODE: the CI
+/// stats-collected leg re-runs the whole suite on data-driven statistics
+/// (different plans, identical answers — statistics are a performance
+/// decision, never a semantic one).
 void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
   DataSet data = GenerateData(*memo->catalog(), gen);
-  BatchOptimizer optimizer(memo, CostModel());
+  TableStatsRegistry registry(&data);
+  BatchOptimizerOptions optimizer_options;
+  if (ResolveStatsMode(StatsMode::kDefault) == StatsMode::kCollected) {
+    optimizer_options.stats.mode = StatsMode::kCollected;
+    optimizer_options.stats.table_stats = &registry;
+  }
+  BatchOptimizer optimizer(memo, CostModel(), optimizer_options);
   MaterializationProblem problem(&optimizer);
   const std::vector<EqId> roots = QueryRoots(*memo);
   ASSERT_FALSE(roots.empty());
