@@ -28,6 +28,7 @@
 #include "exec/row_ops.h"
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
+#include "obs/obs.h"
 #include "vexec/backend.h"
 #include "workload/tpcd_queries.h"
 
@@ -151,6 +152,35 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+
+  // MQO_TRACE=1 (optionally MQO_TRACE_FILE=<path>): one extra traced run of
+  // the consolidated plan on the vector backend, separate from the timed
+  // loop above so tracing overhead never leaks into the reported numbers.
+  ObsOptions obs_options = ResolveObsOptions({});
+  if (obs_options.trace) {
+    if (obs_options.trace_path.empty()) {
+      obs_options.trace_path = "bench_vexec_trace.json";
+    }
+    ObsContext obs_ctx(obs_options);
+    DataGenOptions gen;
+    gen.max_rows_per_table = row_counts.back();
+    gen.domain_cap = std::max(1, row_counts.back() / 4);
+    gen.seed = 2026;
+    DataSet data = GenerateData(catalog, gen);
+    ExecOptions exec;
+    exec.obs = &obs_ctx;
+    auto traced = ExecuteConsolidatedWith(ExecBackend::kVector, &memo, &data,
+                                          mqo_plan, exec);
+    if (traced.ok() &&
+        obs_ctx.tracer()->WriteChromeJson(obs_options.trace_path)) {
+      std::printf("\ntrace written to %s (%zu events)\n",
+                  obs_options.trace_path.c_str(),
+                  obs_ctx.tracer()->Events().size());
+    } else {
+      std::printf("\ntraced run FAILED\n");
+    }
+  }
+
   const bool json_ok = json.WriteFile("BENCH_vexec.json");
   std::printf("\n%d node(s) materialized by MarginalGreedy; row and vector "
               "results identical: %s; %zu records -> BENCH_vexec.json%s\n",

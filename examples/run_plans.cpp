@@ -10,6 +10,7 @@
 #include "exec/row_ops.h"
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
+#include "obs/obs.h"
 #include "vexec/backend.h"
 #include "workload/tpcd_queries.h"
 
@@ -32,7 +33,18 @@ int main() {
   gen.seed = 2026;
   DataSet data = GenerateData(catalog, gen);
 
-  BatchOptimizer optimizer(&memo, CostModel());
+  // MQO_TRACE=1 / MQO_METRICS=1 turn on observability; MQO_TRACE_FILE
+  // overrides where the Chrome trace JSON lands.
+  ObsOptions obs_options = ResolveObsOptions({});
+  if (obs_options.trace && obs_options.trace_path.empty()) {
+    obs_options.trace_path = "run_plans_trace.json";
+  }
+  ObsContext obs_ctx(obs_options);
+  ObsContext* obs = obs_ctx.any_enabled() ? &obs_ctx : nullptr;
+
+  BatchOptimizerOptions optimizer_options;
+  optimizer_options.obs = obs;
+  BatchOptimizer optimizer(&memo, CostModel(), optimizer_options);
   MaterializationProblem problem(&optimizer);
   MqoResult mqo = RunMarginalGreedy(&problem);
   std::printf("Q9 twice (different constants): volcano %.1f s, MQO %.1f s, "
@@ -43,7 +55,9 @@ int main() {
   auto run = [&](const std::set<EqId>& mat, ExecBackend backend,
                  const char* label) {
     ConsolidatedPlan plan = optimizer.Plan(mat);
-    auto results = ExecuteConsolidatedWith(backend, &memo, &data, plan);
+    ExecOptions exec;
+    exec.obs = obs;
+    auto results = ExecuteConsolidatedWith(backend, &memo, &data, plan, exec);
     if (!results.ok()) {
       std::printf("%s execution failed: %s\n", label,
                   results.status().ToString().c_str());
@@ -73,5 +87,18 @@ int main() {
   std::printf("\nresults identical across materialization choices and "
               "backends: %s\n",
               identical ? "yes" : "NO (bug!)");
+
+  if (obs != nullptr && obs_options.trace) {
+    if (obs->tracer()->WriteChromeJson(obs_options.trace_path)) {
+      std::printf("trace written to %s (%zu events)\n",
+                  obs_options.trace_path.c_str(),
+                  obs->tracer()->Events().size());
+    } else {
+      std::printf("trace write to %s FAILED\n", obs_options.trace_path.c_str());
+    }
+  }
+  if (obs != nullptr && obs_options.metrics) {
+    std::printf("\n%s", obs->metrics()->TextReport().c_str());
+  }
   return identical ? 0 : 1;
 }

@@ -1,58 +1,10 @@
 #include "bench_util/bench_json.h"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 
+#include "obs/json.h"
+
 namespace mqo {
-
-namespace {
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string NumberToJson(double v) {
-  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
-  char buf[32];
-  if (v == std::floor(v) && std::abs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-  }
-  return buf;
-}
-
-}  // namespace
 
 JsonField JNum(std::string key, double value) {
   JsonField f;
@@ -70,14 +22,17 @@ JsonField JStr(std::string key, std::string value) {
 }
 
 std::string BenchJsonWriter::ToString() const {
+  // Escaping and number formatting are the shared obs/json.h implementation
+  // (one escaper for benches, traces and metrics); only the pretty-printed
+  // array-of-flat-objects layout lives here.
   std::string out = "[\n";
   for (size_t r = 0; r < records_.size(); ++r) {
     out += "  {";
     for (size_t f = 0; f < records_[r].size(); ++f) {
       const JsonField& field = records_[r][f];
-      out += "\"" + EscapeJson(field.key) + "\": ";
-      out += field.is_number ? NumberToJson(field.num)
-                             : "\"" + EscapeJson(field.str) + "\"";
+      out += "\"" + JsonEscape(field.key) + "\": ";
+      out += field.is_number ? JsonNumber(field.num)
+                             : "\"" + JsonEscape(field.str) + "\"";
       if (f + 1 < records_[r].size()) out += ", ";
     }
     out += r + 1 < records_.size() ? "},\n" : "}\n";

@@ -3,26 +3,29 @@
 #ifndef MQO_COMMON_TIMER_H_
 #define MQO_COMMON_TIMER_H_
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace mqo {
 
 /// Measures elapsed wall-clock time from construction or the last Reset().
+/// Built on the engine's single monotonic clock (obs/clock.h), so bench
+/// timings and trace span durations are directly comparable.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(MonotonicNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = MonotonicNanos(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return NanosToSeconds(MonotonicNanos() - start_ns_);
   }
 
-  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+  double ElapsedMillis() const {
+    return NanosToMillis(MonotonicNanos() - start_ns_);
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace mqo

@@ -8,6 +8,7 @@ MatStoreOptions ExecOptions::mat_store() const {
   MatStoreOptions options;
   options.budget_bytes = mat_budget_bytes;
   options.spill_dir = mat_spill_dir;
+  options.obs = obs;
   // Environment overrides fill in only unset knobs, so CI can force the
   // whole differential suite through eviction + spill without touching the
   // explicit configurations individual tests assert on.

@@ -19,6 +19,8 @@
 
 namespace mqo {
 
+class ObsContext;
+
 /// Execution-time knobs: the pipeline driver's scheduling (`num_threads`
 /// worker threads, 1 = serial; `morsel_rows` per scheduling granule) plus
 /// the materialized-segment store's memory governance. Results are identical
@@ -31,6 +33,9 @@ struct ExecOptions : PipelineOptions {
   /// Spill directory for evicted segments; empty = a unique temp directory.
   /// MQO_SPILL_DIR overrides an empty value.
   std::string mat_spill_dir;
+  /// Observability sink (obs/obs.h): pipeline/operator spans, store events,
+  /// executor metrics. Null = off; execution is unaffected either way.
+  ObsContext* obs = nullptr;
 
   /// The pipeline-driver view of these knobs.
   const PipelineOptions& pipeline() const { return *this; }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "exec/row_ops.h"
+#include "obs/obs.h"
 
 namespace mqo {
 
@@ -86,15 +88,27 @@ Result<NamedRows> PlanExecutor::ExecuteUncanonicalized(const PlanNodePtr& plan) 
 }
 
 Result<NamedRows> PlanExecutor::Execute(const PlanNodePtr& plan) {
+  // Serial interpreter: these spans nest exactly like the plan tree, so a
+  // trace of a row-engine run is a flame graph of the plan.
+  TraceSpan span(TracerOf(obs_), std::string("op.") + PhysOpToString(plan->op),
+                 "exec");
   MQO_ASSIGN_OR_RETURN(NamedRows raw, ExecuteUncanonicalized(plan));
   const auto& attrs = memo_->Attributes(memo_->Find(plan->eq));
   MQO_RETURN_NOT_OK(Canonicalize(attrs, &raw));
+  if (span.active()) {
+    span.AddNum("eq", memo_->Find(plan->eq));
+    span.AddNum("out_rows", static_cast<double>(raw.rows.size()));
+  }
   return raw;
 }
 
 Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
+  TraceSpan span(TracerOf(obs_), "materialize", "exec");
+  ScopedTimer metric(MetricsOf(obs_), "exec.materialize_ms");
+  WallTimer timer;
   MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(compute_plan));
   eq = memo_->Find(eq);
+  compute_ms_[eq] = timer.ElapsedMillis();
   // Observed cardinality of the shared subexpression: later optimizations
   // match it by structural fingerprint and estimate against reality.
   feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
@@ -102,12 +116,25 @@ Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
   // Segments are stored columnar even for the row engine, so both executors
   // share one materialization format.
   MQO_ASSIGN_OR_RETURN(ColumnBatch segment, BatchFromRows(rows));
+  if (span.active()) {
+    span.AddNum("eq", eq);
+    span.AddNum("rows", static_cast<double>(segment.num_rows));
+    span.AddNum("bytes", static_cast<double>(segment.ByteSize()));
+  }
   return store_.Put(eq, std::move(segment));
 }
 
 Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  TraceSpan batch_span(TracerOf(obs_), "execute_consolidated", "exec");
+  if (batch_span.active()) {
+    batch_span.AddNum("materialized",
+                      static_cast<double>(plan.materialized.size()));
+    batch_span.AddNum("queries",
+                      static_cast<double>(plan.root_plan->children.size()));
+  }
   feedback_.clear();
+  compute_ms_.clear();
   // Seed the eviction weights before any segment lands: a segment with many
   // reads still ahead of it is the last one the budget pushes to disk.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
@@ -138,10 +165,38 @@ Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
   }
   std::vector<NamedRows> results;
   for (const auto& child : plan.root_plan->children) {
+    TraceSpan query_span(TracerOf(obs_), "query", "exec");
     MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(child));
+    if (query_span.active()) {
+      query_span.AddNum("index", static_cast<double>(results.size()));
+      query_span.AddNum("rows", static_cast<double>(rows.rows.size()));
+    }
     results.push_back(std::move(rows));
   }
   return results;
+}
+
+std::vector<SegmentRuntime> PlanExecutor::SegmentRuntimes() const {
+  std::vector<SegmentRuntime> out;
+  for (const auto& [eq, t] : store_.Telemetry()) {
+    SegmentRuntime r;
+    r.eq = eq;
+    auto fp = fingerprints_.find(eq);
+    if (fp != fingerprints_.end()) r.fingerprint = fp->second;
+    r.actual_rows = t.rows;
+    auto cm = compute_ms_.find(eq);
+    if (cm != compute_ms_.end()) r.compute_ms = cm->second;
+    r.reads = t.reads;
+    r.reloads = t.reloads;
+    r.bytes = static_cast<int64_t>(t.bytes);
+    r.ever_spilled = t.ever_spilled;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentRuntime& a, const SegmentRuntime& b) {
+              return a.eq < b.eq;
+            });
+  return out;
 }
 
 }  // namespace mqo

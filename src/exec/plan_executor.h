@@ -21,6 +21,7 @@
 
 #include "exec/evaluator.h"
 #include "exec/exec_options.h"
+#include "obs/explain.h"
 #include "optimizer/batch_optimizer.h"
 #include "stats/feedback.h"
 #include "storage/mat_store.h"
@@ -28,7 +29,8 @@
 namespace mqo {
 
 /// Executes physical plans against a dataset. The interpreter itself is
-/// always serial; `options` only configures the materialized-segment store.
+/// always serial; `options` only configures the materialized-segment store
+/// and the observability sink.
 class PlanExecutor {
  public:
   PlanExecutor(Memo* memo, const DataSet* data,
@@ -36,7 +38,8 @@ class PlanExecutor {
       : memo_(memo),
         data_(data),
         evaluator_(memo, data),
-        store_(options.mat_store()) {}
+        store_(options.mat_store()),
+        obs_(options.obs) {}
 
   /// Executes one plan tree; the result is canonicalized to the plan's class
   /// attributes. ReadMaterialized leaves require the node to be present in
@@ -62,6 +65,11 @@ class PlanExecutor {
   /// weights — from reality.
   const CardinalityFeedback& feedback() const { return feedback_; }
 
+  /// Per-segment runtime telemetry of the most recent ExecuteConsolidated
+  /// run (actual rows, compute time, store reads/reloads), eq-sorted. Same
+  /// contract as VectorPlanExecutor::SegmentRuntimes.
+  std::vector<SegmentRuntime> SegmentRuntimes() const;
+
  private:
   Result<NamedRows> ExecuteUncanonicalized(const PlanNodePtr& plan);
   /// Input rows for a join's inner side that is not a plan child (base
@@ -72,8 +80,10 @@ class PlanExecutor {
   const DataSet* data_;
   Evaluator evaluator_;
   MatStore store_;
+  ObsContext* obs_ = nullptr;
   CardinalityFeedback feedback_;
   std::unordered_map<EqId, uint64_t> fingerprints_;
+  std::unordered_map<EqId, double> compute_ms_;  ///< Materialization times.
 };
 
 }  // namespace mqo

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <iostream>
 
+#include <fstream>
+#include <unordered_map>
+
 #include "common/string_util.h"
 #include "lqdag/rules.h"
+#include "stats/feedback.h"
 
 namespace mqo {
 
@@ -74,12 +78,45 @@ StatsOptions StatsOptionsFor(const MqoOptions& options,
   return stats;
 }
 
+/// Optimizer-side EXPLAIN snapshot: for every chosen class, the estimates the
+/// decision was based on. The per-class predicted benefit is the marginal
+/// bc(S \ {e}) − bc(S), computed incrementally off the committed set.
+void CaptureClassEstimates(Memo* memo, BatchOptimizer* optimizer,
+                           const std::set<EqId>& chosen,
+                           const ConsolidatedPlan& plan, MqoOutcome* outcome) {
+  if (chosen.empty()) return;
+  const auto expected = ExpectedSegmentReads(*memo, plan);
+  std::unordered_map<EqId, uint64_t> fps;
+  optimizer->SetIncrementalBase(chosen);
+  const double bc_full = optimizer->BestCost(chosen);
+  for (EqId eq : chosen) {
+    const EqId c = memo->Find(eq);
+    MatClassEstimate est;
+    est.eq = c;
+    est.fingerprint = ClassFingerprint(*memo, c, &fps);
+    std::vector<OpId> ops = memo->ClassOps(c);
+    if (!ops.empty()) est.label = memo->op(ops.front()).ToString();
+    est.est_rows = optimizer->stats()->ClassStats(c).rows;
+    auto reads = expected.find(c);
+    if (reads != expected.end()) est.expected_reads = reads->second;
+    est.footprint_bytes = optimizer->MatFootprintBytes(c);
+    std::set<EqId> without = chosen;
+    without.erase(eq);
+    est.predicted_benefit_ms = optimizer->BestCost(without) - bc_full;
+    outcome->class_estimates.push_back(est);
+  }
+  std::sort(outcome->class_estimates.begin(), outcome->class_estimates.end(),
+            [](const MatClassEstimate& a, const MatClassEstimate& b) {
+              return a.eq < b.eq;
+            });
+}
+
 /// Shared orchestration: inserts the batch into `memo`, expands, runs the
 /// selected algorithm, and renders the chosen consolidated plan. The memo is
 /// caller-owned so execution paths can keep it alive alongside the plan.
 Result<ConsolidatedPlan> OptimizeIntoMemo(
     Memo* memo, const std::vector<LogicalExprPtr>& queries,
-    const MqoOptions& options, const StatsOptions& stats,
+    const MqoOptions& options, const StatsOptions& stats, ObsContext* obs,
     MqoOutcome* outcome) {
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
@@ -90,6 +127,7 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
 
   BatchOptimizerOptions optimizer_options;
   optimizer_options.stats = stats;
+  optimizer_options.obs = obs;
   BatchOptimizer optimizer(memo, CostModel(options.cost_params),
                            optimizer_options);
   outcome->stats_mode = optimizer.stats()->mode();
@@ -119,7 +157,44 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
   for (const auto& m : plan.materialized) {
     outcome->materialized_plans.push_back(PlanToString(m.compute_plan));
   }
+  CaptureClassEstimates(memo, &optimizer, outcome->result.materialized, plan,
+                        outcome);
   return plan;
+}
+
+/// Joins the optimizer's estimates with the executor's segment telemetry and
+/// renders the EXPLAIN ANALYZE report; exports trace/metrics when enabled.
+void AssembleRunReport(const ExecResult& executed, ObsContext* obs,
+                       MqoExecutionOutcome* outcome) {
+  outcome->store_stats = executed.store_stats;
+  std::unordered_map<int, const SegmentRuntime*> by_eq;
+  for (const auto& s : executed.segments) by_eq[s.eq] = &s;
+  for (const auto& est : outcome->optimization.class_estimates) {
+    ExplainEntry entry;
+    entry.est = est;
+    auto it = by_eq.find(est.eq);
+    if (it != by_eq.end()) {
+      entry.run = *it->second;
+      entry.executed = true;
+      entry.realized_saved_ms =
+          entry.run.compute_ms *
+          static_cast<double>(std::max<int64_t>(entry.run.reads - 1, 0));
+    }
+    outcome->explain.push_back(entry);
+  }
+  outcome->explain_analyze = RenderExplainAnalyze(outcome->explain);
+  if (obs == nullptr) return;
+  if (obs->options().metrics) {
+    outcome->metrics_report = obs->metrics()->TextReport();
+  }
+  if (obs->options().trace) {
+    outcome->trace_json = obs->tracer()->ToChromeJson();
+    const std::string& path = obs->options().trace_path;
+    if (!path.empty()) {
+      std::ofstream out(path, std::ios::trunc);
+      out << outcome->trace_json;
+    }
+  }
 }
 
 }  // namespace
@@ -131,12 +206,13 @@ Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
   Memo memo(&catalog);
   MqoOutcome outcome;
   // No data in sight: collected statistics are only available through an
-  // externally-supplied registry.
+  // externally-supplied registry. Optimize-only runs have no outcome field
+  // to surface traces through, so observability stays off here.
   MQO_ASSIGN_OR_RETURN(
       ConsolidatedPlan plan,
       OptimizeIntoMemo(&memo, queries, effective,
                        StatsOptionsFor(effective, effective.table_stats),
-                       &outcome));
+                       /*obs=*/nullptr, &outcome));
   (void)plan;
   return outcome;
 }
@@ -144,10 +220,15 @@ Result<MqoOutcome> OptimizeBatch(const Catalog& catalog,
 Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
     const Catalog& catalog, const std::vector<LogicalExprPtr>& queries,
     const DataSet& data, const MqoOptions& options) {
-  const MqoOptions effective = WithBudgetApplied(options);
+  MqoOptions effective = WithBudgetApplied(options);
   Memo memo(&catalog);
   MqoExecutionOutcome outcome;
   outcome.backend = effective.backend;
+  // One ObsContext spans the whole run — optimizer spans, executor spans and
+  // store events land in a single trace/metrics scope.
+  ObsContext obs_ctx(ResolveObsOptions(effective.obs));
+  ObsContext* obs = obs_ctx.any_enabled() ? &obs_ctx : nullptr;
+  effective.exec.obs = obs;
   StatsOptions stats = StatsOptionsFor(effective, effective.table_stats);
   // kCollected with no external registry: analyze the executed dataset into
   // a call-local one, lazily per table touched by the optimization.
@@ -160,7 +241,7 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
   }
   MQO_ASSIGN_OR_RETURN(
       ConsolidatedPlan plan,
-      OptimizeIntoMemo(&memo, queries, effective, stats,
+      OptimizeIntoMemo(&memo, queries, effective, stats, obs,
                        &outcome.optimization));
   MQO_ASSIGN_OR_RETURN(
       ExecResult executed,
@@ -168,6 +249,7 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
                                 effective.exec));
   outcome.results = std::move(executed.results);
   outcome.feedback = std::move(executed.feedback);
+  AssembleRunReport(executed, obs, &outcome);
   return outcome;
 }
 

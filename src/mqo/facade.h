@@ -18,6 +18,8 @@
 #include "cost/stats.h"
 #include "lqdag/rules.h"
 #include "mqo/mqo_algorithms.h"
+#include "obs/explain.h"
+#include "obs/obs.h"
 #include "parser/parser.h"
 #include "vexec/backend.h"
 
@@ -62,6 +64,11 @@ struct MqoOptions {
   /// feedback); matched by structural fingerprint, they override the
   /// estimator's row counts so this optimization sees reality.
   const CardinalityFeedback* feedback = nullptr;
+  /// Observability (obs/obs.h): metrics and tracing for the whole
+  /// optimize-and-execute run. Knobs left unset here pick up the MQO_METRICS
+  /// / MQO_TRACE / MQO_TRACE_FILE environment overrides; when trace_path is
+  /// set the execute paths write the Chrome trace JSON there after the batch.
+  ObsOptions obs;
 };
 
 /// Result of a facade optimization.
@@ -79,6 +86,11 @@ struct MqoOutcome {
   /// resolved; kCollected degraded to kCatalogGuess when no data/registry
   /// was available).
   StatsMode stats_mode = StatsMode::kCatalogGuess;
+  /// Optimizer-side snapshot of every chosen materialization (estimated
+  /// rows, expected reads, footprint, per-class predicted benefit), eq-
+  /// sorted. The execute paths join these with runtime telemetry into the
+  /// EXPLAIN ANALYZE report.
+  std::vector<MatClassEstimate> class_estimates;
 
   /// Writes a human-readable report to `os`.
   void Print(std::ostream& os) const;
@@ -108,6 +120,19 @@ struct MqoExecutionOutcome {
   /// through an MqoSession — so later optimizations estimate against
   /// reality.
   CardinalityFeedback feedback;
+  /// Segment-store accounting of the run (hits, evictions, spill traffic).
+  MatStoreStats store_stats;
+  /// Per materialized class: the optimizer's estimate joined with what the
+  /// executor measured, eq-sorted. Empty when nothing was materialized.
+  std::vector<ExplainEntry> explain;
+  /// RenderExplainAnalyze(explain): estimated vs actual rows, expected vs
+  /// actual reads, predicted vs realized benefit, per class plus totals.
+  std::string explain_analyze;
+  /// Chrome trace_event JSON of the run (empty unless options.obs resolved
+  /// to tracing on). Load in chrome://tracing or Perfetto.
+  std::string trace_json;
+  /// MetricsRegistry::TextReport() of the run (empty unless metrics on).
+  std::string metrics_report;
 };
 
 /// Optimizes the batch and executes the consolidated plan against `data`

@@ -1,5 +1,7 @@
 #include "mqo/materialization_problem.h"
 
+#include "obs/obs.h"
+
 namespace mqo {
 
 MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
@@ -12,13 +14,25 @@ MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
     // of the same footprint, this refuses exactly the nodes whose compute
     // cost undercuts one sequential read of their own result — segments
     // that can never repay the budget pressure of holding them.
+    Tracer* tracer = TracerOf(optimizer_->obs());
     std::vector<EqId> admitted;
     for (EqId e : universe_) {
-      const double blocks = cm.Blocks(optimizer_->MatFootprintBytes(e));
+      const double footprint = optimizer_->MatFootprintBytes(e);
+      const double blocks = cm.Blocks(footprint);
       const double spill_round_trip =
           cm.SeqWriteCost(blocks) + cm.SeqReadCost(blocks);
-      if (optimizer_->StandaloneMatCost(e) <= spill_round_trip) {
+      const double standalone = optimizer_->StandaloneMatCost(e);
+      if (standalone <= spill_round_trip) {
         refused_.push_back(e);
+        if (tracer) {
+          tracer->Instant("admission_refused", "mqo",
+                          {TNum("eq", e), TNum("footprint_bytes", footprint),
+                           TNum("standalone_cost_ms", standalone),
+                           TNum("spill_round_trip_ms", spill_round_trip)});
+        }
+        if (MetricsRegistry* m = MetricsOf(optimizer_->obs())) {
+          m->AddCounter("mqo.admission_refused");
+        }
       } else {
         admitted.push_back(e);
       }

@@ -1,6 +1,7 @@
 #include "mqo/mqo_algorithms.h"
 
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace mqo {
 
@@ -20,12 +21,24 @@ MqoResult Finalize(MaterializationProblem* problem, std::string name,
   r.optimizations =
       problem->optimizer()->num_optimizations() - optimizations_before;
   r.function_evals = evals;
+  if (MetricsRegistry* m = MetricsOf(problem->optimizer()->obs())) {
+    m->ObserveMs("mqo.optimize_ms", elapsed_ms);
+    m->SetGauge("mqo.num_materialized", r.num_materialized);
+    m->SetGauge("mqo.benefit", r.benefit);
+  }
   return r;
+}
+
+/// "mqo.<algorithm>" span wrapping one driver run, closed by Finalize's
+/// caller going out of scope.
+TraceSpan AlgoSpan(MaterializationProblem* problem, const char* name) {
+  return TraceSpan(TracerOf(problem->optimizer()->obs()), name, "mqo");
 }
 
 }  // namespace
 
 MqoResult RunVolcano(MaterializationProblem* problem) {
+  TraceSpan span = AlgoSpan(problem, "mqo.volcano");
   WallTimer timer;
   const int64_t before = problem->optimizer()->num_optimizations();
   ElementSet empty(problem->universe_size());
@@ -33,6 +46,7 @@ MqoResult RunVolcano(MaterializationProblem* problem) {
 }
 
 MqoResult RunGreedy(MaterializationProblem* problem, bool lazy) {
+  TraceSpan span = AlgoSpan(problem, "mqo.greedy");
   WallTimer timer;
   const int64_t before = problem->optimizer()->num_optimizations();
   std::vector<int> candidates(problem->universe_size());
@@ -44,13 +58,15 @@ MqoResult RunGreedy(MaterializationProblem* problem, bool lazy) {
     problem->optimizer()->SetIncrementalBase(problem->ToEqIds(x));
   };
   CostGreedyResult greedy =
-      CostGreedyMin(problem->best_cost(), candidates, lazy, on_pick);
+      CostGreedyMin(problem->best_cost(), candidates, lazy, on_pick,
+                    TracerOf(problem->optimizer()->obs()));
   return Finalize(problem, "Greedy", greedy.selected, timer.ElapsedMillis(),
                   before, greedy.function_evals);
 }
 
 MqoResult RunMarginalGreedy(MaterializationProblem* problem,
                             const MarginalGreedyMqoOptions& options) {
+  TraceSpan span = AlgoSpan(problem, "mqo.marginal_greedy");
   WallTimer timer;
   const int64_t before = problem->optimizer()->num_optimizations();
   Decomposition d = options.decomposition == DecompositionKind::kCanonical
@@ -60,6 +76,7 @@ MqoResult RunMarginalGreedy(MaterializationProblem* problem,
   greedy_options.lazy = options.lazy;
   greedy_options.cardinality_limit = options.cardinality_limit;
   greedy_options.universe_reduction = options.universe_reduction;
+  greedy_options.tracer = TracerOf(problem->optimizer()->obs());
   problem->optimizer()->SetIncrementalBase({});
   greedy_options.on_pick = [problem](const ElementSet& x) {
     problem->optimizer()->SetIncrementalBase(problem->ToEqIds(x));
@@ -70,6 +87,7 @@ MqoResult RunMarginalGreedy(MaterializationProblem* problem,
 }
 
 MqoResult RunMaterializeAll(MaterializationProblem* problem) {
+  TraceSpan span = AlgoSpan(problem, "mqo.materialize_all");
   WallTimer timer;
   const int64_t before = problem->optimizer()->num_optimizations();
   ElementSet all = ElementSet::Full(problem->universe_size());
@@ -78,6 +96,7 @@ MqoResult RunMaterializeAll(MaterializationProblem* problem) {
 }
 
 MqoResult RunExhaustive(MaterializationProblem* problem) {
+  TraceSpan span = AlgoSpan(problem, "mqo.exhaustive");
   WallTimer timer;
   const int64_t before = problem->optimizer()->num_optimizations();
   GreedyResult best = ExhaustiveMax(problem->benefit());

@@ -1,0 +1,36 @@
+// The engine's one monotonic clock.
+//
+// Every timestamp in the system derives from this helper: trace span
+// boundaries (obs/trace.h), metric timings (obs/metrics.h), and the bench
+// WallTimer (common/timer.h). One clock source means a span duration in a
+// Chrome trace and the wall time a bench prints for the same work agree to
+// the nanosecond, instead of drifting across subsystems that each rolled
+// their own std::chrono math.
+
+#ifndef MQO_OBS_CLOCK_H_
+#define MQO_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mqo {
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock). Only
+/// differences are meaningful; the epoch is unspecified.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double NanosToMillis(int64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+inline double NanosToSeconds(int64_t ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+
+}  // namespace mqo
+
+#endif  // MQO_OBS_CLOCK_H_

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace mqo {
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor() {
+  size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+MetricsRegistry::Slot& MetricsRegistry::SlotFor(Shard& shard,
+                                                std::string_view name,
+                                                MetricValue::Kind kind) {
+  auto it = shard.slots.find(name);
+  if (it == shard.slots.end()) {
+    it = shard.slots.emplace(std::string(name), Slot{kind}).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, double delta) {
+  if (!enabled_) return;
+  Shard& shard = ShardFor();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SlotFor(shard, name, MetricValue::Kind::kCounter).value += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  if (!enabled_) return;
+  uint64_t seq = ++gauge_seq_;
+  Shard& shard = ShardFor();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot& slot = SlotFor(shard, name, MetricValue::Kind::kGauge);
+  slot.value = value;
+  slot.gauge_seq = seq;
+}
+
+void MetricsRegistry::ObserveMs(std::string_view name, double ms) {
+  if (!enabled_) return;
+  Shard& shard = ShardFor();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot& slot = SlotFor(shard, name, MetricValue::Kind::kTiming);
+  if (slot.count == 0) {
+    slot.min_ms = ms;
+    slot.max_ms = ms;
+  } else {
+    slot.min_ms = std::min(slot.min_ms, ms);
+    slot.max_ms = std::max(slot.max_ms, ms);
+  }
+  ++slot.count;
+  slot.sum_ms += ms;
+}
+
+std::map<std::string, MetricValue> MetricsRegistry::Snapshot() const {
+  std::map<std::string, MetricValue> merged;
+  // Track the winning gauge sequence per name so last-write-wins holds across
+  // shards, not just within one.
+  std::map<std::string, uint64_t> gauge_seqs;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, slot] : shard.slots) {
+      MetricValue& value = merged[name];
+      value.kind = slot.kind;
+      switch (slot.kind) {
+        case MetricValue::Kind::kCounter:
+          value.value += slot.value;
+          break;
+        case MetricValue::Kind::kGauge:
+          if (slot.gauge_seq >= gauge_seqs[name]) {
+            gauge_seqs[name] = slot.gauge_seq;
+            value.value = slot.value;
+          }
+          break;
+        case MetricValue::Kind::kTiming:
+          if (value.count == 0) {
+            value.min_ms = slot.min_ms;
+            value.max_ms = slot.max_ms;
+          } else {
+            value.min_ms = std::min(value.min_ms, slot.min_ms);
+            value.max_ms = std::max(value.max_ms, slot.max_ms);
+          }
+          value.count += slot.count;
+          value.sum_ms += slot.sum_ms;
+          break;
+      }
+    }
+  }
+  return merged;
+}
+
+std::string MetricsRegistry::TextReport() const {
+  std::ostringstream os;
+  os << "== metrics ==\n";
+  for (const auto& [name, v] : Snapshot()) {
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        os << "  counter " << name << " = " << JsonNumber(v.value) << "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        os << "  gauge   " << name << " = " << JsonNumber(v.value) << "\n";
+        break;
+      case MetricValue::Kind::kTiming:
+        os << "  timing  " << name << "  n=" << v.count
+           << " sum=" << JsonNumber(v.sum_ms) << "ms"
+           << " min=" << JsonNumber(v.min_ms) << "ms"
+           << " max=" << JsonNumber(v.max_ms) << "ms\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  auto snapshot = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  for (auto kind : {MetricValue::Kind::kCounter, MetricValue::Kind::kGauge,
+                    MetricValue::Kind::kTiming}) {
+    w.Key(kind == MetricValue::Kind::kCounter  ? "counters"
+          : kind == MetricValue::Kind::kGauge ? "gauges"
+                                              : "timings");
+    w.BeginObject();
+    for (const auto& [name, v] : snapshot) {
+      if (v.kind != kind) continue;
+      if (kind == MetricValue::Kind::kTiming) {
+        w.Key(name).BeginObject();
+        w.Field("count", static_cast<int64_t>(v.count));
+        w.Field("sum_ms", v.sum_ms);
+        w.Field("min_ms", v.min_ms);
+        w.Field("max_ms", v.max_ms);
+        w.EndObject();
+      } else {
+        w.Field(name, v.value);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace mqo

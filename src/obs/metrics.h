@@ -1,0 +1,120 @@
+// Thread-safe metrics: counters, gauges, and timing histograms.
+//
+// Design goals, in order:
+//   1. Near-zero cost when disabled — every mutating entry point takes a
+//      string_view, checks one bool, and returns before touching a lock, a
+//      map, or the allocator. With metric names as string literals the
+//      disabled hot path performs zero heap allocations.
+//   2. Low contention when enabled — writes land in one of kShards slots
+//      picked by thread id, each with its own mutex; readers merge shards.
+//   3. Deterministic reads — Snapshot() returns name-sorted entries so text
+//      reports and tests are stable regardless of which shard a worker hit.
+//
+// Timings are recorded in milliseconds and aggregated as count/sum/min/max —
+// enough resolution for "where does the batch spend its time" without
+// per-sample storage.
+
+#ifndef MQO_OBS_METRICS_H_
+#define MQO_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/clock.h"
+
+namespace mqo {
+
+/// Merged view of one metric across shards.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kTiming };
+  Kind kind = Kind::kCounter;
+  double value = 0;    ///< counter total or last-set gauge value
+  int64_t count = 0;   ///< timing: number of samples
+  double sum_ms = 0;   ///< timing: total milliseconds
+  double min_ms = 0;   ///< timing: fastest sample
+  double max_ms = 0;   ///< timing: slowest sample
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Add `delta` to the named counter.
+  void AddCounter(std::string_view name, double delta = 1.0);
+
+  /// Set the named gauge; on merge the most recent write wins.
+  void SetGauge(std::string_view name, double value);
+
+  /// Record one timing sample in milliseconds.
+  void ObserveMs(std::string_view name, double ms);
+
+  /// Merge all shards into a name-sorted snapshot.
+  std::map<std::string, MetricValue> Snapshot() const;
+
+  /// Human-readable dump, one metric per line.
+  std::string TextReport() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "timings": {...}}.
+  std::string ToJson() const;
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct Slot {
+    MetricValue::Kind kind;
+    double value = 0;
+    uint64_t gauge_seq = 0;  ///< global sequence of the last SetGauge
+    int64_t count = 0;
+    double sum_ms = 0;
+    double min_ms = 0;
+    double max_ms = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Slot, std::less<>> slots;
+  };
+
+  Shard& ShardFor();
+  Slot& SlotFor(Shard& shard, std::string_view name, MetricValue::Kind kind);
+
+  const bool enabled_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> gauge_seq_{0};
+};
+
+/// RAII timing sample: records elapsed wall time into `name` on destruction.
+/// Inert (no clock read, no copy of the name) when the registry is null or
+/// disabled. The name must outlive the timer — pass a string literal.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry && registry->enabled() ? registry : nullptr),
+        name_(name),
+        start_ns_(registry_ ? MonotonicNanos() : 0) {}
+
+  ~ScopedTimer() {
+    if (registry_) {
+      registry_->ObserveMs(name_, NanosToMillis(MonotonicNanos() - start_ns_));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string_view name_;
+  int64_t start_ns_;
+};
+
+}  // namespace mqo
+
+#endif  // MQO_OBS_METRICS_H_

@@ -1,0 +1,32 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mqo {
+namespace {
+
+bool EnvTruthy(const char* name) {
+  const char* env = std::getenv(name);
+  if (!env || !*env) return false;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "false") != 0 &&
+         std::strcmp(env, "off") != 0;
+}
+
+}  // namespace
+
+ObsOptions ResolveObsOptions(ObsOptions options) {
+  // Environment overrides fill in only unset knobs, matching the budget/spill
+  // convention in exec_options.cc: explicit configuration in code wins.
+  if (!options.metrics && EnvTruthy("MQO_METRICS")) options.metrics = true;
+  if (!options.trace && EnvTruthy("MQO_TRACE")) options.trace = true;
+  if (options.trace_path.empty()) {
+    if (const char* env = std::getenv("MQO_TRACE_FILE")) {
+      options.trace_path = env;
+    }
+  }
+  if (!options.trace_path.empty()) options.trace = true;
+  return options;
+}
+
+}  // namespace mqo

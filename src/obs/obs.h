@@ -1,0 +1,67 @@
+// ObsContext: the handle instrumented code receives.
+//
+// One ObsContext bundles a MetricsRegistry and a Tracer for a batch run. It
+// is threaded through the engine as a raw pointer with nullptr meaning
+// "observability off" — instrumented code calls TracerOf(obs)/MetricsOf(obs)
+// and the RAII helpers (TraceSpan, ScopedTimer) degrade to no-ops on null, so
+// no call site needs an if around its instrumentation.
+//
+// ObsOptions follows the repo's env-override convention (MQO_MAT_BUDGET_BYTES
+// et al.): explicit configuration wins; MQO_METRICS / MQO_TRACE /
+// MQO_TRACE_FILE fill only knobs the caller left unset.
+
+#ifndef MQO_OBS_OBS_H_
+#define MQO_OBS_OBS_H_
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mqo {
+
+struct ObsOptions {
+  bool metrics = false;
+  bool trace = false;
+  /// When non-empty (and trace is on), the facade writes the Chrome trace
+  /// JSON here after the batch completes.
+  std::string trace_path;
+};
+
+/// Apply MQO_METRICS / MQO_TRACE / MQO_TRACE_FILE to knobs the caller left at
+/// their defaults. MQO_TRACE=1 / MQO_METRICS=1 enable; MQO_TRACE_FILE=<path>
+/// sets the export path (and implies tracing).
+ObsOptions ResolveObsOptions(ObsOptions options);
+
+class ObsContext {
+ public:
+  explicit ObsContext(const ObsOptions& options)
+      : options_(options),
+        metrics_(options.metrics),
+        tracer_(options.trace) {}
+
+  const ObsOptions& options() const { return options_; }
+  bool any_enabled() const { return options_.metrics || options_.trace; }
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return &tracer_; }
+
+ private:
+  ObsOptions options_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// Null-safe accessors for instrumented code holding an `ObsContext*`.
+inline Tracer* TracerOf(ObsContext* obs) {
+  return obs ? obs->tracer() : nullptr;
+}
+
+inline MetricsRegistry* MetricsOf(ObsContext* obs) {
+  return obs ? obs->metrics() : nullptr;
+}
+
+}  // namespace mqo
+
+#endif  // MQO_OBS_OBS_H_

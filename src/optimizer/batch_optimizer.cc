@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/hash.h"
+#include "obs/obs.h"
 
 namespace mqo {
 
@@ -119,9 +120,28 @@ double BatchOptimizer::BestCost(const std::set<EqId>& mat) {
   if (it != cache_.end()) return it->second.first;
 
   ++num_optimizations_;
+  const int64_t incremental_before = num_incremental_;
+  const int64_t costings_before = num_costings_;
+  TraceSpan span(TracerOf(options_.obs), "plan_search", "optimizer");
+  ScopedTimer timer(MetricsOf(options_.obs), "optimizer.plan_search_ms");
   PlanSearch* search = AcquireSearch(s);
   auto [bc, buc] = Evaluate(search, s);
   cache_.emplace(key, std::make_pair(bc, buc));
+  if (span.active()) {
+    span.AddNum("mat_set_size", static_cast<double>(s.size()));
+    span.AddNum("incremental", num_incremental_ > incremental_before ? 1 : 0);
+    span.AddNum("costings", static_cast<double>(num_costings_ - costings_before));
+    span.AddNum("bc", bc);
+    span.AddNum("buc", buc);
+  }
+  if (MetricsRegistry* m = MetricsOf(options_.obs)) {
+    m->AddCounter("optimizer.plan_searches");
+    if (num_incremental_ > incremental_before) {
+      m->AddCounter("optimizer.incremental_reuses");
+    }
+    m->AddCounter("optimizer.costings",
+                  static_cast<double>(num_costings_ - costings_before));
+  }
   return bc;
 }
 

@@ -20,6 +20,8 @@
 
 namespace mqo {
 
+class ObsContext;
+
 /// Full report of a consolidated best plan for one materialized set.
 struct ConsolidatedPlan {
   double best_cost = 0.0;      ///< bc(S): use cost + materialization costs.
@@ -48,6 +50,11 @@ struct BatchOptimizerOptions {
   /// (default, paper-exact plans) or collected table statistics, plus
   /// optional runtime cardinality feedback.
   StatsOptions stats;
+  /// Observability sink (obs/obs.h); null = no metrics or tracing. Plan
+  /// searches emit "plan_search" spans and optimizer.* counters, and the MQO
+  /// layers above (materialization_problem, mqo_algorithms) reach their
+  /// tracer through the optimizer they already hold.
+  ObsContext* obs = nullptr;
 };
 
 /// Expected number of materialized-store reads per materialized class in
@@ -103,6 +110,7 @@ class BatchOptimizer {
   Memo* memo() { return memo_; }
   StatsEstimator* stats() { return &stats_; }
   const CostModel& cost_model() const { return cm_; }
+  ObsContext* obs() { return options_.obs; }
 
  private:
   std::set<EqId> Canonical(const std::set<EqId>& mat) const;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace mqo {
 
 PinnedSegment& PinnedSegment::operator=(PinnedSegment&& o) noexcept {
@@ -43,6 +45,7 @@ Status MatStore::Put(int eq, ColumnBatch segment) {
     e.spill_path.clear();
   }
   e.bytes = segment.ByteSize();
+  e.rows = static_cast<int64_t>(segment.num_rows);
   e.batch = std::move(segment);
   e.resident = true;
   e.last_use = ++tick_;
@@ -51,8 +54,19 @@ Status MatStore::Put(int eq, ColumnBatch segment) {
     e.expected_reads = hint->second;
     read_hints_.erase(hint);
   }
+  e.expected_reads_initial = e.expected_reads;
   bytes_used_ += e.bytes;
   ++stats_.puts;
+  if (Tracer* t = TracerOf(options_.obs)) {
+    t->Instant("mat_store.put", "storage",
+               {TNum("eq", eq), TNum("bytes", static_cast<double>(e.bytes)),
+                TNum("rows", static_cast<double>(e.rows)),
+                TNum("expected_reads", e.expected_reads)});
+  }
+  if (MetricsRegistry* m = MetricsOf(options_.obs)) {
+    m->AddCounter("mat_store.puts");
+    m->AddCounter("mat_store.put_bytes", static_cast<double>(e.bytes));
+  }
   return EnforceBudget(-1);
 }
 
@@ -64,6 +78,7 @@ Result<MatStore::Entry*> MatStore::Touch(int eq) {
   }
   Entry& e = it->second;
   ++stats_.gets;
+  ++e.reads;
   if (!e.resident) {
     auto reloaded = ReadSegmentFile(e.spill_path);
     if (!reloaded.ok()) {
@@ -75,12 +90,27 @@ Result<MatStore::Entry*> MatStore::Touch(int eq) {
     bytes_used_ += e.bytes;
     bytes_spilled_ -= e.bytes;
     ++stats_.reloads;
+    ++e.reloads;
     stats_.bytes_reloaded += e.bytes;
+    if (Tracer* t = TracerOf(options_.obs)) {
+      t->Instant("mat_store.rehydrate", "storage",
+                 {TNum("eq", eq), TNum("bytes", static_cast<double>(e.bytes))});
+    }
+    if (MetricsRegistry* m = MetricsOf(options_.obs)) {
+      m->AddCounter("mat_store.reloads");
+      m->AddCounter("mat_store.bytes_reloaded", static_cast<double>(e.bytes));
+    }
     // The spill file stays valid (segments are immutable between Puts), so
     // a future eviction releases the payload without rewriting the file.
     MQO_RETURN_NOT_OK(EnforceBudget(eq));
   } else {
     ++stats_.hits;
+    if (Tracer* t = TracerOf(options_.obs)) {
+      t->Instant("mat_store.hit", "storage", {TNum("eq", eq)});
+    }
+    if (MetricsRegistry* m = MetricsOf(options_.obs)) {
+      m->AddCounter("mat_store.hits");
+    }
   }
   e.last_use = ++tick_;
   if (e.expected_reads > 0.0) e.expected_reads -= 1.0;
@@ -95,10 +125,15 @@ const ColumnBatch* MatStore::Get(int eq) {
 Result<PinnedSegment> MatStore::Pin(int eq) {
   MQO_ASSIGN_OR_RETURN(Entry * e, Touch(eq));
   ++e->pins;
+  if (Tracer* t = TracerOf(options_.obs)) {
+    t->Instant("mat_store.pin", "storage",
+               {TNum("eq", eq), TNum("pins", e->pins)});
+  }
   return PinnedSegment(this, eq, &e->batch);
 }
 
 Status MatStore::Evict(Entry* e) {
+  bool wrote_file = false;
   if (e->spill_path.empty()) {
     auto path = spill_dir_.NextPath();
     if (!path.ok()) {
@@ -113,13 +148,26 @@ Status MatStore::Evict(Entry* e) {
     }
     e->spill_path = std::move(path).ValueOrDie();
     ++stats_.spill_writes;
+    wrote_file = true;
   }
   e->batch = ColumnBatch{};  // release the store's payload references
   e->resident = false;
+  e->ever_spilled = true;
   bytes_used_ -= e->bytes;
   bytes_spilled_ += e->bytes;
   ++stats_.evictions;
   stats_.bytes_spilled += e->bytes;
+  if (Tracer* t = TracerOf(options_.obs)) {
+    t->Instant("mat_store.evict", "storage",
+               {TNum("bytes", static_cast<double>(e->bytes)),
+                TNum("spill_write", wrote_file ? 1 : 0),
+                TNum("expected_reads_left", e->expected_reads)});
+  }
+  if (MetricsRegistry* m = MetricsOf(options_.obs)) {
+    m->AddCounter("mat_store.evictions");
+    m->AddCounter("mat_store.bytes_spilled", static_cast<double>(e->bytes));
+    if (wrote_file) m->AddCounter("mat_store.spill_writes");
+  }
   return Status::OK();
 }
 
@@ -179,6 +227,7 @@ void MatStore::SetExpectedReads(int eq, double reads) {
   auto it = entries_.find(eq);
   if (it != entries_.end()) {
     it->second.expected_reads = reads;
+    it->second.expected_reads_initial = reads;
   } else {
     read_hints_[eq] = reads;
   }
@@ -192,6 +241,22 @@ bool MatStore::IsResident(int eq) const {
 size_t MatStore::SegmentBytes(int eq) const {
   auto it = entries_.find(eq);
   return it == entries_.end() ? 0 : it->second.bytes;
+}
+
+std::unordered_map<int, SegmentTelemetry> MatStore::Telemetry() const {
+  std::unordered_map<int, SegmentTelemetry> out;
+  out.reserve(entries_.size());
+  for (const auto& [eq, e] : entries_) {
+    SegmentTelemetry t;
+    t.rows = e.rows;
+    t.bytes = e.bytes;
+    t.reads = e.reads;
+    t.reloads = e.reloads;
+    t.expected_reads_initial = e.expected_reads_initial;
+    t.ever_spilled = e.ever_spilled;
+    out.emplace(eq, t);
+  }
+  return out;
 }
 
 }  // namespace mqo

@@ -37,6 +37,8 @@
 
 namespace mqo {
 
+class ObsContext;
+
 /// Governance knobs of one MatStore.
 struct MatStoreOptions {
   /// Resident-byte budget; 0 disables governance (nothing ever spills).
@@ -44,6 +46,9 @@ struct MatStoreOptions {
   /// Spill directory; empty = a unique temp directory, created lazily on
   /// the first eviction and removed when the store dies.
   std::string spill_dir;
+  /// Observability sink (obs/obs.h): put/hit/evict/rehydrate/pin events with
+  /// byte counts, plus mat_store.* counters. Null = silent.
+  ObsContext* obs = nullptr;
 };
 
 /// Operation counters, exposed for tests and bench_mat_store.
@@ -56,6 +61,18 @@ struct MatStoreStats {
   int64_t reloads = 0;       ///< Gets served by reading the spill file.
   size_t bytes_spilled = 0;
   size_t bytes_reloaded = 0;
+};
+
+/// Per-segment runtime telemetry, snapshotted by MatStore::Telemetry() for
+/// the facade's EXPLAIN ANALYZE (actual reads vs the expected reads the
+/// optimizer predicted).
+struct SegmentTelemetry {
+  int64_t rows = 0;             ///< Rows of the stored batch.
+  size_t bytes = 0;             ///< Payload bytes.
+  int64_t reads = 0;            ///< Get/Pin calls served for this segment.
+  int64_t reloads = 0;          ///< ... of those, served from the spill file.
+  double expected_reads_initial = 0.0;  ///< SetExpectedReads at put time.
+  bool ever_spilled = false;
 };
 
 class MatStore;
@@ -141,6 +158,8 @@ class MatStore {
   size_t bytes_spilled() const { return bytes_spilled_; }
   size_t budget_bytes() const { return options_.budget_bytes; }
   const MatStoreStats& stats() const { return stats_; }
+  /// Per-segment read/reload/spill telemetry, keyed by class id.
+  std::unordered_map<int, SegmentTelemetry> Telemetry() const;
   /// Status of the most recent failed spill/reload, OK when none failed.
   const Status& last_error() const { return last_error_; }
 
@@ -155,6 +174,11 @@ class MatStore {
     int pins = 0;
     uint64_t last_use = 0;
     double expected_reads = 0.0;  ///< Remaining, decremented per Get/Pin.
+    int64_t rows = 0;             ///< Telemetry: rows at put time.
+    int64_t reads = 0;            ///< Telemetry: Get/Pin calls served.
+    int64_t reloads = 0;          ///< Telemetry: reads off the spill file.
+    double expected_reads_initial = 0.0;
+    bool ever_spilled = false;
   };
 
   /// Rehydrates + bumps LRU/read accounting; shared by Get and Pin.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.h"
+
 namespace mqo {
 
 namespace {
@@ -124,11 +126,15 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
   SplitByCost(d, candidates, &pool, &free_elems);
 
   ElementSet x(f.universe_size());
+  Tracer* tracer =
+      options.tracer && options.tracer->enabled() ? options.tracer : nullptr;
 
   if (!options.lazy) {
     // Eager MarginalGreedy: full rescan per iteration, with the Section 5.1
     // drop-below-one pruning applied during the scan.
     while (!pool.empty() && x.Size() < limit) {
+      const int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
+      const int pool_before = static_cast<int>(pool.size());
       int best = -1;
       double best_ratio = -std::numeric_limits<double>::infinity();
       std::vector<int> next_pool;
@@ -136,6 +142,11 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
       for (int e : pool) {
         const double ratio = d.MonotoneMarginal(f, e, x) / d.costs[e];
         ++result.function_evals;
+        if (tracer) {
+          tracer->Instant("greedy.candidate", "submodular",
+                          {TNum("elem", e), TNum("ratio", ratio),
+                           TNum("round", result.pick_order.size())});
+        }
         if (options.prune_ratio_below_one && ratio <= 1.0) {
           continue;  // can never be picked later either (submodularity)
         }
@@ -146,11 +157,26 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
         }
       }
       pool = std::move(next_pool);
-      if (best < 0 || best_ratio <= 1.0) break;
+      if (best < 0 || best_ratio <= 1.0) {
+        if (tracer) {
+          tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                                {TNum("round", result.pick_order.size()),
+                                 TNum("pool", pool_before),
+                                 TNum("picked", -1)});
+        }
+        break;
+      }
       x.Add(best);
       result.pick_order.push_back(best);
       result.pick_ratios.push_back(best_ratio);
       pool.erase(std::remove(pool.begin(), pool.end(), best), pool.end());
+      if (tracer) {
+        tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                              {TNum("round", result.pick_order.size() - 1),
+                               TNum("pool", pool_before),
+                               TNum("picked", best),
+                               TNum("ratio", best_ratio)});
+      }
       if (options.on_pick) options.on_pick(x);
     }
   } else {
@@ -166,6 +192,7 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
     for (int e : pool) {
       heap.push({std::numeric_limits<double>::infinity(), e, -1});
     }
+    int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
     while (!heap.empty() && x.Size() < limit) {
       HeapEntry top = heap.top();
       heap.pop();
@@ -175,11 +202,24 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
         x.Add(top.e);
         result.pick_order.push_back(top.e);
         result.pick_ratios.push_back(top.bound);
+        if (tracer) {
+          tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                                {TNum("round", result.pick_order.size() - 1),
+                                 TNum("pool", static_cast<double>(heap.size())),
+                                 TNum("picked", top.e),
+                                 TNum("ratio", top.bound)});
+          round_start_ns = MonotonicNanos();
+        }
         if (options.on_pick) options.on_pick(x);
         continue;
       }
       const double ratio = d.MonotoneMarginal(f, top.e, x) / d.costs[top.e];
       ++result.function_evals;
+      if (tracer) {
+        tracer->Instant("greedy.candidate", "submodular",
+                        {TNum("elem", top.e), TNum("ratio", ratio),
+                         TNum("round", result.pick_order.size())});
+      }
       if (options.prune_ratio_below_one && ratio <= 1.0) {
         continue;  // drop permanently
       }
@@ -200,6 +240,10 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
     x.Add(e);
     result.pick_order.push_back(e);
     result.pick_ratios.push_back(std::numeric_limits<double>::infinity());
+    if (tracer) {
+      tracer->Instant("greedy.free_pick", "submodular",
+                      {TNum("elem", e), TNum("marginal", marginal)});
+    }
     if (options.on_pick) options.on_pick(x);
   }
 
@@ -210,30 +254,53 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
 
 CostGreedyResult CostGreedyMin(
     const SetFunction& g, const std::vector<int>& candidates, bool lazy,
-    const std::function<void(const ElementSet&)>& on_pick) {
+    const std::function<void(const ElementSet&)>& on_pick, Tracer* raw_tracer) {
   CostGreedyResult result;
   std::vector<int> pool = DefaultCandidates(g, candidates);
   ElementSet x(g.universe_size());
+  Tracer* tracer = raw_tracer && raw_tracer->enabled() ? raw_tracer : nullptr;
   double current = g.Value(x);
   ++result.function_evals;
 
   if (!lazy) {
     while (!pool.empty()) {
+      const int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
+      const int pool_before = static_cast<int>(pool.size());
       int best = -1;
       double best_cost = std::numeric_limits<double>::infinity();
       for (int e : pool) {
         const double c = g.Value(x.With(e));
         ++result.function_evals;
+        if (tracer) {
+          tracer->Instant("greedy.candidate", "submodular",
+                          {TNum("elem", e), TNum("cost", c),
+                           TNum("round", result.pick_order.size())});
+        }
         if (c < best_cost) {
           best_cost = c;
           best = e;
         }
       }
-      if (best < 0 || best_cost >= current) break;
+      if (best < 0 || best_cost >= current) {
+        if (tracer) {
+          tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                                {TNum("round", result.pick_order.size()),
+                                 TNum("pool", pool_before),
+                                 TNum("picked", -1)});
+        }
+        break;
+      }
       x.Add(best);
       current = best_cost;
       result.pick_order.push_back(best);
       pool.erase(std::remove(pool.begin(), pool.end(), best), pool.end());
+      if (tracer) {
+        tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                              {TNum("round", result.pick_order.size() - 1),
+                               TNum("pool", pool_before),
+                               TNum("picked", best),
+                               TNum("cost", best_cost)});
+      }
       if (on_pick) on_pick(x);
     }
   } else {
@@ -252,6 +319,7 @@ CostGreedyResult CostGreedyMin(
     for (int e : pool) {
       heap.push({std::numeric_limits<double>::infinity(), e, -1});
     }
+    int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
     while (!heap.empty()) {
       HeapEntry top = heap.top();
       heap.pop();
@@ -260,11 +328,24 @@ CostGreedyResult CostGreedyMin(
         x.Add(top.e);
         current -= top.benefit_bound;
         result.pick_order.push_back(top.e);
+        if (tracer) {
+          tracer->CompleteSince(round_start_ns, "greedy.round", "submodular",
+                                {TNum("round", result.pick_order.size() - 1),
+                                 TNum("pool", static_cast<double>(heap.size())),
+                                 TNum("picked", top.e),
+                                 TNum("benefit", top.benefit_bound)});
+          round_start_ns = MonotonicNanos();
+        }
         if (on_pick) on_pick(x);
         continue;
       }
       const double benefit = current - g.Value(x.With(top.e));
       ++result.function_evals;
+      if (tracer) {
+        tracer->Instant("greedy.candidate", "submodular",
+                        {TNum("elem", top.e), TNum("benefit", benefit),
+                         TNum("round", result.pick_order.size())});
+      }
       if (benefit <= 0) continue;  // never beneficial again (supermodular g)
       heap.push({benefit, top.e, x.Size()});
     }

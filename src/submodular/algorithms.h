@@ -29,6 +29,8 @@
 
 namespace mqo {
 
+class Tracer;
+
 /// Options for MarginalGreedy and its lazy variant.
 struct MarginalGreedyOptions {
   /// Maximum number of elements to pick; <0 means unconstrained.
@@ -55,6 +57,10 @@ struct MarginalGreedyOptions {
   /// Invoked with the current set after every committed pick. The MQO layer
   /// uses it to pin the optimizer's incremental re-optimization base.
   std::function<void(const ElementSet&)> on_pick;
+  /// Trace sink (obs/trace.h): emits a "greedy.round" span per committed pick
+  /// and "greedy.candidate" instants with each evaluated marginal/cost ratio.
+  /// Null = no tracing.
+  Tracer* tracer = nullptr;
 };
 
 /// Result of a greedy run.
@@ -89,7 +95,8 @@ struct CostGreedyResult {
 };
 CostGreedyResult CostGreedyMin(
     const SetFunction& g, const std::vector<int>& candidates, bool lazy = false,
-    const std::function<void(const ElementSet&)>& on_pick = {});
+    const std::function<void(const ElementSet&)>& on_pick = {},
+    Tracer* tracer = nullptr);
 
 /// Deterministic double greedy of Buchbinder et al. (1/3-approx for
 /// non-negative unconstrained submodular maximization). Included as a

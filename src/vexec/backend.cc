@@ -29,6 +29,8 @@ Result<ExecResult> ExecuteConsolidatedResult(ExecBackend backend, Memo* memo,
     VectorPlanExecutor executor(memo, data, exec);
     MQO_ASSIGN_OR_RETURN(out.results, executor.ExecuteConsolidated(plan));
     out.feedback = executor.feedback();
+    out.store_stats = executor.store().stats();
+    out.segments = executor.SegmentRuntimes();
     return out;
   }
   // The row interpreter is serial but its segment store honours the same
@@ -36,6 +38,8 @@ Result<ExecResult> ExecuteConsolidatedResult(ExecBackend backend, Memo* memo,
   PlanExecutor executor(memo, data, exec);
   MQO_ASSIGN_OR_RETURN(out.results, executor.ExecuteConsolidated(plan));
   out.feedback = executor.feedback();
+  out.store_stats = executor.store().stats();
+  out.segments = executor.SegmentRuntimes();
   return out;
 }
 

@@ -28,6 +28,10 @@ const char* ExecBackendToString(ExecBackend backend);
 struct ExecResult {
   std::vector<NamedRows> results;  ///< One per batched query, canonicalized.
   CardinalityFeedback feedback;    ///< Actual rows per materialized segment.
+  MatStoreStats store_stats;       ///< Segment-store accounting for the run.
+  /// Per-segment runtime telemetry (actual rows, compute time, reads),
+  /// eq-sorted; joins against the optimizer's estimates in EXPLAIN ANALYZE.
+  std::vector<SegmentRuntime> segments;
 };
 
 /// Executes a full consolidated plan (materialized nodes + batch root) with

@@ -2,19 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "vexec/vector_ops.h"
 
 namespace mqo {
 
 namespace {
 
+/// Per-operator row/time accounting one worker accumulates while tracing.
+/// Sums across workers are independent of the morsel->worker assignment, so
+/// the merged counts are deterministic for every thread count.
+struct OpCounters {
+  int64_t in_rows = 0;
+  int64_t out_rows = 0;
+  int64_t ns = 0;
+};
+
 /// One worker's sink state: collected chunks keyed by morsel index (collect
 /// sink) or a thread-local aggregation accumulator (aggregate sink), plus
-/// the first error the worker hit.
+/// the first error the worker hit. The trace fields are only touched when
+/// tracing is on, keeping the disabled hot path unchanged.
 struct WorkerState {
   std::vector<std::pair<size_t, ColumnBatch>> chunks;
   AggAccumulator agg;
   Status status;
+  size_t morsels = 0;            ///< Tracing only.
+  int64_t source_rows = 0;       ///< Tracing only: rows entering the chain.
+  std::vector<OpCounters> ops;   ///< Tracing only, sized lazily.
 };
 
 /// Materializes the kept source columns at `sel` into a chunk.
@@ -68,8 +82,58 @@ Result<ColumnBatch> ProbeChunkOp::Process(ColumnBatch chunk) const {
   return out;
 }
 
+namespace {
+
+/// Emits the "pipeline" span and nested per-operator spans after a traced
+/// run. Counts are sums over workers, so they are identical for every thread
+/// count and morsel size; the per-op span durations are the summed
+/// worker-side Process times, clamped into the pipeline window so spans nest
+/// (the true unclamped total rides along as the self_ms arg).
+void EmitPipelineTrace(Tracer* tracer, const VecPipeline& pipeline,
+                       const std::vector<WorkerState>& states,
+                       int64_t start_ns, int64_t out_rows, int num_workers) {
+  const int64_t end_ns = MonotonicNanos();
+  size_t morsels = 0;
+  int64_t source_rows = 0;
+  std::vector<OpCounters> totals(pipeline.ops.size());
+  for (const WorkerState& s : states) {
+    morsels += s.morsels;
+    source_rows += s.source_rows;
+    for (size_t i = 0; i < s.ops.size() && i < totals.size(); ++i) {
+      totals[i].in_rows += s.ops[i].in_rows;
+      totals[i].out_rows += s.ops[i].out_rows;
+      totals[i].ns += s.ops[i].ns;
+    }
+  }
+  const int64_t window = end_ns - start_ns;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    tracer->Emit(std::string("op.") + pipeline.ops[i]->name(), "vexec",
+                 start_ns, std::min(totals[i].ns, window),
+                 {TNum("in_rows", static_cast<double>(totals[i].in_rows)),
+                  TNum("out_rows", static_cast<double>(totals[i].out_rows)),
+                  TNum("self_ms", NanosToMillis(totals[i].ns)),
+                  TNum("op_index", static_cast<double>(i))});
+  }
+  std::vector<TraceArg> args = {
+      TNum("src_rows", static_cast<double>(pipeline.source.num_rows)),
+      TNum("source_rows", static_cast<double>(source_rows)),
+      TNum("out_rows", static_cast<double>(out_rows)),
+      TNum("morsels", static_cast<double>(morsels)),
+      TNum("workers", num_workers),
+      TNum("ops", static_cast<double>(pipeline.ops.size())),
+      TNum("aggregate", pipeline.aggregate ? 1 : 0)};
+  if (!pipeline.label.empty()) {
+    args.push_back(TStr("label", pipeline.label));
+  }
+  tracer->Emit("pipeline", "vexec", start_ns, window, std::move(args));
+}
+
+}  // namespace
+
 Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
                                    const ExecOptions& options) {
+  Tracer* raw_tracer = TracerOf(options.obs);
+  Tracer* tracer = raw_tracer && raw_tracer->enabled() ? raw_tracer : nullptr;
   if (pipeline.source_filters.empty() && pipeline.ops.empty() &&
       !pipeline.aggregate) {
     // Pure column projection of the source: zero-copy (COW handles).
@@ -78,11 +142,20 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
     out.columns.reserve(pipeline.keep_idx.size());
     for (int c : pipeline.keep_idx) out.columns.push_back(pipeline.source.columns[c]);
     out.num_rows = pipeline.source.num_rows;
+    if (tracer) {
+      std::vector<TraceArg> args = {
+          TNum("src_rows", static_cast<double>(pipeline.source.num_rows)),
+          TNum("out_rows", static_cast<double>(out.num_rows)),
+          TNum("zero_copy", 1)};
+      if (!pipeline.label.empty()) args.push_back(TStr("label", pipeline.label));
+      tracer->Instant("pipeline.zero_copy", "vexec", std::move(args));
+    }
     return out;
   }
 
-  auto process = [&pipeline](WorkerState& state, size_t m,
-                             const Morsel& morsel) {
+  const int64_t start_ns = tracer ? MonotonicNanos() : 0;
+  auto process = [&pipeline, tracer](WorkerState& state, size_t m,
+                                     const Morsel& morsel) {
     if (!state.status.ok()) return;
     SelVector sel;
     if (pipeline.source_filters.empty()) {
@@ -96,13 +169,29 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
     ColumnBatch chunk =
         GatherColumns(pipeline.source, pipeline.keep_idx, pipeline.chunk_names,
                       sel);
-    for (const auto& op : pipeline.ops) {
+    if (tracer) {
+      ++state.morsels;
+      state.source_rows += static_cast<int64_t>(chunk.num_rows);
+      if (state.ops.size() != pipeline.ops.size()) {
+        state.ops.resize(pipeline.ops.size());
+      }
+    }
+    for (size_t i = 0; i < pipeline.ops.size(); ++i) {
+      const auto& op = pipeline.ops[i];
+      const int64_t op_start_ns = tracer ? MonotonicNanos() : 0;
+      const int64_t in_rows = static_cast<int64_t>(chunk.num_rows);
       auto next = op->Process(std::move(chunk));
       if (!next.ok()) {
         state.status = next.status();
         return;
       }
       chunk = std::move(next).ValueOrDie();
+      if (tracer) {
+        OpCounters& c = state.ops[i];
+        c.in_rows += in_rows;
+        c.out_rows += static_cast<int64_t>(chunk.num_rows);
+        c.ns += MonotonicNanos() - op_start_ns;
+      }
     }
     if (pipeline.aggregate) {
       // Chunk rows get pipeline positions (m << 32) + r: strictly increasing
@@ -126,28 +215,44 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
   }
   for (const auto& state : states) MQO_RETURN_NOT_OK(state.status);
 
-  if (pipeline.aggregate) {
-    AggAccumulator merged = std::move(states[0].agg);
-    for (size_t s = 1; s < states.size(); ++s) {
-      merged.MergeFrom(states[s].agg, pipeline.agg_aggs);
+  Result<ColumnBatch> result = [&]() -> Result<ColumnBatch> {
+    if (pipeline.aggregate) {
+      AggAccumulator merged = std::move(states[0].agg);
+      for (size_t s = 1; s < states.size(); ++s) {
+        merged.MergeFrom(states[s].agg, pipeline.agg_aggs);
+      }
+      return merged.Finish(pipeline.agg_group_by, pipeline.agg_aggs,
+                           pipeline.agg_renames);
     }
-    return merged.Finish(pipeline.agg_group_by, pipeline.agg_aggs,
-                         pipeline.agg_renames);
+    std::vector<std::pair<size_t, ColumnBatch>> ordered;
+    for (auto& state : states) {
+      for (auto& entry : state.chunks) ordered.push_back(std::move(entry));
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const std::pair<size_t, ColumnBatch>& a,
+                 const std::pair<size_t, ColumnBatch>& b) {
+                return a.first < b.first;
+              });
+    std::vector<ColumnBatch> chunks;
+    chunks.reserve(ordered.size());
+    for (auto& entry : ordered) chunks.push_back(std::move(entry.second));
+    return ConcatBatches(std::move(chunks), pipeline.final_names(),
+                         options.num_threads);
+  }();
+
+  if (tracer && result.ok()) {
+    EmitPipelineTrace(tracer, pipeline, states, start_ns,
+                      static_cast<int64_t>(result.ValueOrDie().num_rows),
+                      options.num_threads);
   }
-  std::vector<std::pair<size_t, ColumnBatch>> ordered;
-  for (auto& state : states) {
-    for (auto& entry : state.chunks) ordered.push_back(std::move(entry));
+  if (MetricsRegistry* m = MetricsOf(options.obs)) {
+    m->AddCounter("vexec.pipelines");
+    if (result.ok()) {
+      m->AddCounter("vexec.rows_out",
+                    static_cast<double>(result.ValueOrDie().num_rows));
+    }
   }
-  std::sort(ordered.begin(), ordered.end(),
-            [](const std::pair<size_t, ColumnBatch>& a,
-               const std::pair<size_t, ColumnBatch>& b) {
-              return a.first < b.first;
-            });
-  std::vector<ColumnBatch> chunks;
-  chunks.reserve(ordered.size());
-  for (auto& entry : ordered) chunks.push_back(std::move(entry.second));
-  return ConcatBatches(std::move(chunks), pipeline.final_names(),
-                       options.num_threads);
+  return result;
 }
 
 }  // namespace mqo

@@ -36,6 +36,8 @@ class PipelineOp {
   virtual Result<ColumnBatch> Process(ColumnBatch chunk) const = 0;
   /// Schema of the chunks this operator emits.
   virtual const std::vector<ColumnRef>& output_names() const = 0;
+  /// Short operator name for trace events ("filter", "project", "probe").
+  virtual const char* name() const = 0;
 };
 
 /// Refines a chunk through comparison conjuncts (indices pre-resolved).
@@ -50,6 +52,7 @@ class FilterChunkOp : public PipelineOp {
   const std::vector<ColumnRef>& output_names() const override {
     return names_;
   }
+  const char* name() const override { return "filter"; }
 
  private:
   std::vector<Comparison> conjuncts_;
@@ -66,6 +69,7 @@ class ProjectChunkOp : public PipelineOp {
   const std::vector<ColumnRef>& output_names() const override {
     return names_;
   }
+  const char* name() const override { return "project"; }
 
  private:
   std::vector<int> col_idx_;
@@ -87,6 +91,7 @@ class ProbeChunkOp : public PipelineOp {
   const std::vector<ColumnRef>& output_names() const override {
     return out_names_;
   }
+  const char* name() const override { return "probe"; }
 
  private:
   std::shared_ptr<const JoinHashTable> table_;
@@ -97,6 +102,10 @@ class ProbeChunkOp : public PipelineOp {
 
 /// A compiled pipeline: source -> fused filters -> op chain -> sink.
 struct VecPipeline {
+  /// Trace label ("q3", "mat E17", ...); empty = unnamed. Only read when
+  /// tracing is on.
+  std::string label;
+
   /// The source batch (a zero-copy scan view, a materialized segment, or a
   /// breaker's output).
   ColumnBatch source;

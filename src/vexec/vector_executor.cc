@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "common/timer.h"
+#include "obs/obs.h"
+
 namespace mqo {
 
 namespace {
@@ -192,6 +195,9 @@ Result<ColumnBatch> VectorPlanExecutor::RunPipelineFor(const PlanNodePtr& plan,
 
   VecPipeline pipeline;
   pipeline.source = std::move(source);
+  if (Tracer* t = TracerOf(options_.obs); t && t->enabled()) {
+    pipeline.label = "E" + std::to_string(memo_->Find(plan->eq));
+  }
 
   // Filters adjacent to the source fuse into the scan: they evaluate against
   // source row ranges directly, before any column is materialized. Popping
@@ -410,21 +416,38 @@ Result<NamedRows> VectorPlanExecutor::Execute(const PlanNodePtr& plan) {
 
 Status VectorPlanExecutor::MaterializeNode(EqId eq,
                                            const PlanNodePtr& compute_plan) {
+  TraceSpan span(TracerOf(options_.obs), "materialize", "vexec");
+  ScopedTimer metric(MetricsOf(options_.obs), "vexec.materialize_ms");
+  WallTimer timer;
   // The pipeline sink's merged result goes straight into the store: the
   // per-morsel chunks were gathered on the workers and concatenated column-
   // parallel, so no serial whole-result gather happens on this thread.
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
   eq = memo_->Find(eq);
+  compute_ms_[eq] = timer.ElapsedMillis();
   // Observed cardinality of the shared subexpression, for feedback-driven
   // re-optimization (same contract as the row engine).
   feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
                    static_cast<double>(batch.num_rows));
+  if (span.active()) {
+    span.AddNum("eq", eq);
+    span.AddNum("rows", static_cast<double>(batch.num_rows));
+    span.AddNum("bytes", static_cast<double>(batch.ByteSize()));
+  }
   return store_.Put(eq, std::move(batch));
 }
 
 Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
     const ConsolidatedPlan& plan) {
+  TraceSpan batch_span(TracerOf(options_.obs), "execute_consolidated", "vexec");
+  if (batch_span.active()) {
+    batch_span.AddNum("materialized",
+                      static_cast<double>(plan.materialized.size()));
+    batch_span.AddNum("queries",
+                      static_cast<double>(plan.root_plan->children.size()));
+  }
   feedback_.clear();
+  compute_ms_.clear();
   // Seed eviction weights (reads still ahead of each segment) before any
   // segment lands, as the row executor does.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
@@ -454,10 +477,38 @@ Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
   }
   std::vector<NamedRows> results;
   for (const auto& child : plan.root_plan->children) {
+    TraceSpan query_span(TracerOf(options_.obs), "query", "vexec");
     MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(child));
+    if (query_span.active()) {
+      query_span.AddNum("index", static_cast<double>(results.size()));
+      query_span.AddNum("rows", static_cast<double>(rows.rows.size()));
+    }
     results.push_back(std::move(rows));
   }
   return results;
+}
+
+std::vector<SegmentRuntime> VectorPlanExecutor::SegmentRuntimes() const {
+  std::vector<SegmentRuntime> out;
+  for (const auto& [eq, t] : store_.Telemetry()) {
+    SegmentRuntime r;
+    r.eq = eq;
+    auto fp = fingerprints_.find(eq);
+    if (fp != fingerprints_.end()) r.fingerprint = fp->second;
+    r.actual_rows = t.rows;
+    auto cm = compute_ms_.find(eq);
+    if (cm != compute_ms_.end()) r.compute_ms = cm->second;
+    r.reads = t.reads;
+    r.reloads = t.reloads;
+    r.bytes = static_cast<int64_t>(t.bytes);
+    r.ever_spilled = t.ever_spilled;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentRuntime& a, const SegmentRuntime& b) {
+              return a.eq < b.eq;
+            });
+  return out;
 }
 
 }  // namespace mqo

@@ -31,6 +31,7 @@
 #ifndef MQO_VEXEC_VECTOR_EXECUTOR_H_
 #define MQO_VEXEC_VECTOR_EXECUTOR_H_
 
+#include "obs/explain.h"
 #include "optimizer/batch_optimizer.h"
 #include "stats/feedback.h"
 #include "storage/mat_store.h"
@@ -72,6 +73,11 @@ class VectorPlanExecutor {
   /// contract as PlanExecutor::feedback).
   const CardinalityFeedback& feedback() const { return feedback_; }
 
+  /// Per-segment runtime telemetry of the most recent ExecuteConsolidated
+  /// run (actual rows, compute time, store reads/reloads), eq-sorted. Feeds
+  /// the facade's EXPLAIN ANALYZE.
+  std::vector<SegmentRuntime> SegmentRuntimes() const;
+
  private:
   /// Plan execution to a batch projected onto the node's class attributes.
   Result<ColumnBatch> ExecuteBatch(const PlanNodePtr& plan);
@@ -104,6 +110,7 @@ class VectorPlanExecutor {
   MatStore store_;
   CardinalityFeedback feedback_;
   std::unordered_map<EqId, uint64_t> fingerprints_;
+  std::unordered_map<EqId, double> compute_ms_;  ///< Materialization times.
 };
 
 }  // namespace mqo

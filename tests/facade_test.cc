@@ -1,5 +1,7 @@
-// Tests for the one-call facade, DOT export, plan rendering, and the
-// knapsack ratio greedy (the Section 3.1 remark at unit-test scale).
+// Tests for the one-call facade, DOT export, plan rendering, the facade's
+// observability surface (store stats, EXPLAIN ANALYZE, trace/metrics
+// exports), and the knapsack ratio greedy (the Section 3.1 remark at
+// unit-test scale).
 
 #include <gtest/gtest.h>
 
@@ -7,6 +9,7 @@
 #include "lqdag/dot_export.h"
 #include "lqdag/rules.h"
 #include "mqo/facade.h"
+#include "obs/trace_check.h"
 #include "submodular/algorithms.h"
 #include "submodular/instances.h"
 #include "workload/example1.h"
@@ -84,6 +87,107 @@ TEST_F(FacadeTest, PrintProducesReport) {
   outcome.ValueOrDie().Print(os);
   EXPECT_NE(os.str().find("consolidated cost"), std::string::npos);
   EXPECT_NE(os.str().find("TableScan"), std::string::npos);
+}
+
+// A two-query batch with a shared join+filter subexpression, so MQO
+// materializes at least one node and the observability surface has real
+// segments to report on.
+const std::vector<std::string>& SharingBatch() {
+  static const std::vector<std::string> batch = {
+      "SELECT c_custkey, sum(o_totalprice) FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_orderdate < DATE '1995-01-01' "
+      "GROUP BY c_custkey",
+      "SELECT sum(o_totalprice) FROM customer, orders "
+      "WHERE c_custkey = o_custkey AND o_orderdate < DATE '1995-01-01'"};
+  return batch;
+}
+
+DataSet SmallData(const Catalog& catalog) {
+  DataGenOptions gen;
+  gen.max_rows_per_table = 40;
+  gen.domain_cap = 20;
+  gen.seed = 7;
+  return GenerateData(catalog, gen);
+}
+
+TEST_F(FacadeTest, ExecutionSurfacesStoreStatsAndExplain) {
+  DataSet data = SmallData(catalog_);
+  auto outcome = OptimizeAndExecuteSqlBatch(catalog_, SharingBatch(), data);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const MqoExecutionOutcome& o = outcome.ValueOrDie();
+  ASSERT_GT(o.optimization.result.num_materialized, 0);
+
+  // Store accounting reflects the run even with observability off: every
+  // materialized node was Put once and each is read by both consumers.
+  EXPECT_EQ(o.store_stats.puts, o.optimization.result.num_materialized);
+  EXPECT_GT(o.store_stats.gets, 0);
+
+  // One estimate per chosen class, joined 1:1 with runtime telemetry.
+  ASSERT_EQ(o.optimization.class_estimates.size(),
+            static_cast<size_t>(o.optimization.result.num_materialized));
+  ASSERT_EQ(o.explain.size(), o.optimization.class_estimates.size());
+  for (const ExplainEntry& e : o.explain) {
+    EXPECT_TRUE(e.executed);
+    EXPECT_EQ(e.est.eq, e.run.eq);
+    EXPECT_EQ(e.est.fingerprint, e.run.fingerprint);
+    EXPECT_GT(e.est.est_rows, 0.0);
+    EXPECT_GE(e.est.expected_reads, 1.0);
+    EXPECT_GT(e.est.predicted_benefit_ms, 0.0);
+    EXPECT_GE(e.run.reads, 1);
+    EXPECT_FALSE(e.est.label.empty());
+  }
+  EXPECT_NE(o.explain_analyze.find("EXPLAIN ANALYZE"), std::string::npos);
+
+  // With the observability knobs off the exports stay empty — unless the
+  // environment forces them on (the CI obs-trace job exports MQO_TRACE=1
+  // MQO_METRICS=1 for the whole suite).
+  const ObsOptions env = ResolveObsOptions({});
+  if (!env.trace) EXPECT_TRUE(o.trace_json.empty());
+  if (!env.metrics) EXPECT_TRUE(o.metrics_report.empty());
+}
+
+TEST_F(FacadeTest, TracingProducesValidChromeTraceAndMetrics) {
+  DataSet data = SmallData(catalog_);
+  MqoOptions options;
+  options.obs.trace = true;
+  options.obs.metrics = true;
+  options.backend = ExecBackend::kVector;
+  auto outcome =
+      OptimizeAndExecuteSqlBatch(catalog_, SharingBatch(), data, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const MqoExecutionOutcome& o = outcome.ValueOrDie();
+
+  TraceCheckResult check = ValidateChromeTrace(o.trace_json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.num_spans, 0);
+  // The whole run is in one trace: optimizer plan searches, the algorithm
+  // span, and the executor's batch span.
+  EXPECT_NE(o.trace_json.find("plan_search"), std::string::npos);
+  EXPECT_NE(o.trace_json.find("mqo.marginal_greedy"), std::string::npos);
+  EXPECT_NE(o.trace_json.find("execute_consolidated"), std::string::npos);
+  EXPECT_NE(o.trace_json.find("materialize"), std::string::npos);
+
+  EXPECT_NE(o.metrics_report.find("optimizer.plan_searches"),
+            std::string::npos);
+  EXPECT_NE(o.metrics_report.find("mat_store.puts"), std::string::npos);
+}
+
+TEST_F(FacadeTest, SessionRunsCarryObservabilityAcrossBatches) {
+  DataSet data = SmallData(catalog_);
+  MqoOptions options;
+  options.obs.metrics = true;
+  MqoSession session(&catalog_, &data, options);
+  auto first = session.Run(SharingBatch());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = session.Run(SharingBatch());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Each run gets its own ObsContext and report; the second run's estimates
+  // are feedback-corrected, so its explain joins estimates with reality.
+  EXPECT_FALSE(first.ValueOrDie().metrics_report.empty());
+  EXPECT_FALSE(second.ValueOrDie().metrics_report.empty());
+  EXPECT_EQ(second.ValueOrDie().explain.size(),
+            static_cast<size_t>(
+                second.ValueOrDie().optimization.result.num_materialized));
 }
 
 TEST(DotExportTest, ProducesWellFormedDigraph) {

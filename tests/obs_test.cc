@@ -1,0 +1,322 @@
+// Unit tests for the observability subsystem: the shared JSON writer
+// round-trips through the validating reader, the metrics registry aggregates
+// across shards and allocates nothing when disabled, traces export as valid
+// Chrome trace_event JSON with properly nested spans, and the env overrides
+// fill only unset knobs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+
+// Global allocation counter for the disabled-fast-path tests: the metrics
+// and tracing entry points must not touch the heap when observability is
+// off. Counting operator new in this binary is enough — the hot paths under
+// test are header-visible or in the same link unit.
+static std::atomic<size_t> g_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mqo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer <-> reader round-trip (the single shared escaping code path).
+
+TEST(JsonTest, EscapeSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\tand\rmore"),
+            "line\\nbreak\\tand\\rmore");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-3), "-3");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  // Non-finite values have no JSON representation.
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(JsonTest, WriterRoundTripsThroughParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "sp\"an\n");
+  w.Field("count", 3.0);
+  w.Key("flags");
+  w.BeginArray();
+  w.Bool(true);
+  w.Null();
+  w.Number(-1.25);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Field("deep", 7.0);
+  w.EndObject();
+  w.EndObject();
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &root, &error)) << error;
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  ASSERT_NE(root.Find("name"), nullptr);
+  EXPECT_EQ(root.Find("name")->str, "sp\"an\n");
+  EXPECT_DOUBLE_EQ(root.Find("count")->num, 3.0);
+  const JsonValue* flags = root.Find("flags");
+  ASSERT_NE(flags, nullptr);
+  ASSERT_EQ(flags->items.size(), 3u);
+  EXPECT_TRUE(flags->items[0].b);
+  EXPECT_EQ(flags->items[1].type, JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(flags->items[2].num, -1.25);
+  ASSERT_NE(root.Find("nested"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("nested")->Find("deep")->num, 7.0);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(ParseJson("[1, 2", &v, &error));
+  EXPECT_FALSE(ParseJson("{} trailing", &v, &error));
+  EXPECT_FALSE(ParseJson("", &v, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CountersGaugesTimingsAggregate) {
+  MetricsRegistry m(/*enabled=*/true);
+  m.AddCounter("c.requests");
+  m.AddCounter("c.requests", 2.0);
+  m.SetGauge("g.level", 4.0);
+  m.SetGauge("g.level", 9.0);
+  m.ObserveMs("t.op_ms", 2.0);
+  m.ObserveMs("t.op_ms", 6.0);
+
+  auto snapshot = m.Snapshot();
+  ASSERT_EQ(snapshot.count("c.requests"), 1u);
+  EXPECT_DOUBLE_EQ(snapshot["c.requests"].value, 3.0);
+  EXPECT_DOUBLE_EQ(snapshot["g.level"].value, 9.0);  // last write wins
+  EXPECT_EQ(snapshot["t.op_ms"].count, 2);
+  EXPECT_DOUBLE_EQ(snapshot["t.op_ms"].sum_ms, 8.0);
+  EXPECT_DOUBLE_EQ(snapshot["t.op_ms"].min_ms, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot["t.op_ms"].max_ms, 6.0);
+}
+
+TEST(MetricsTest, ConcurrentWritersMergeExactly) {
+  MetricsRegistry m(/*enabled=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&m] {
+      for (int i = 0; i < kIters; ++i) m.AddCounter("shared", 1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(m.Snapshot()["shared"].value, kThreads * kIters);
+}
+
+TEST(MetricsTest, DisabledHotPathAllocatesNothing) {
+  MetricsRegistry m(/*enabled=*/false);
+  MetricsRegistry* null_registry = nullptr;
+  const size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    m.AddCounter("some.counter.with.a.long.name.beyond.sso", 1.0);
+    m.SetGauge("some.gauge.with.a.long.name.beyond.sso", 2.0);
+    m.ObserveMs("some.timing.with.a.long.name.beyond.sso", 3.0);
+    ScopedTimer timer(&m, "some.scoped.timer.with.a.long.name");
+    ScopedTimer null_timer(null_registry, "null.registry.timer");
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+  EXPECT_TRUE(m.Snapshot().empty());
+}
+
+TEST(MetricsTest, JsonExportParses) {
+  MetricsRegistry m(/*enabled=*/true);
+  m.AddCounter("a.counter", 5.0);
+  m.SetGauge("a.gauge", 1.5);
+  m.ObserveMs("a.timing", 2.25);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(m.ToJson(), &root, &error)) << error;
+  ASSERT_NE(root.Find("counters"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("counters")->Find("a.counter")->num, 5.0);
+  EXPECT_DOUBLE_EQ(root.Find("gauges")->Find("a.gauge")->num, 1.5);
+  EXPECT_EQ(root.Find("timings")->Find("a.timing")->Find("count")->num, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+TEST(TraceTest, DisabledSpansAreInert) {
+  Tracer disabled(/*enabled=*/false);
+  const size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    // SSO-short names, as at real call sites: the std::string parameters are
+    // built in the caller's frame, so only names under the SSO limit make
+    // "inert" mean "allocation-free".
+    TraceSpan span(&disabled, "span", "cat");
+    EXPECT_FALSE(span.active());
+    span.AddNum("ignored", 1.0);
+    TraceSpan null_span(nullptr, "nullspan", "cat");
+    EXPECT_FALSE(null_span.active());
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+  EXPECT_TRUE(disabled.Events().empty());
+}
+
+TEST(TraceTest, SpansAndInstantsExportAndValidate) {
+  Tracer tracer(/*enabled=*/true);
+  {
+    TraceSpan outer(&tracer, "outer", "test");
+    outer.AddNum("depth", 0);
+    {
+      TraceSpan inner(&tracer, "inner", "test");
+      inner.AddStr("label", "E7");
+      tracer.Instant("marker", "test", {TNum("value", 42)});
+    }
+  }
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+
+  const std::string json = tracer.ToChromeJson();
+  TraceCheckResult check = ValidateChromeTrace(json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.num_events, 3);
+  EXPECT_EQ(check.num_spans, 2);
+  EXPECT_EQ(check.num_instants, 1);
+
+  // The inner span must lie within the outer one in the export.
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  const JsonValue* list = root.Find("traceEvents");
+  ASSERT_NE(list, nullptr);
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  for (const JsonValue& e : list->items) {
+    const std::string& name = e.Find("name")->str;
+    if (name == "outer") {
+      outer_ts = e.Find("ts")->num;
+      outer_end = outer_ts + e.Find("dur")->num;
+    } else if (name == "inner") {
+      inner_ts = e.Find("ts")->num;
+      inner_end = inner_ts + e.Find("dur")->num;
+    }
+  }
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(TraceTest, ValidatorRejectsPartialOverlap) {
+  Tracer tracer(/*enabled=*/true);
+  const int64_t base = tracer.origin_ns();
+  // Two spans on the same thread overlapping partially: [0ms,10ms) and
+  // [5ms,15ms). Chrome traces require stack-like nesting per tid.
+  tracer.Emit("a", "test", base, 10'000'000);
+  tracer.Emit("b", "test", base + 5'000'000, 10'000'000);
+  TraceCheckResult check = ValidateChromeTrace(tracer.ToChromeJson());
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("straddles"), std::string::npos) << check.error;
+}
+
+TEST(TraceTest, ValidatorRejectsNonTraceJson) {
+  EXPECT_FALSE(ValidateChromeTrace("[]").ok);
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\": 3}").ok);
+  EXPECT_FALSE(ValidateChromeTrace("not json at all").ok);
+  EXPECT_TRUE(ValidateChromeTrace("{\"traceEvents\": []}").ok);
+}
+
+// ---------------------------------------------------------------------------
+// Options and env overrides.
+
+class ObsEnvTest : public ::testing::Test {
+ protected:
+  // Clear on entry too: the CI obs-trace job runs every suite with
+  // MQO_TRACE=1 MQO_METRICS=1 exported, and these tests control the env
+  // themselves.
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+
+ private:
+  static void Clear() {
+    unsetenv("MQO_TRACE");
+    unsetenv("MQO_METRICS");
+    unsetenv("MQO_TRACE_FILE");
+  }
+};
+
+TEST_F(ObsEnvTest, DefaultsAreOff) {
+  ObsOptions resolved = ResolveObsOptions({});
+  EXPECT_FALSE(resolved.metrics);
+  EXPECT_FALSE(resolved.trace);
+  EXPECT_TRUE(resolved.trace_path.empty());
+}
+
+TEST_F(ObsEnvTest, EnvEnablesUnsetKnobs) {
+  setenv("MQO_TRACE", "1", 1);
+  setenv("MQO_METRICS", "1", 1);
+  setenv("MQO_TRACE_FILE", "/tmp/t.json", 1);
+  ObsOptions resolved = ResolveObsOptions({});
+  EXPECT_TRUE(resolved.metrics);
+  EXPECT_TRUE(resolved.trace);
+  EXPECT_EQ(resolved.trace_path, "/tmp/t.json");
+}
+
+TEST_F(ObsEnvTest, FalseyEnvValuesStayOff) {
+  setenv("MQO_TRACE", "0", 1);
+  setenv("MQO_METRICS", "off", 1);
+  ObsOptions resolved = ResolveObsOptions({});
+  EXPECT_FALSE(resolved.metrics);
+  EXPECT_FALSE(resolved.trace);
+}
+
+TEST_F(ObsEnvTest, TracePathImpliesTracing) {
+  ObsOptions options;
+  options.trace_path = "somewhere.json";
+  ObsOptions resolved = ResolveObsOptions(options);
+  EXPECT_TRUE(resolved.trace);
+}
+
+TEST(ObsContextTest, NullSafeAccessors) {
+  EXPECT_EQ(TracerOf(nullptr), nullptr);
+  EXPECT_EQ(MetricsOf(nullptr), nullptr);
+  ObsOptions options;
+  options.metrics = true;
+  options.trace = true;
+  ObsContext ctx(options);
+  EXPECT_TRUE(ctx.any_enabled());
+  ASSERT_NE(TracerOf(&ctx), nullptr);
+  ASSERT_NE(MetricsOf(&ctx), nullptr);
+  EXPECT_TRUE(TracerOf(&ctx)->enabled());
+  EXPECT_TRUE(MetricsOf(&ctx)->enabled());
+}
+
+}  // namespace
+}  // namespace mqo

@@ -14,6 +14,8 @@
 #include "exec/row_ops.h"
 #include "lqdag/rules.h"
 #include "mqo/facade.h"
+#include "obs/obs.h"
+#include "obs/trace_check.h"
 #include "vexec/backend.h"
 #include "workload/example1.h"
 #include "workload/tpcd_queries.h"
@@ -422,6 +424,76 @@ TEST(VexecFacadeTest, OptimizeAndExecuteAgreesAcrossBackends) {
                      "facade q" + std::to_string(q) + " t" +
                          std::to_string(threads));
       EXPECT_GT(row.ValueOrDie().results[q].rows.size(), 0u);
+    }
+  }
+}
+
+/// Numeric arg lookup on a trace event; -1 when absent.
+double ArgOf(const TraceEvent& e, const std::string& key) {
+  for (const TraceArg& a : e.args) {
+    if (a.key == key) return a.num;
+  }
+  return -1;
+}
+
+TEST(VexecTraceTest, OperatorRowCountsDeterministicAcrossThreadCounts) {
+  // The traced row counts of every pipeline and operator must be identical
+  // for every thread count and morsel size: per-op counters are summed over
+  // workers before emission, so the morsel->worker assignment cancels out.
+  Catalog catalog = MakeTpcdCatalog(1);
+  Memo memo(&catalog);
+  memo.InsertBatch({MakeQ9(0), MakeQ9(1)});
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  BatchOptimizer optimizer(&memo, CostModel());
+  MaterializationProblem problem(&optimizer);
+  MqoResult mqo = RunMarginalGreedy(&problem);
+  ASSERT_GT(mqo.num_materialized, 0);
+  ConsolidatedPlan plan = optimizer.Plan(mqo.materialized);
+  DataGenOptions gen;
+  gen.max_rows_per_table = 60;
+  gen.domain_cap = 25;
+  gen.seed = 2026;
+  DataSet data = GenerateData(catalog, gen);
+
+  // (event name, two row-count args) in emission order — no timings, no
+  // morsel/worker counts (those legitimately vary with the thread count).
+  using Signature = std::vector<std::tuple<std::string, double, double>>;
+  auto traced_run = [&](const ExecOptions& base) {
+    ObsOptions obs_options;
+    obs_options.trace = true;
+    ObsContext obs(obs_options);
+    ExecOptions exec = base;
+    exec.obs = &obs;
+    auto results = ExecuteConsolidatedWith(ExecBackend::kVector, &memo, &data,
+                                           plan, exec);
+    EXPECT_TRUE(results.ok()) << results.status().ToString();
+    TraceCheckResult check = ValidateChromeTrace(obs.tracer()->ToChromeJson());
+    EXPECT_TRUE(check.ok) << check.error;
+    Signature sig;
+    for (const TraceEvent& e : obs.tracer()->Events()) {
+      if (e.cat != "vexec") continue;
+      if (e.name.rfind("op.", 0) == 0) {
+        sig.emplace_back(e.name, ArgOf(e, "in_rows"), ArgOf(e, "out_rows"));
+      } else if (e.name == "pipeline" || e.name == "pipeline.zero_copy") {
+        sig.emplace_back(e.name, ArgOf(e, "src_rows"), ArgOf(e, "out_rows"));
+      } else if (e.name == "materialize") {
+        sig.emplace_back(e.name, ArgOf(e, "eq"), ArgOf(e, "rows"));
+      }
+    }
+    return sig;
+  };
+
+  const std::vector<ExecOptions> configs = VectorConfigs();
+  const Signature baseline = traced_run(configs[0]);
+  ASSERT_FALSE(baseline.empty());
+  for (size_t c = 1; c < configs.size(); ++c) {
+    const Signature got = traced_run(configs[c]);
+    ASSERT_EQ(got.size(), baseline.size())
+        << "t" << configs[c].num_threads << " emitted a different event set";
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(got[i], baseline[i])
+          << "event " << i << " diverged at t" << configs[c].num_threads
+          << ": " << std::get<0>(baseline[i]) << " vs " << std::get<0>(got[i]);
     }
   }
 }
