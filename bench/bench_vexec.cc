@@ -30,6 +30,7 @@
 #include "mqo/mqo_algorithms.h"
 #include "obs/obs.h"
 #include "vexec/backend.h"
+#include "vexec/pipeline.h"
 #include "workload/tpcd_queries.h"
 
 using namespace mqo;
@@ -55,6 +56,231 @@ struct Config {
   ExecBackend backend;
   int num_threads;
 };
+
+// ---- String-kernel microbenches (dictionary encoding + Bloom pushdown) ------
+
+/// A string column of `rows` values drawn from `cardinality` distinct
+/// strings, each 22 characters — past the small-string optimization, so the
+/// raw form pays real heap traffic while the dictionary form moves int32
+/// codes.
+ColumnVector BenchStrings(int rows, int cardinality, int salt) {
+  ColumnVector col(VecType::kString);
+  col.strings().reserve(rows);
+  char buf[32];
+  for (int i = 0; i < rows; ++i) {
+    std::snprintf(buf, sizeof(buf), "grp_payload_%010d",
+                  (i * 131 + salt) % cardinality);
+    col.strings().emplace_back(buf);
+  }
+  return col;
+}
+
+/// The batch with every string column decoded to raw std::strings (the
+/// pre-dictionary physical form), values identical.
+ColumnBatch DecodedCopy(const ColumnBatch& batch) {
+  ColumnBatch out = batch;
+  for (ColumnVector& col : out.columns) col.DecodeInPlace();
+  return out;
+}
+
+AggExpr BenchAgg(AggFunc f, ColumnRef arg = {}) {
+  AggExpr a;
+  a.func = f;
+  a.arg = std::move(arg);
+  return a;
+}
+
+/// Serial best-of-`reps` wall time of one pipeline; the result lands in
+/// `*out` so callers can differential-check variants.
+double BestOfRuns(const VecPipeline& pipe, int reps, ColumnBatch* out) {
+  double best_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    auto result = RunVecPipeline(pipe, ExecOptions{});
+    const double ms = timer.ElapsedMillis();
+    if (!result.ok()) {
+      std::printf("string bench failed: %s\n",
+                  result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+    *out = std::move(result).ValueOrDie();
+  }
+  return best_ms;
+}
+
+bool BatchesEqual(const ColumnBatch& a, const ColumnBatch& b) {
+  if (a.num_rows != b.num_rows || a.columns.size() != b.columns.size()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    for (size_t r = 0; r < a.num_rows; ++r) {
+      if (!ColumnVector::CellsEqual(a.columns[c], r, b.columns[c], r)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// GROUP BY tag pipeline (COUNT(*) + SUM(v)) over `source`.
+VecPipeline GroupByPipeline(const ColumnBatch& source) {
+  VecPipeline pipe;
+  pipe.source = source;
+  pipe.keep_idx = {0, 1};
+  pipe.chunk_names = source.names;
+  pipe.aggregate = true;
+  pipe.agg_group_by = {source.names[0]};
+  pipe.agg_aggs = {BenchAgg(AggFunc::kCount),
+                   BenchAgg(AggFunc::kSum, source.names[1])};
+  pipe.agg_group_idx = {0};
+  pipe.agg_arg_idx = {-1, 1};
+  return pipe;
+}
+
+/// Probe-side join pipeline: source.tag against `table`'s single string key.
+VecPipeline JoinPipeline(const ColumnBatch& source,
+                         std::shared_ptr<const JoinHashTable> table) {
+  VecPipeline pipe;
+  pipe.source = source;
+  pipe.keep_idx = {0, 1};
+  pipe.chunk_names = source.names;
+  std::vector<ColumnRef> out_names = source.names;
+  for (const auto& n : table->build().names) out_names.push_back(n);
+  pipe.ops.push_back(std::make_unique<ProbeChunkOp>(
+      std::move(table), std::vector<int>{0}, std::vector<int>{0, 1},
+      std::move(out_names)));
+  return pipe;
+}
+
+/// Dictionary vs raw string kernels, serial: group-by and hash join at a
+/// duplicate-heavy and an all-distinct cardinality. Appends one json record
+/// per (workload, cardinality) with the dict-over-raw speedup.
+void RunStringKernelBench(int rows, int reps, BenchJsonWriter* json,
+                          int* failures) {
+  std::printf("\n=== string kernels: dictionary codes vs raw strings "
+              "(serial, %d rows) ===\n\n", rows);
+  TablePrinter table({"workload", "cardinality", "raw (ms)", "dict (ms)",
+                      "speedup"});
+  struct Card {
+    const char* label;
+    int values;
+  };
+  for (const Card& card : {Card{"low (16)", 16}, Card{"distinct", rows}}) {
+    // Group-by: single dict-encoded group column takes the code->group fast
+    // path; the raw form re-hashes 22-char strings per row.
+    ColumnBatch dict_src;
+    dict_src.names = {ColumnRef("s", "tag"), ColumnRef("s", "v")};
+    ColumnVector tag = BenchStrings(rows, card.values, 0);
+    tag.DictEncode();
+    ColumnVector v(VecType::kDouble);
+    for (int i = 0; i < rows; ++i) {
+      v.doubles().push_back(static_cast<double>(i % 10));
+    }
+    dict_src.columns = {std::move(tag), std::move(v)};
+    dict_src.num_rows = rows;
+    const ColumnBatch raw_src = DecodedCopy(dict_src);
+
+    ColumnBatch dict_out;
+    ColumnBatch raw_out;
+    const double raw_ms = BestOfRuns(GroupByPipeline(raw_src), reps, &raw_out);
+    const double dict_ms =
+        BestOfRuns(GroupByPipeline(dict_src), reps, &dict_out);
+    if (!BatchesEqual(raw_out, dict_out)) ++*failures;
+    const double speedup = raw_ms / std::max(dict_ms, 1e-9);
+    table.AddRow({"group-by", card.label, FormatDouble(raw_ms, 2),
+                  FormatDouble(dict_ms, 2), FormatDouble(speedup, 1) + "x"});
+    json->AddRecord({JStr("bench", "vexec_string"),
+                     JStr("workload", "group_by"), JNum("rows", rows),
+                     JNum("cardinality", card.values),
+                     JNum("raw_ms", raw_ms), JNum("dict_ms", dict_ms),
+                     JNum("dict_speedup", speedup)});
+
+    // Hash join: probe and build dictionaries come from different columns
+    // (the realistic two-table shape), so the dict path goes through the
+    // cached code remap; the raw path re-hashes and re-compares strings.
+    ColumnBatch dict_build;
+    dict_build.names = {ColumnRef("b", "tag")};
+    ColumnVector btag = BenchStrings(card.values, card.values, 0);
+    btag.DictEncode();
+    dict_build.columns = {std::move(btag)};
+    dict_build.num_rows = card.values;
+    const ColumnBatch raw_build = DecodedCopy(dict_build);
+
+    auto dict_table = std::make_shared<const JoinHashTable>(JoinHashTable::Build(
+        dict_build, {0}, PipelineOptions{}));
+    auto raw_table = std::make_shared<const JoinHashTable>(JoinHashTable::Build(
+        raw_build, {0}, PipelineOptions{}));
+    const double raw_join_ms =
+        BestOfRuns(JoinPipeline(raw_src, raw_table), reps, &raw_out);
+    const double dict_join_ms =
+        BestOfRuns(JoinPipeline(dict_src, dict_table), reps, &dict_out);
+    if (!BatchesEqual(raw_out, dict_out)) ++*failures;
+    const double join_speedup = raw_join_ms / std::max(dict_join_ms, 1e-9);
+    table.AddRow({"hash join", card.label, FormatDouble(raw_join_ms, 2),
+                  FormatDouble(dict_join_ms, 2),
+                  FormatDouble(join_speedup, 1) + "x"});
+    json->AddRecord({JStr("bench", "vexec_string"), JStr("workload", "join"),
+                     JNum("rows", rows), JNum("cardinality", card.values),
+                     JNum("raw_ms", raw_join_ms),
+                     JNum("dict_ms", dict_join_ms),
+                     JNum("dict_speedup", join_speedup)});
+  }
+  table.Print();
+}
+
+/// Bloom pushdown across build selectivities: an int-keyed join where a
+/// controlled fraction of probe rows can match. Pushdown on vs off must give
+/// identical join outputs; the win grows as selectivity drops.
+void RunBloomSweep(int rows, int reps, BenchJsonWriter* json, int* failures) {
+  std::printf("\n=== Bloom pushdown: probe-side prefilter vs none (serial, "
+              "%d rows) ===\n\n", rows);
+  TablePrinter table({"hit fraction", "off (ms)", "on (ms)", "speedup"});
+  const int build_keys = std::max(rows / 64, 16);
+  ColumnBatch build;
+  build.names = {ColumnRef("b", "k")};
+  ColumnVector bk(VecType::kInt64);
+  for (int i = 0; i < build_keys; ++i) bk.ints().push_back(i);
+  build.columns = {std::move(bk)};
+  build.num_rows = build_keys;
+  auto table_ptr = std::make_shared<const JoinHashTable>(
+      JoinHashTable::Build(std::move(build), {0}, PipelineOptions{}));
+
+  for (const double hit : {0.01, 0.1, 0.5, 1.0}) {
+    ColumnBatch probe;
+    probe.names = {ColumnRef("p", "k"), ColumnRef("p", "v")};
+    ColumnVector pk(VecType::kInt64);
+    ColumnVector pv(VecType::kDouble);
+    const int period = std::max(1, static_cast<int>(1.0 / hit));
+    for (int i = 0; i < rows; ++i) {
+      // Every `period`-th row hits the build domain; misses sit far outside
+      // it so the zone check and the Bloom filter both get a say.
+      pk.ints().push_back(i % period == 0 ? i % build_keys
+                                          : build_keys + 1 + i);
+      pv.doubles().push_back(static_cast<double>(i % 10));
+    }
+    probe.columns = {std::move(pk), std::move(pv)};
+    probe.num_rows = rows;
+
+    VecPipeline off = JoinPipeline(probe, table_ptr);
+    VecPipeline on = JoinPipeline(probe, table_ptr);
+    on.bloom = table_ptr->bloom();
+    on.bloom_key_idx = {0};
+    ColumnBatch off_out;
+    ColumnBatch on_out;
+    const double off_ms = BestOfRuns(off, reps, &off_out);
+    const double on_ms = BestOfRuns(on, reps, &on_out);
+    if (!BatchesEqual(off_out, on_out)) ++*failures;
+    const double speedup = off_ms / std::max(on_ms, 1e-9);
+    table.AddRow({FormatDouble(hit, 2), FormatDouble(off_ms, 2),
+                  FormatDouble(on_ms, 2), FormatDouble(speedup, 1) + "x"});
+    json->AddRecord({JStr("bench", "vexec_bloom"), JNum("rows", rows),
+                     JNum("hit_fraction", hit), JNum("bloom_off_ms", off_ms),
+                     JNum("bloom_on_ms", on_ms),
+                     JNum("bloom_speedup", speedup)});
+  }
+  table.Print();
+}
 
 }  // namespace
 
@@ -152,6 +378,12 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+
+  // String-heavy kernels and the Bloom-pushdown selectivity sweep, sized off
+  // the largest requested row count so CI smoke runs stay fast.
+  const int string_rows = std::max(2000, row_counts.back() * 8);
+  RunStringKernelBench(string_rows, kReps, &json, &failures);
+  RunBloomSweep(string_rows, kReps, &json, &failures);
 
   // MQO_TRACE=1 (optionally MQO_TRACE_FILE=<path>): one extra traced run of
   // the consolidated plan on the vector backend, separate from the timed

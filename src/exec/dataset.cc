@@ -67,6 +67,9 @@ DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
     }
     ColumnStore store;
     for (size_t c = 0; c < num_cols; ++c) {
+      // Dictionary-encode string columns after generation: the RNG stream
+      // above stays bit-identical, and downstream kernels get codes.
+      cols[c].DictEncode();
       // Generated columns are uniformly n rows; AddColumn cannot fail.
       (void)store.AddColumn(table->columns()[c].name, std::move(cols[c]));
     }

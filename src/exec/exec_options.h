@@ -33,6 +33,12 @@ struct ExecOptions : PipelineOptions {
   /// Spill directory for evicted segments; empty = a unique temp directory.
   /// MQO_SPILL_DIR overrides an empty value.
   std::string mat_spill_dir;
+  /// Bloom-filter pushdown (sideways information passing): hash-join builds
+  /// publish a Bloom filter over their keys, and probe-side scan pipelines
+  /// drop rows (and skip whole morsels via zone min/max) that cannot match
+  /// before materializing chunks. Conservative — never a false negative —
+  /// so results are identical with it on or off; off exists for benching.
+  bool bloom_filters = true;
   /// Observability sink (obs/obs.h): pipeline/operator spans, store events,
   /// executor metrics. Null = off; execution is unaffected either way.
   ObsContext* obs = nullptr;

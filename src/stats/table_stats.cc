@@ -66,7 +66,7 @@ TableStatsData AnalyzeTable(const ColumnStore& store,
               if (i % stride == 0) acc.sample.push_back(v);
             } else {
               acc.any = true;
-              acc.string_bytes += static_cast<double>(col.strings()[i].size());
+              acc.string_bytes += static_cast<double>(col.StringAt(i).size());
             }
           }
         }

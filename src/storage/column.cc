@@ -1,6 +1,9 @@
 #include "storage/column.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
 
@@ -18,6 +21,23 @@ const char* VecTypeToString(VecType t) {
   return "?";
 }
 
+std::shared_ptr<const ColumnDict> ColumnDict::FromSortedUnique(
+    std::vector<std::string> sorted_unique) {
+  auto dict = std::make_shared<ColumnDict>();
+  dict->entries = std::move(sorted_unique);
+  dict->hashes.resize(dict->entries.size());
+  for (size_t c = 0; c < dict->entries.size(); ++c) {
+    dict->hashes[c] = HashString(dict->entries[c]);
+  }
+  return dict;
+}
+
+int32_t ColumnDict::Lookup(const std::string& s) const {
+  auto it = std::lower_bound(entries.begin(), entries.end(), s);
+  if (it == entries.end() || *it != s) return -1;
+  return static_cast<int32_t>(it - entries.begin());
+}
+
 size_t ColumnVector::size() const {
   switch (type_) {
     case VecType::kInt64:
@@ -25,35 +45,100 @@ size_t ColumnVector::size() const {
     case VecType::kDouble:
       return data_->doubles.size();
     case VecType::kString:
-      return data_->strs.size();
+      return data_->dict ? data_->codes.size() : data_->strs.size();
   }
   return 0;
 }
 
 Value ColumnVector::GetValue(size_t i) const {
-  if (type_ == VecType::kString) return Value(data_->strs[i]);
+  if (type_ == VecType::kString) return Value(StringAt(i));
   return Value(Number(i));
+}
+
+bool ColumnVector::DictEncode() {
+  if (type_ != VecType::kString) return false;
+  if (data_->dict != nullptr) return true;
+  const std::vector<std::string>& strs = data_->strs;
+  std::vector<std::string> sorted = strs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  auto dict = ColumnDict::FromSortedUnique(std::move(sorted));
+  // Map each row through a hash index over the dictionary: O(n) overall
+  // instead of a per-row binary search.
+  std::unordered_map<std::string_view, int32_t> index;
+  index.reserve(dict->entries.size() * 2);
+  for (size_t c = 0; c < dict->entries.size(); ++c) {
+    index.emplace(dict->entries[c], static_cast<int32_t>(c));
+  }
+  std::vector<int32_t> codes(strs.size());
+  for (size_t i = 0; i < strs.size(); ++i) {
+    codes[i] = index.find(strs[i])->second;
+  }
+  Payload* p = Mutable();
+  p->codes = std::move(codes);
+  p->dict = std::move(dict);
+  p->strs.clear();
+  p->strs.shrink_to_fit();
+  return true;
+}
+
+void ColumnVector::DecodeInPlace() {
+  if (!dict_encoded()) return;
+  const std::shared_ptr<const ColumnDict> dict = data_->dict;
+  const std::vector<int32_t> codes = data_->codes;
+  Payload* p = Mutable();
+  p->strs.resize(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    p->strs[i] = dict->entries[codes[i]];
+  }
+  p->codes.clear();
+  p->codes.shrink_to_fit();
+  p->dict.reset();
+}
+
+ColumnVector ColumnVector::FromDict(std::shared_ptr<const ColumnDict> dict,
+                                    std::vector<int32_t> codes) {
+  ColumnVector out(VecType::kString);
+  Payload* p = out.Mutable();
+  p->dict = std::move(dict);
+  p->codes = std::move(codes);
+  return out;
 }
 
 ColumnVector ColumnVector::Gather(const SelVector& sel) const {
   ColumnVector out(type_);
+  const size_t n = sel.size();
+  const uint32_t* s = sel.data();
   switch (type_) {
     case VecType::kInt64: {
-      auto& ints = out.ints();
-      ints.reserve(sel.size());
-      for (uint32_t i : sel) ints.push_back(data_->ints[i]);
+      auto& ints = out.Mutable()->ints;
+      ints.resize(n);
+      const int64_t* src = data_->ints.data();
+      int64_t* dst = ints.data();
+      for (size_t k = 0; k < n; ++k) dst[k] = src[s[k]];
       break;
     }
     case VecType::kDouble: {
-      auto& doubles = out.doubles();
-      doubles.reserve(sel.size());
-      for (uint32_t i : sel) doubles.push_back(data_->doubles[i]);
+      auto& doubles = out.Mutable()->doubles;
+      doubles.resize(n);
+      const double* src = data_->doubles.data();
+      double* dst = doubles.data();
+      for (size_t k = 0; k < n; ++k) dst[k] = src[s[k]];
       break;
     }
     case VecType::kString: {
-      auto& strs = out.strings();
-      strs.reserve(sel.size());
-      for (uint32_t i : sel) strs.push_back(data_->strs[i]);
+      if (data_->dict) {
+        Payload* p = out.Mutable();
+        p->dict = data_->dict;
+        p->codes.resize(n);
+        const int32_t* src = data_->codes.data();
+        int32_t* dst = p->codes.data();
+        for (size_t k = 0; k < n; ++k) dst[k] = src[s[k]];
+      } else {
+        auto& strs = out.Mutable()->strs;
+        strs.reserve(n);
+        for (size_t k = 0; k < n; ++k) strs.push_back(data_->strs[s[k]]);
+      }
       break;
     }
   }
@@ -71,9 +156,16 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
     case VecType::kDouble:
       Mutable()->doubles.push_back(src->doubles[i]);
       break;
-    case VecType::kString:
-      Mutable()->strs.push_back(src->strs[i]);
+    case VecType::kString: {
+      if (data_->dict && src->dict == data_->dict) {
+        Mutable()->codes.push_back(src->codes[i]);
+        break;
+      }
+      if (dict_encoded()) DecodeInPlace();
+      Mutable()->strs.push_back(src->dict ? src->dict->entries[src->codes[i]]
+                                          : src->strs[i]);
       break;
+    }
   }
 }
 
@@ -93,8 +185,31 @@ void ColumnVector::AppendAll(const ColumnVector& other) {
       break;
     }
     case VecType::kString: {
+      if (src->dict) {
+        if (size() == 0) {
+          // Adopt the source dictionary: concatenating same-dictionary
+          // chunks (the common pipeline-sink case) then moves only codes.
+          Payload* p = Mutable();
+          p->strs.clear();
+          p->dict = src->dict;
+          p->codes = src->codes;
+          break;
+        }
+        if (data_->dict == src->dict) {
+          auto& codes = Mutable()->codes;
+          codes.insert(codes.end(), src->codes.begin(), src->codes.end());
+          break;
+        }
+      }
+      // Mismatched physical forms: fall back to raw strings.
+      if (dict_encoded()) DecodeInPlace();
       auto& strs = Mutable()->strs;
-      strs.insert(strs.end(), src->strs.begin(), src->strs.end());
+      if (src->dict) {
+        strs.reserve(strs.size() + src->codes.size());
+        for (int32_t c : src->codes) strs.push_back(src->dict->entries[c]);
+      } else {
+        strs.insert(strs.end(), src->strs.begin(), src->strs.end());
+      }
       break;
     }
   }
@@ -108,6 +223,14 @@ size_t ColumnVector::ByteSize() const {
       return data_->doubles.size() * sizeof(double);
     case VecType::kString: {
       size_t bytes = 0;
+      if (data_->dict) {
+        bytes += data_->codes.size() * sizeof(int32_t);
+        for (const auto& s : data_->dict->entries) {
+          bytes += sizeof(std::string) + s.size();
+        }
+        bytes += data_->dict->hashes.size() * sizeof(uint64_t);
+        return bytes;
+      }
       for (const auto& s : data_->strs) bytes += sizeof(std::string) + s.size();
       return bytes;
     }
@@ -124,7 +247,11 @@ void ColumnVector::Reserve(size_t n) {
       Mutable()->doubles.reserve(n);
       break;
     case VecType::kString:
-      Mutable()->strs.reserve(n);
+      if (data_->dict) {
+        Mutable()->codes.reserve(n);
+      } else {
+        Mutable()->strs.reserve(n);
+      }
       break;
   }
 }
@@ -133,7 +260,13 @@ uint64_t ColumnVector::HashCell(size_t i) const {
   // Numbers hash by their double value so int64 and double columns with equal
   // cells land in the same hash-join bucket; -0.0 is canonicalized to 0.0
   // because CellsEqual compares with == but HashDouble hashes bit patterns.
-  if (type_ == VecType::kString) return HashString(data_->strs[i]);
+  // Dictionary-encoded strings hash via the precomputed per-entry hashes,
+  // which are HashString of the entry — equal strings hash equally across
+  // raw and encoded columns and across different dictionaries.
+  if (type_ == VecType::kString) {
+    if (data_->dict) return data_->dict->hashes[data_->codes[i]];
+    return HashString(data_->strs[i]);
+  }
   const double d = Number(i);
   return HashDouble(d == 0.0 ? 0.0 : d);
 }
@@ -143,7 +276,10 @@ bool ColumnVector::CellsEqual(const ColumnVector& a, size_t i,
   const bool a_num = a.is_numeric();
   if (a_num != b.is_numeric()) return false;
   if (a_num) return a.Number(i) == b.Number(j);
-  return a.data_->strs[i] == b.data_->strs[j];
+  if (a.data_->dict != nullptr && a.data_->dict == b.data_->dict) {
+    return a.data_->codes[i] == b.data_->codes[j];
+  }
+  return a.StringAt(i) == b.StringAt(j);
 }
 
 bool ColumnVector::CellLess(const ColumnVector& a, size_t i,
@@ -151,7 +287,11 @@ bool ColumnVector::CellLess(const ColumnVector& a, size_t i,
   const bool a_num = a.is_numeric();
   if (a_num != b.is_numeric()) return a_num;  // numbers before strings
   if (a_num) return a.Number(i) < b.Number(j);
-  return a.data_->strs[i] < b.data_->strs[j];
+  if (a.data_->dict != nullptr && a.data_->dict == b.data_->dict) {
+    // The dictionary is sorted-unique, so code order is string order.
+    return a.data_->codes[i] < b.data_->codes[j];
+  }
+  return a.StringAt(i) < b.StringAt(j);
 }
 
 Status ColumnBuilder::Append(const Value& v) {

@@ -8,6 +8,15 @@
 // views, while operator kernels that build fresh columns pay nothing extra
 // (a freshly constructed vector is always uniquely owned).
 //
+// String columns come in two physical forms behind the same logical type:
+// raw (a std::string vector) and dictionary-encoded (a sorted-unique
+// dictionary shared across copies plus a dense int32 code vector). The
+// dictionary is immutable once built, so gathers, appends between columns
+// sharing a dictionary, and segment reads move only int32 codes. Because the
+// dictionary is sorted, code order equals lexicographic order within one
+// dictionary, and per-entry hashes are precomputed so cell hashing is an
+// array lookup that agrees with raw-string hashing.
+//
 // Numeric cells compare and hash by value regardless of physical type (an
 // int64 column joins against a double column exactly as the row engine's
 // ValueEq does); strings and numbers never compare equal, and numbers order
@@ -33,8 +42,25 @@ const char* VecTypeToString(VecType t);
 /// Selection vector: row positions into a batch, in increasing order.
 using SelVector = std::vector<uint32_t>;
 
+/// Immutable sorted-unique string dictionary. `hashes[c]` is
+/// HashString(entries[c]), precomputed so dictionary-encoded cells hash in
+/// O(1) and agree with raw-string cell hashes (equal strings hash equally
+/// even across different dictionaries).
+struct ColumnDict {
+  std::vector<std::string> entries;
+  std::vector<uint64_t> hashes;
+
+  /// Builds a dictionary from already sorted-unique entries.
+  static std::shared_ptr<const ColumnDict> FromSortedUnique(
+      std::vector<std::string> sorted_unique);
+
+  /// Code of `s`, or -1 if absent (binary search on the sorted entries).
+  int32_t Lookup(const std::string& s) const;
+};
+
 /// One typed column. Exactly the payload vector matching `type()` is
-/// populated. Copies share the payload (copy-on-write).
+/// populated (for dictionary-encoded string columns, the code vector plus the
+/// shared dictionary). Copies share the payload (copy-on-write).
 class ColumnVector {
  public:
   explicit ColumnVector(VecType type = VecType::kInt64)
@@ -47,10 +73,47 @@ class ColumnVector {
 
   const std::vector<int64_t>& ints() const { return data_->ints; }
   const std::vector<double>& doubles() const { return data_->doubles; }
-  const std::vector<std::string>& strings() const { return data_->strs; }
   std::vector<int64_t>& ints() { return Mutable()->ints; }
   std::vector<double>& doubles() { return Mutable()->doubles; }
-  std::vector<std::string>& strings() { return Mutable()->strs; }
+
+  /// Raw string payload. The non-const accessor decodes a dictionary-encoded
+  /// column first so legacy mutation sites keep working; the const accessor
+  /// must only be used on unencoded columns (it is empty for encoded ones) —
+  /// readers that must handle both forms use StringAt().
+  const std::vector<std::string>& strings() const { return data_->strs; }
+  std::vector<std::string>& strings() {
+    if (dict_encoded()) DecodeInPlace();
+    return Mutable()->strs;
+  }
+
+  /// True iff this string column is dictionary-encoded.
+  bool dict_encoded() const {
+    return type_ == VecType::kString && data_->dict != nullptr;
+  }
+  /// Shared dictionary (null when not encoded).
+  const std::shared_ptr<const ColumnDict>& dict() const { return data_->dict; }
+  /// Dense codes into dict()->entries. Meaningful only when dict_encoded().
+  const std::vector<int32_t>& codes() const { return data_->codes; }
+
+  /// String cell readable in both physical forms. Precondition: kString.
+  const std::string& StringAt(size_t i) const {
+    return data_->dict ? data_->dict->entries[data_->codes[i]]
+                       : data_->strs[i];
+  }
+
+  /// Converts a raw string column to dictionary encoding (sorted-unique
+  /// dictionary + int32 codes). No-op for non-string or already-encoded
+  /// columns. Returns true iff the column is dictionary-encoded on exit.
+  bool DictEncode();
+
+  /// Converts a dictionary-encoded column back to raw strings. No-op
+  /// otherwise.
+  void DecodeInPlace();
+
+  /// Assembles a dictionary-encoded column from parts (spill rehydration and
+  /// tests). Every code must index into the dictionary.
+  static ColumnVector FromDict(std::shared_ptr<const ColumnDict> dict,
+                               std::vector<int32_t> codes);
 
   /// True iff `other` shares this column's payload (a zero-copy view).
   bool SharesPayloadWith(const ColumnVector& other) const {
@@ -66,7 +129,8 @@ class ColumnVector {
   /// Cell as the row engine's Value.
   Value GetValue(size_t i) const;
 
-  /// New vector holding the cells at `sel`, same type.
+  /// New vector holding the cells at `sel`, same type. Dictionary-encoded
+  /// columns gather codes and share the dictionary (no string copies).
   ColumnVector Gather(const SelVector& sel) const;
 
   /// Appends cell `i` of `other`. Precondition: same type().
@@ -74,24 +138,29 @@ class ColumnVector {
 
   /// Appends every cell of `other`. Precondition: same type(). The bulk
   /// append the pipeline sinks use to merge per-morsel chunks without a
-  /// serial gather.
+  /// serial gather. An empty unencoded target adopts `other`'s dictionary;
+  /// mismatched dictionaries fall back to raw strings.
   void AppendAll(const ColumnVector& other);
 
   void Reserve(size_t n);
 
-  /// Payload bytes held by this column (string columns count character
-  /// storage plus per-string object overhead).
+  /// Payload bytes held by this column (raw string columns count character
+  /// storage plus per-string object overhead; dictionary-encoded columns
+  /// count the code vector plus the dictionary).
   size_t ByteSize() const;
 
   /// Value-semantics cell hash: equal numbers hash equally across int64 and
-  /// double columns.
+  /// double columns; equal strings hash equally across raw and
+  /// dictionary-encoded columns.
   uint64_t HashCell(size_t i) const;
 
   /// ValueEq semantics (numbers by value, strings by content, mixed false).
+  /// Cells of two columns sharing one dictionary compare by code.
   static bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
                          size_t j);
 
-  /// ValueLess semantics (numbers order before strings).
+  /// ValueLess semantics (numbers order before strings). Cells of two columns
+  /// sharing one dictionary compare by code (the dictionary is sorted).
   static bool CellLess(const ColumnVector& a, size_t i, const ColumnVector& b,
                        size_t j);
 
@@ -100,6 +169,10 @@ class ColumnVector {
     std::vector<int64_t> ints;
     std::vector<double> doubles;
     std::vector<std::string> strs;
+    // Dictionary form: dense codes into an immutable shared dictionary.
+    // Detached payload copies still share the dictionary itself.
+    std::vector<int32_t> codes;
+    std::shared_ptr<const ColumnDict> dict;
   };
 
   /// Detaches a private payload copy before mutation if the payload is

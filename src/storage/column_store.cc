@@ -27,6 +27,9 @@ Result<ColumnStore> ColumnStore::FromRows(const NamedRows& rows) {
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, BatchFromRows(rows));
   ColumnStore store;
   for (size_t c = 0; c < batch.columns.size(); ++c) {
+    // Ingested tables use the dictionary form for string columns so every
+    // reader (scans, joins, group-bys, spill) sees codes.
+    batch.columns[c].DictEncode();
     MQO_RETURN_NOT_OK(
         store.AddColumn(batch.names[c].name, std::move(batch.columns[c])));
   }

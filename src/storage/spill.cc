@@ -13,10 +13,13 @@ namespace mqo {
 
 namespace {
 
-// File layout: header, then each column as (qualifier, name, type, count,
-// payload). Strings are length-prefixed; numeric payloads are raw arrays.
-constexpr uint32_t kMagic = 0x4753514du;  // "MQSG"
-constexpr uint32_t kVersion = 1;
+// File layout: header (magic, version, num_rows, num_cols), then each column
+// as (qualifier, name, type, encoding, count, payload). Strings are
+// length-prefixed; numeric payloads are raw arrays. Encoding 1 (dictionary,
+// string columns only) stores the sorted-unique dictionary (entry count +
+// length-prefixed entries) followed by the raw int32 code array.
+constexpr uint8_t kEncodingPlain = 0;
+constexpr uint8_t kEncodingDict = 1;
 
 /// Distinguishes files from concurrently-live stores sharing one directory.
 std::atomic<uint64_t> g_spill_serial{0};
@@ -68,15 +71,17 @@ Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return IoError("open", path);
   FileCloser closer{f};
-  bool ok = WritePod(f, kMagic) && WritePod(f, kVersion) &&
+  bool ok = WritePod(f, kSpillMagic) && WritePod(f, kSpillFormatVersion) &&
             WritePod<uint64_t>(f, batch.num_rows) &&
             WritePod<uint64_t>(f, batch.columns.size());
   for (size_t c = 0; ok && c < batch.columns.size(); ++c) {
     const ColumnVector& col = batch.columns[c];
+    const uint8_t encoding =
+        col.dict_encoded() ? kEncodingDict : kEncodingPlain;
     ok = WriteString(f, batch.names[c].qualifier) &&
          WriteString(f, batch.names[c].name) &&
          WritePod<uint8_t>(f, static_cast<uint8_t>(col.type())) &&
-         WritePod<uint64_t>(f, col.size());
+         WritePod<uint8_t>(f, encoding) && WritePod<uint64_t>(f, col.size());
     if (!ok) break;
     switch (col.type()) {
       case VecType::kInt64:
@@ -86,8 +91,21 @@ Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
         ok = WriteRaw(f, col.doubles().data(), col.size() * sizeof(double));
         break;
       case VecType::kString:
-        for (const std::string& s : col.strings()) {
-          if (!(ok = WriteString(f, s))) break;
+        if (encoding == kEncodingDict) {
+          const auto& dict = *col.dict();
+          ok = WritePod<uint64_t>(f, dict.entries.size());
+          for (const std::string& s : dict.entries) {
+            if (!ok) break;
+            ok = WriteString(f, s);
+          }
+          if (ok) {
+            ok = WriteRaw(f, col.codes().data(),
+                          col.codes().size() * sizeof(int32_t));
+          }
+        } else {
+          for (const std::string& s : col.strings()) {
+            if (!(ok = WriteString(f, s))) break;
+          }
         }
         break;
     }
@@ -106,8 +124,19 @@ Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
   FileCloser closer{f};
   uint32_t magic = 0, version = 0;
   uint64_t num_rows = 0, num_cols = 0;
-  if (!ReadPod(f, &magic) || !ReadPod(f, &version) || !ReadPod(f, &num_rows) ||
-      !ReadPod(f, &num_cols) || magic != kMagic || version != kVersion) {
+  if (!ReadPod(f, &magic) || !ReadPod(f, &version)) {
+    return Status::Internal("spill file corrupt or truncated: " + path);
+  }
+  if (magic != kSpillMagic) {
+    return Status::Internal("not a spill file (bad magic): " + path);
+  }
+  if (version != kSpillFormatVersion) {
+    return Status::Internal("unsupported spill format version " +
+                            std::to_string(version) + " (expected " +
+                            std::to_string(kSpillFormatVersion) +
+                            "): " + path);
+  }
+  if (!ReadPod(f, &num_rows) || !ReadPod(f, &num_cols)) {
     return Status::Internal("spill file corrupt or truncated: " + path);
   }
   ColumnBatch batch;
@@ -115,10 +144,14 @@ Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
   for (uint64_t c = 0; c < num_cols; ++c) {
     ColumnRef ref;
     uint8_t type = 0;
+    uint8_t encoding = 0;
     uint64_t count = 0;
     if (!ReadString(f, &ref.qualifier) || !ReadString(f, &ref.name) ||
-        !ReadPod(f, &type) || !ReadPod(f, &count) ||
-        type > static_cast<uint8_t>(VecType::kString)) {
+        !ReadPod(f, &type) || !ReadPod(f, &encoding) || !ReadPod(f, &count) ||
+        type > static_cast<uint8_t>(VecType::kString) ||
+        encoding > kEncodingDict ||
+        (encoding == kEncodingDict &&
+         type != static_cast<uint8_t>(VecType::kString))) {
       return Status::Internal("spill file corrupt or truncated: " + path);
     }
     ColumnVector col(static_cast<VecType>(type));
@@ -133,9 +166,35 @@ Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
         ok = ReadRaw(f, col.doubles().data(), count * sizeof(double));
         break;
       case VecType::kString: {
-        col.strings().resize(count);
-        for (uint64_t i = 0; ok && i < count; ++i) {
-          ok = ReadString(f, &col.strings()[i]);
+        if (encoding == kEncodingDict) {
+          uint64_t dict_size = 0;
+          if (!ReadPod(f, &dict_size)) {
+            return Status::Internal("spill file corrupt or truncated: " +
+                                    path);
+          }
+          std::vector<std::string> entries(dict_size);
+          for (uint64_t i = 0; ok && i < dict_size; ++i) {
+            ok = ReadString(f, &entries[i]);
+          }
+          std::vector<int32_t> codes(count);
+          ok = ok && ReadRaw(f, codes.data(), count * sizeof(int32_t));
+          if (ok) {
+            for (int32_t code : codes) {
+              if (code < 0 || static_cast<uint64_t>(code) >= dict_size) {
+                return Status::Internal(
+                    "spill file corrupt (dictionary code out of range): " +
+                    path);
+              }
+            }
+            col = ColumnVector::FromDict(
+                ColumnDict::FromSortedUnique(std::move(entries)),
+                std::move(codes));
+          }
+        } else {
+          col.strings().resize(count);
+          for (uint64_t i = 0; ok && i < count; ++i) {
+            ok = ReadString(f, &col.strings()[i]);
+          }
         }
         break;
       }

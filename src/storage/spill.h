@@ -1,12 +1,16 @@
 // Disk-spilled columnar segments: the on-disk format behind the
 // memory-governed MatStore (storage/mat_store.h).
 //
-// A spilled segment is one ColumnBatch serialized to a single file: typed
-// column payloads written raw (int64/double vectors byte-for-byte, strings
-// length-prefixed), so a spill -> reload round trip reproduces the batch
-// exactly — same schema, same types, same cells, same ByteSize. The format
-// is private to one process run (host endianness, no versioned evolution);
-// spill files never outlive the store that wrote them.
+// A spilled segment is one ColumnBatch serialized to a single file: a magic
+// + format-version header, then typed column payloads written raw
+// (int64/double vectors byte-for-byte, strings length-prefixed,
+// dictionary-encoded string columns as their dictionary plus the raw int32
+// code array), so a spill -> reload round trip reproduces the batch exactly
+// — same schema, same types, same physical encoding, same cells, same
+// ByteSize. The format is private to one process run (host endianness);
+// files with a foreign magic or a different format version are rejected
+// with an explicit error rather than misread, as are out-of-range
+// dictionary codes and truncated payloads.
 //
 // SpillDir owns the directory lifecycle: it creates the directory lazily on
 // the first spill (a unique directory under TMPDIR when no path is given),
@@ -21,6 +25,10 @@
 #include "storage/column_batch.h"
 
 namespace mqo {
+
+/// Spill file header constants (exposed for format tests).
+constexpr uint32_t kSpillMagic = 0x4753514du;  // "MQSG"
+constexpr uint32_t kSpillFormatVersion = 2;    // v2: dictionary column records
 
 /// Serializes `batch` to `path`, replacing any existing file.
 Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch);

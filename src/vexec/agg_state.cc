@@ -17,20 +17,20 @@ bool CellLessValue(const ColumnVector& col, size_t i, const Value& v) {
   const bool cell_num = col.is_numeric();
   if (cell_num != v.is_number()) return cell_num;
   if (cell_num) return col.Number(i) < v.number();
-  return col.strings()[i] < v.str();
+  return col.StringAt(i) < v.str();
 }
 
 bool ValueLessCell(const Value& v, const ColumnVector& col, size_t i) {
   const bool v_num = v.is_number();
   if (v_num != col.is_numeric()) return v_num;
   if (v_num) return v.number() < col.Number(i);
-  return v.str() < col.strings()[i];
+  return v.str() < col.StringAt(i);
 }
 
 bool CellEqualsValue(const ColumnVector& col, size_t i, const Value& v) {
   if (col.is_numeric() != v.is_number()) return false;
   if (v.is_number()) return col.Number(i) == v.number();
-  return col.strings()[i] == v.str();
+  return col.StringAt(i) == v.str();
 }
 
 bool ValuesEqual(const Value& a, const Value& b) {
@@ -72,11 +72,40 @@ void AggAccumulator::Consume(const ColumnBatch& batch,
                              const std::vector<AggExpr>& aggs,
                              uint64_t order_base) {
   const size_t num_aggs = aggs.size();
+  // Dictionary fast path: a single dictionary-encoded group column maps each
+  // row to its group through a code-indexed table — no per-row hashing or
+  // key comparison once a code has been seen.
+  const ColumnVector* gcol =
+      group_idx.size() == 1 ? &batch.columns[group_idx[0]] : nullptr;
+  const bool fast = gcol != nullptr && gcol->dict_encoded();
+  const int32_t* codes = nullptr;
+  if (fast) {
+    if (fast_dict_ != gcol->dict()) {
+      fast_dict_ = gcol->dict();
+      code_to_gid_.assign(fast_dict_->entries.size(), -1);
+    }
+    codes = gcol->codes().data();
+    dict_hit_rows_ += batch.num_rows;
+  }
   for (uint32_t r = 0; r < batch.num_rows; ++r) {
-    uint64_t h = kGroupHashSeed;
-    for (int c : group_idx) h = HashCombine(h, batch.columns[c].HashCell(r));
     const uint64_t pos = order_base + r;
-    const size_t gid = GroupOf(batch, group_idx, r, h, pos, num_aggs);
+    size_t gid;
+    if (fast) {
+      const int32_t code = codes[r];
+      int32_t cached = code_to_gid_[code];
+      if (cached < 0) {
+        const uint64_t h =
+            HashCombine(kGroupHashSeed, fast_dict_->hashes[code]);
+        cached = static_cast<int32_t>(
+            GroupOf(batch, group_idx, r, h, pos, num_aggs));
+        code_to_gid_[code] = cached;
+      }
+      gid = static_cast<size_t>(cached);
+    } else {
+      uint64_t h = kGroupHashSeed;
+      for (int c : group_idx) h = HashCombine(h, batch.columns[c].HashCell(r));
+      gid = GroupOf(batch, group_idx, r, h, pos, num_aggs);
+    }
     if (first_seen_[gid] > pos) first_seen_[gid] = pos;
     for (size_t a = 0; a < num_aggs; ++a) {
       Cell& cell = cells_[gid * num_aggs + a];

@@ -50,6 +50,9 @@ class AggAccumulator {
                              const std::vector<AggExpr>& aggs,
                              const std::vector<std::string>& renames) const;
 
+  /// Rows folded through the dictionary-code fast path (obs: vexec.dict_hits).
+  int64_t dict_hit_rows() const { return dict_hit_rows_; }
+
  private:
   /// Scalar fold cell for one (group, aggregate) pair.
   struct Cell {
@@ -72,6 +75,12 @@ class AggAccumulator {
   std::vector<uint64_t> group_hash_;
   std::vector<uint64_t> first_seen_;
   std::vector<Cell> cells_;  ///< group * num_aggs + agg.
+
+  // Dictionary fast path (single dict-encoded group column): cached
+  // code→group-id table, rebuilt if the source dictionary changes.
+  std::shared_ptr<const ColumnDict> fast_dict_;
+  std::vector<int32_t> code_to_gid_;
+  int64_t dict_hit_rows_ = 0;
 };
 
 }  // namespace mqo

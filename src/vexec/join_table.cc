@@ -10,13 +10,6 @@ namespace {
 
 constexpr uint64_t kJoinHashSeed = 0x9ae16a3b2f90404full;
 
-uint64_t HashKeys(const ColumnBatch& batch, const std::vector<int>& cols,
-                  uint32_t row) {
-  uint64_t h = kJoinHashSeed;
-  for (int c : cols) h = HashCombine(h, batch.columns[c].HashCell(row));
-  return h;
-}
-
 /// Smallest power of two >= n (n >= 1).
 size_t NextPow2(size_t n) {
   size_t p = 1;
@@ -24,7 +17,164 @@ size_t NextPow2(size_t n) {
   return p;
 }
 
+/// Key hashes for rows [begin, end), written to `out[r]`. The per-column
+/// type dispatch is hoisted out of the row loop, so each column contributes
+/// one flat pass over its contiguous payload.
+void HashKeyRange(const ColumnBatch& batch, const std::vector<int>& cols,
+                  uint32_t begin, uint32_t end, uint64_t* out) {
+  for (uint32_t r = begin; r < end; ++r) out[r] = kJoinHashSeed;
+  for (int c : cols) {
+    const ColumnVector& col = batch.columns[c];
+    switch (col.type()) {
+      case VecType::kInt64: {
+        const int64_t* v = col.ints().data();
+        for (uint32_t r = begin; r < end; ++r) {
+          const double d = static_cast<double>(v[r]);
+          out[r] = HashCombine(out[r], HashDouble(d == 0.0 ? 0.0 : d));
+        }
+        break;
+      }
+      case VecType::kDouble: {
+        const double* v = col.doubles().data();
+        for (uint32_t r = begin; r < end; ++r) {
+          out[r] = HashCombine(out[r], HashDouble(v[r] == 0.0 ? 0.0 : v[r]));
+        }
+        break;
+      }
+      case VecType::kString: {
+        if (col.dict_encoded()) {
+          const int32_t* codes = col.codes().data();
+          const uint64_t* hashes = col.dict()->hashes.data();
+          for (uint32_t r = begin; r < end; ++r) {
+            out[r] = HashCombine(out[r], hashes[codes[r]]);
+          }
+        } else {
+          for (uint32_t r = begin; r < end; ++r) {
+            out[r] = HashCombine(out[r], col.HashCell(r));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Key hashes for the selected rows, written to `out[j]` for `sel[j]`. Same
+/// hoisted-dispatch shape as HashKeyRange, indirected through the selection
+/// vector.
+void HashKeySel(const ColumnBatch& batch, const std::vector<int>& cols,
+                const uint32_t* sel, size_t n, uint64_t* out) {
+  for (size_t j = 0; j < n; ++j) out[j] = kJoinHashSeed;
+  for (int c : cols) {
+    const ColumnVector& col = batch.columns[c];
+    switch (col.type()) {
+      case VecType::kInt64: {
+        const int64_t* v = col.ints().data();
+        for (size_t j = 0; j < n; ++j) {
+          const double d = static_cast<double>(v[sel[j]]);
+          out[j] = HashCombine(out[j], HashDouble(d == 0.0 ? 0.0 : d));
+        }
+        break;
+      }
+      case VecType::kDouble: {
+        const double* v = col.doubles().data();
+        for (size_t j = 0; j < n; ++j) {
+          const double d = v[sel[j]];
+          out[j] = HashCombine(out[j], HashDouble(d == 0.0 ? 0.0 : d));
+        }
+        break;
+      }
+      case VecType::kString: {
+        if (col.dict_encoded()) {
+          const int32_t* codes = col.codes().data();
+          const uint64_t* hashes = col.dict()->hashes.data();
+          for (size_t j = 0; j < n; ++j) {
+            out[j] = HashCombine(out[j], hashes[codes[sel[j]]]);
+          }
+        } else {
+          for (size_t j = 0; j < n; ++j) {
+            out[j] = HashCombine(out[j], col.HashCell(sel[j]));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
+
+uint64_t JoinKeyHash(const ColumnBatch& batch, const std::vector<int>& cols,
+                     uint32_t row) {
+  uint64_t h = kJoinHashSeed;
+  for (int c : cols) h = HashCombine(h, batch.columns[c].HashCell(row));
+  return h;
+}
+
+size_t BloomRefineSel(const ColumnBatch& batch, const std::vector<int>& keys,
+                      const JoinBloomFilter& bloom, bool use_range,
+                      SelVector* sel) {
+  const size_t n = sel->size();
+  if (n == 0) return 0;
+  uint32_t* s = sel->data();
+  std::vector<uint64_t> hashes(n);
+  HashKeySel(batch, keys, s, n, hashes.data());
+  const double lo = bloom.min_key();
+  const double hi = bloom.max_key();
+  const ColumnVector* range_col =
+      use_range ? &batch.columns[keys[0]] : nullptr;
+  size_t k = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t i = s[j];
+    bool keep = bloom.MayContain(hashes[j]);
+    if (keep && range_col != nullptr) {
+      const double v = range_col->Number(i);
+      keep = v >= lo && v <= hi;
+    }
+    s[k] = i;
+    k += keep ? 1 : 0;
+  }
+  sel->resize(k);
+  return n - k;
+}
+
+void NumericMinMax(const ColumnVector& col, uint32_t begin, uint32_t end,
+                   double* lo, double* hi) {
+  double mn = col.Number(begin);
+  double mx = mn;
+  if (col.type() == VecType::kInt64) {
+    const int64_t* v = col.ints().data();
+    for (uint32_t r = begin + 1; r < end; ++r) {
+      const double d = static_cast<double>(v[r]);
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+    }
+  } else {
+    const double* v = col.doubles().data();
+    for (uint32_t r = begin + 1; r < end; ++r) {
+      mn = std::min(mn, v[r]);
+      mx = std::max(mx, v[r]);
+    }
+  }
+  *lo = mn;
+  *hi = mx;
+}
+
+std::shared_ptr<JoinBloomFilter> JoinBloomFilter::Build(
+    const std::vector<uint64_t>& hashes) {
+  auto filter = std::make_shared<JoinBloomFilter>();
+  const size_t bits = NextPow2(std::max<size_t>(512, hashes.size() * 12));
+  filter->bits_.assign(bits / 64, 0);
+  filter->bit_mask_ = bits - 1;
+  for (uint64_t h : hashes) {
+    const uint64_t m = h * 0xff51afd7ed558ccdull;
+    const uint64_t i1 = h & filter->bit_mask_;
+    const uint64_t i2 = (m ^ (m >> 29)) & filter->bit_mask_;
+    filter->bits_[i1 >> 6] |= uint64_t{1} << (i1 & 63);
+    filter->bits_[i2 >> 6] |= uint64_t{1} << (i2 & 63);
+  }
+  return filter;
+}
 
 Result<JoinSpec> ResolveJoinSpec(const std::vector<ColumnRef>& left,
                                  const std::vector<ColumnRef>& right,
@@ -69,10 +219,27 @@ JoinHashTable JoinHashTable::Build(ColumnBatch build,
                   ResolveMorselRows(num_rows, threads, options.morsel_rows)),
       threads,
       [&](size_t, const Morsel& morsel) {
-        for (uint32_t r = morsel.begin; r < morsel.end; ++r) {
-          hashes[r] = HashKeys(table.build_, table.key_cols_, r);
-        }
+        HashKeyRange(table.build_, table.key_cols_, morsel.begin, morsel.end,
+                     hashes.data());
       });
+
+  // Publish the Bloom filter (sideways information passing): probe-side
+  // pipelines can reject rows whose key hash is absent before the probe op
+  // runs. For a single numeric key, also publish the key range so probes
+  // can skip whole morsels on a zone min/max check.
+  if (!table.key_cols_.empty()) {
+    auto bloom = JoinBloomFilter::Build(hashes);
+    if (table.key_cols_.size() == 1) {
+      const ColumnVector& key = table.build_.columns[table.key_cols_[0]];
+      if (key.is_numeric() && num_rows > 0) {
+        double lo = 0.0;
+        double hi = 0.0;
+        NumericMinMax(key, 0, static_cast<uint32_t>(num_rows), &lo, &hi);
+        bloom->SetRange(lo, hi);
+      }
+    }
+    table.bloom_ = std::move(bloom);
+  }
 
   // Phase 2: hash-disjoint partitions, one worker per partition. Each
   // partition scans the hash array in row order, so bucket row lists are
@@ -95,24 +262,116 @@ JoinHashTable JoinHashTable::Build(ColumnBatch build,
   return table;
 }
 
-void JoinHashTable::Probe(const ColumnBatch& probe,
-                          const std::vector<int>& probe_keys, uint32_t row,
-                          SelVector* out) const {
-  const uint64_t h = HashKeys(probe, probe_keys, row);
+JoinHashTable::PreparedProbe JoinHashTable::Prepare(
+    const ColumnBatch& probe, const std::vector<int>& probe_keys) const {
+  PreparedProbe prepared;
+  prepared.keys.resize(probe_keys.size());
+  for (size_t c = 0; c < probe_keys.size(); ++c) {
+    const ColumnVector& pcol = probe.columns[probe_keys[c]];
+    const ColumnVector& bcol = build_.columns[key_cols_[c]];
+    if (!pcol.dict_encoded() || !bcol.dict_encoded()) {
+      continue;  // kGeneric
+    }
+    ++prepared.dict_keys;
+    if (pcol.dict() == bcol.dict()) {
+      prepared.keys[c].mode = PreparedProbe::Mode::kSameDict;
+      continue;
+    }
+    // Different dictionaries: fetch or build the probe→build code remap.
+    std::shared_ptr<const std::vector<int32_t>> remap;
+    const auto cache_key = std::make_pair(c, pcol.dict());
+    {
+      std::lock_guard<std::mutex> lock(remap_->mu);
+      auto it = remap_->cache.find(cache_key);
+      if (it != remap_->cache.end()) remap = it->second;
+    }
+    if (remap == nullptr) {
+      const auto& pe = pcol.dict()->entries;
+      const auto& be = bcol.dict()->entries;
+      auto built = std::make_shared<std::vector<int32_t>>(pe.size(), -1);
+      // Two-pointer merge: both dictionaries are sorted-unique.
+      size_t b = 0;
+      for (size_t p = 0; p < pe.size(); ++p) {
+        while (b < be.size() && be[b] < pe[p]) ++b;
+        if (b < be.size() && be[b] == pe[p]) {
+          (*built)[p] = static_cast<int32_t>(b);
+        }
+      }
+      remap_->builds.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(remap_->mu);
+      auto inserted = remap_->cache.emplace(cache_key, std::move(built));
+      remap = inserted.first->second;  // A racing builder wins consistently.
+    }
+    prepared.keys[c].mode = PreparedProbe::Mode::kRemap;
+    prepared.keys[c].remap = remap.get();
+    prepared.pinned.push_back(std::move(remap));
+  }
+  return prepared;
+}
+
+void JoinHashTable::ProbeWith(const PreparedProbe& prepared,
+                              const ColumnBatch& probe,
+                              const std::vector<int>& probe_keys, uint32_t row,
+                              SelVector* out) const {
+  // Resolve each dictionary key to its build-side code while hashing; a
+  // probe value absent from the build dictionary cannot match any row.
+  constexpr size_t kMaxInlineKeys = 8;
+  int32_t build_codes[kMaxInlineKeys];
+  uint64_t h = kJoinHashSeed;
+  const size_t num_keys = probe_keys.size();
+  const bool inline_codes = num_keys <= kMaxInlineKeys;
+  for (size_t c = 0; c < num_keys; ++c) {
+    const ColumnVector& pcol = probe.columns[probe_keys[c]];
+    switch (inline_codes ? prepared.keys[c].mode
+                         : PreparedProbe::Mode::kGeneric) {
+      case PreparedProbe::Mode::kSameDict: {
+        const int32_t code = pcol.codes()[row];
+        build_codes[c] = code;
+        h = HashCombine(h, pcol.dict()->hashes[code]);
+        break;
+      }
+      case PreparedProbe::Mode::kRemap: {
+        const int32_t code = pcol.codes()[row];
+        const int32_t bcode = (*prepared.keys[c].remap)[code];
+        if (bcode < 0) return;  // Absent from the build dictionary.
+        build_codes[c] = bcode;
+        h = HashCombine(h, pcol.dict()->hashes[code]);
+        break;
+      }
+      case PreparedProbe::Mode::kGeneric:
+        h = HashCombine(h, pcol.HashCell(row));
+        break;
+    }
+  }
   const auto& part = parts_[h & part_mask_];
   const auto it = part.find(h);
   if (it == part.end()) return;
   for (uint32_t r : it->second) {
     bool match = true;
-    for (size_t c = 0; c < key_cols_.size(); ++c) {
-      if (!ColumnVector::CellsEqual(probe.columns[probe_keys[c]], row,
-                                    build_.columns[key_cols_[c]], r)) {
+    for (size_t c = 0; c < num_keys; ++c) {
+      const ColumnVector& bcol = build_.columns[key_cols_[c]];
+      if (inline_codes &&
+          prepared.keys[c].mode != PreparedProbe::Mode::kGeneric) {
+        if (bcol.codes()[r] != build_codes[c]) {
+          match = false;
+          break;
+        }
+        continue;
+      }
+      if (!ColumnVector::CellsEqual(probe.columns[probe_keys[c]], row, bcol,
+                                    r)) {
         match = false;
         break;
       }
     }
     if (match) out->push_back(r);
   }
+}
+
+void JoinHashTable::Probe(const ColumnBatch& probe,
+                          const std::vector<int>& probe_keys, uint32_t row,
+                          SelVector* out) const {
+  ProbeWith(Prepare(probe, probe_keys), probe, probe_keys, row, out);
 }
 
 }  // namespace mqo

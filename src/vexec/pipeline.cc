@@ -26,6 +26,8 @@ struct WorkerState {
   std::vector<std::pair<size_t, ColumnBatch>> chunks;
   AggAccumulator agg;
   Status status;
+  int64_t bloom_rows_pruned = 0;    ///< Deterministic across thread counts.
+  int64_t bloom_morsels_pruned = 0; ///< Depends on morsel bounds: obs only.
   size_t morsels = 0;            ///< Tracing only.
   int64_t source_rows = 0;       ///< Tracing only: rows entering the chain.
   std::vector<OpCounters> ops;   ///< Tracing only, sized lazily.
@@ -64,9 +66,17 @@ Result<ColumnBatch> ProjectChunkOp::Process(ColumnBatch chunk) const {
 Result<ColumnBatch> ProbeChunkOp::Process(ColumnBatch chunk) const {
   SelVector left_rows;
   SelVector right_rows;
+  // Resolve the key columns (dictionary remaps included) once per chunk,
+  // then probe every row through the prepared plan.
+  const JoinHashTable::PreparedProbe prepared =
+      table_->Prepare(chunk, probe_key_idx_);
+  if (prepared.dict_keys > 0 && chunk.num_rows > 0) {
+    dict_rows_.fetch_add(static_cast<int64_t>(chunk.num_rows),
+                         std::memory_order_relaxed);
+  }
   for (uint32_t r = 0; r < chunk.num_rows; ++r) {
     const size_t before = right_rows.size();
-    table_->Probe(chunk, probe_key_idx_, r, &right_rows);
+    table_->ProbeWith(prepared, chunk, probe_key_idx_, r, &right_rows);
     for (size_t k = before; k < right_rows.size(); ++k) left_rows.push_back(r);
   }
   ColumnBatch out;
@@ -80,6 +90,19 @@ Result<ColumnBatch> ProbeChunkOp::Process(ColumnBatch chunk) const {
   }
   out.num_rows = left_rows.size();
   return out;
+}
+
+void ProbeChunkOp::FlushMetrics(MetricsRegistry* metrics) const {
+  const int64_t rows = dict_rows_.exchange(0, std::memory_order_relaxed);
+  if (rows > 0) {
+    metrics->AddCounter("vexec.dict_hits", static_cast<double>(rows));
+  }
+  const int64_t built = table_->remap_builds();
+  const int64_t delta =
+      built - remap_reported_.exchange(built, std::memory_order_relaxed);
+  if (delta > 0) {
+    metrics->AddCounter("vexec.dict_remap", static_cast<double>(delta));
+  }
 }
 
 namespace {
@@ -154,8 +177,14 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
   }
 
   const int64_t start_ns = tracer ? MonotonicNanos() : 0;
-  auto process = [&pipeline, tracer](WorkerState& state, size_t m,
-                                     const Morsel& morsel) {
+  const JoinBloomFilter* bloom = pipeline.bloom.get();
+  const bool bloom_zone =
+      bloom != nullptr && bloom->has_range() &&
+      pipeline.bloom_key_idx.size() == 1 &&
+      pipeline.source.columns[pipeline.bloom_key_idx[0]].is_numeric();
+  auto process = [&pipeline, tracer, bloom, bloom_zone](WorkerState& state,
+                                                        size_t m,
+                                                        const Morsel& morsel) {
     if (!state.status.ok()) return;
     SelVector sel;
     if (pipeline.source_filters.empty()) {
@@ -165,6 +194,29 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
       FilterRangeInto(pipeline.source, pipeline.source_filters,
                       pipeline.source_filter_idx, morsel.begin, morsel.end,
                       &sel);
+    }
+    if (bloom != nullptr && !sel.empty()) {
+      if (bloom_zone) {
+        // Zone shortcut: if the morsel's key range misses the build range
+        // entirely, every surviving row would fail the per-row range check
+        // below — clearing the selection only skips that per-row work, so
+        // the surviving row set stays a pure per-row function.
+        const ColumnVector& key =
+            pipeline.source.columns[pipeline.bloom_key_idx[0]];
+        double lo = 0.0;
+        double hi = 0.0;
+        NumericMinMax(key, morsel.begin, morsel.end, &lo, &hi);
+        if (hi < bloom->min_key() || lo > bloom->max_key()) {
+          ++state.bloom_morsels_pruned;
+          state.bloom_rows_pruned += static_cast<int64_t>(sel.size());
+          sel.clear();
+        }
+      }
+      if (!sel.empty()) {
+        state.bloom_rows_pruned += static_cast<int64_t>(
+            BloomRefineSel(pipeline.source, pipeline.bloom_key_idx, *bloom,
+                           bloom_zone, &sel));
+      }
     }
     ColumnBatch chunk =
         GatherColumns(pipeline.source, pipeline.keep_idx, pipeline.chunk_names,
@@ -251,6 +303,28 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
       m->AddCounter("vexec.rows_out",
                     static_cast<double>(result.ValueOrDie().num_rows));
     }
+    if (bloom != nullptr) {
+      int64_t rows_pruned = 0;
+      int64_t morsels_pruned = 0;
+      for (const WorkerState& state : states) {
+        rows_pruned += state.bloom_rows_pruned;
+        morsels_pruned += state.bloom_morsels_pruned;
+      }
+      m->AddCounter("vexec.bloom_rows_pruned",
+                    static_cast<double>(rows_pruned));
+      m->AddCounter("vexec.bloom_morsels_pruned",
+                    static_cast<double>(morsels_pruned));
+    }
+    if (pipeline.aggregate) {
+      int64_t dict_rows = 0;
+      for (const WorkerState& state : states) {
+        dict_rows += state.agg.dict_hit_rows();
+      }
+      if (dict_rows > 0) {
+        m->AddCounter("vexec.dict_hits", static_cast<double>(dict_rows));
+      }
+    }
+    for (const auto& op : pipeline.ops) op->FlushMetrics(m);
   }
   return result;
 }

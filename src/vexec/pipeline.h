@@ -19,6 +19,7 @@
 #ifndef MQO_VEXEC_PIPELINE_H_
 #define MQO_VEXEC_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
 
 #include "exec/exec_options.h"
@@ -26,6 +27,8 @@
 #include "vexec/join_table.h"
 
 namespace mqo {
+
+class MetricsRegistry;
 
 /// One streaming operator of a compiled pipeline: transforms a chunk (the
 /// materialized rows one morsel produced) into the next chunk. Process is
@@ -38,6 +41,10 @@ class PipelineOp {
   virtual const std::vector<ColumnRef>& output_names() const = 0;
   /// Short operator name for trace events ("filter", "project", "probe").
   virtual const char* name() const = 0;
+  /// Publishes counters accumulated since the last flush. Called once per
+  /// pipeline run, only when metrics are enabled — per-row work must never
+  /// touch the registry.
+  virtual void FlushMetrics(MetricsRegistry* metrics) const { (void)metrics; }
 };
 
 /// Refines a chunk through comparison conjuncts (indices pre-resolved).
@@ -92,12 +99,18 @@ class ProbeChunkOp : public PipelineOp {
     return out_names_;
   }
   const char* name() const override { return "probe"; }
+  void FlushMetrics(MetricsRegistry* metrics) const override;
 
  private:
   std::shared_ptr<const JoinHashTable> table_;
   std::vector<int> probe_key_idx_;  ///< Key columns in the incoming chunk.
   std::vector<int> left_out_idx_;   ///< Chunk columns kept in the output.
   std::vector<ColumnRef> out_names_;
+  /// Rows probed through dictionary-code kernels (obs: vexec.dict_hits),
+  /// accumulated per chunk — never per row — and drained by FlushMetrics.
+  mutable std::atomic<int64_t> dict_rows_{0};
+  /// Remap-build count already reported, so FlushMetrics emits deltas.
+  mutable std::atomic<int64_t> remap_reported_{0};
 };
 
 /// A compiled pipeline: source -> fused filters -> op chain -> sink.
@@ -119,6 +132,16 @@ struct VecPipeline {
   /// the final projection actually read).
   std::vector<int> keep_idx;
   std::vector<ColumnRef> chunk_names;
+
+  /// Bloom-filter pushdown from a downstream hash-join build (sideways
+  /// information passing): rows whose join-key hash the filter rejects are
+  /// dropped before chunk materialization, and whole morsels are skipped
+  /// when the filter's zone min/max excludes the morsel's key range. The
+  /// refinement is a pure per-row predicate, so the surviving row set — and
+  /// every traced operator count downstream — is identical for every thread
+  /// count. Null = no pushdown.
+  std::shared_ptr<const JoinBloomFilter> bloom;
+  std::vector<int> bloom_key_idx;  ///< Join-key columns in `source`.
 
   std::vector<std::unique_ptr<PipelineOp>> ops;
 

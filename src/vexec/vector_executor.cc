@@ -323,6 +323,18 @@ Result<ColumnBatch> VectorPlanExecutor::RunPipelineFor(const PlanNodePtr& plan,
         }
         auto table = std::make_shared<const JoinHashTable>(JoinHashTable::Build(
             std::move(d.build), std::move(build_keys), options_.pipeline()));
+        // Bloom pushdown: when this probe is the first chain op, its key
+        // columns are source columns (chunk column i materializes source
+        // column keep_idx[i]), so the build's Bloom filter can reject rows
+        // before chunk materialization.
+        if (options_.bloom_filters && pipeline.ops.empty() &&
+            !probe_keys.empty() && table->bloom() != nullptr) {
+          pipeline.bloom = table->bloom();
+          pipeline.bloom_key_idx.clear();
+          for (int k : probe_keys) {
+            pipeline.bloom_key_idx.push_back(pipeline.keep_idx[k]);
+          }
+        }
         schema = spec.out_names;
         pipeline.ops.push_back(std::make_unique<ProbeChunkOp>(
             std::move(table), std::move(probe_keys), std::move(left_out),

@@ -19,20 +19,70 @@ namespace {
 void CompareColumn(const ColumnVector& col, const Comparison& cmp,
                    const SelVector* in_sel, uint32_t begin, uint32_t end,
                    SelVector* out) {
+  // Branch-free compaction: the candidate index is stored unconditionally
+  // and the write cursor advances by the predicate's 0/1, so the loop body
+  // is a flat load-compare-store sequence over contiguous arrays with no
+  // data-dependent branch for the auto-vectorizer to trip on.
   auto scan = [&](auto&& pass) {
+    const size_t base = out->size();
     if (in_sel != nullptr) {
-      for (uint32_t i : *in_sel) {
-        if (pass(i)) out->push_back(i);
+      const uint32_t* src = in_sel->data();
+      const size_t n = in_sel->size();
+      out->resize(base + n);
+      uint32_t* dst = out->data() + base;
+      size_t k = 0;
+      for (size_t j = 0; j < n; ++j) {
+        const uint32_t i = src[j];
+        dst[k] = i;
+        k += pass(i) ? 1 : 0;
       }
+      out->resize(base + k);
     } else {
+      out->resize(base + (end - begin));
+      uint32_t* dst = out->data() + base;
+      size_t k = 0;
       for (uint32_t i = begin; i < end; ++i) {
-        if (pass(i)) out->push_back(i);
+        dst[k] = i;
+        k += pass(i) ? 1 : 0;
       }
+      out->resize(base + k);
     }
   };
   if (col.is_numeric() != cmp.literal.is_number()) return;  // nothing passes
   if (!col.is_numeric()) {
     const std::string& lit = cmp.literal.str();
+    if (col.dict_encoded()) {
+      // Sorted dictionary: the literal resolves to one code bound, and every
+      // per-row test is an int32 compare against that bound.
+      const auto& entries = col.dict()->entries;
+      const int32_t* codes = col.codes().data();
+      const int32_t lb = static_cast<int32_t>(
+          std::lower_bound(entries.begin(), entries.end(), lit) -
+          entries.begin());
+      const bool present =
+          lb < static_cast<int32_t>(entries.size()) && entries[lb] == lit;
+      // Upper bound: first code strictly greater than the literal.
+      const int32_t ub = present ? lb + 1 : lb;
+      switch (cmp.op) {
+        case CompareOp::kEq:
+          if (!present) return;
+          scan([&](uint32_t i) { return codes[i] == lb; });
+          return;
+        case CompareOp::kLt:
+          scan([&](uint32_t i) { return codes[i] < lb; });
+          return;
+        case CompareOp::kLe:
+          scan([&](uint32_t i) { return codes[i] < ub; });
+          return;
+        case CompareOp::kGt:
+          scan([&](uint32_t i) { return codes[i] >= ub; });
+          return;
+        case CompareOp::kGe:
+          scan([&](uint32_t i) { return codes[i] >= lb; });
+          return;
+      }
+      return;
+    }
     const auto& strs = col.strings();
     switch (cmp.op) {
       case CompareOp::kEq:
@@ -218,9 +268,11 @@ Result<ColumnBatch> HashJoinBatch(const ColumnBatch& left,
   std::vector<Pairs> parts(morsels.size());
   ParallelOverMorsels(morsels, num_threads, [&](size_t m, const Morsel& morsel) {
     Pairs& pairs = parts[m];
+    const JoinHashTable::PreparedProbe prepared =
+        table.Prepare(left, probe_keys);
     for (uint32_t l = morsel.begin; l < morsel.end; ++l) {
       const size_t before = pairs.right_idx.size();
-      table.Probe(left, probe_keys, l, &pairs.right_idx);
+      table.ProbeWith(prepared, left, probe_keys, l, &pairs.right_idx);
       for (size_t k = before; k < pairs.right_idx.size(); ++k) {
         pairs.left_idx.push_back(l);
       }

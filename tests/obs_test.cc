@@ -153,6 +153,13 @@ TEST(MetricsTest, DisabledHotPathAllocatesNothing) {
     m.ObserveMs("some.timing.with.a.long.name.beyond.sso", 3.0);
     ScopedTimer timer(&m, "some.scoped.timer.with.a.long.name");
     ScopedTimer null_timer(null_registry, "null.registry.timer");
+    // The compression-aware execution counters the vectorized engine emits
+    // per pipeline run: these names are flushed from worker-local state, so
+    // the disabled path must stay allocation-free for each of them too.
+    m.AddCounter("vexec.bloom_rows_pruned", 7.0);
+    m.AddCounter("vexec.bloom_morsels_pruned", 1.0);
+    m.AddCounter("vexec.dict_hits", 64.0);
+    m.AddCounter("vexec.dict_remap", 1.0);
   }
   EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
   EXPECT_TRUE(m.Snapshot().empty());

@@ -8,12 +8,14 @@
 #include <unistd.h>
 
 #include <array>
+#include <cstdio>
 
 #include "catalog/tpcd.h"
 #include "exec/dataset.h"
 #include "exec/row_ops.h"
 #include "storage/mat_store.h"
 #include "storage/pipeline.h"
+#include "storage/spill.h"
 #include "storage/table_reader.h"
 #include "vexec/vector_ops.h"
 
@@ -63,7 +65,9 @@ TEST(ColumnStoreTest, FromRowsPreservesValuesAndUnqualifiedNames) {
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   EXPECT_EQ(store.ValueOrDie().name(0), "k");
   EXPECT_EQ(store.ValueOrDie().column(0).ints()[1], 5);
-  EXPECT_EQ(store.ValueOrDie().column(1).strings()[0], "x");
+  // Ingest dictionary-encodes string columns; StringAt reads both forms.
+  EXPECT_TRUE(store.ValueOrDie().column(1).dict_encoded());
+  EXPECT_EQ(store.ValueOrDie().column(1).StringAt(0), "x");
 }
 
 // ---- TableReader ------------------------------------------------------------
@@ -111,6 +115,85 @@ TEST(TableReaderTest, EmptyTableYieldsEmptyViewCursorAndMorsels) {
   EXPECT_TRUE(reader.Morsels(16).empty());
   EXPECT_FALSE(reader.cursor().Next());
   EXPECT_TRUE(reader.Rows("t").rows.empty());
+}
+
+// ---- Dictionary-encoded string columns --------------------------------------
+
+TEST(ColumnDictTest, EncodeDecodeRoundTripAndSortedCodes) {
+  ColumnVector col = StringColumn({"pear", "apple", "pear", "fig", "apple"});
+  ASSERT_TRUE(col.DictEncode());
+  ASSERT_TRUE(col.dict_encoded());
+  // The dictionary is sorted-unique, so code order is lexicographic order.
+  EXPECT_EQ(col.dict()->entries,
+            (std::vector<std::string>{"apple", "fig", "pear"}));
+  EXPECT_EQ(col.codes(), (std::vector<int32_t>{2, 0, 2, 1, 0}));
+  EXPECT_EQ(col.StringAt(3), "fig");
+  EXPECT_EQ(col.dict()->Lookup("pear"), 2);
+  EXPECT_EQ(col.dict()->Lookup("absent"), -1);
+  col.DecodeInPlace();
+  EXPECT_FALSE(col.dict_encoded());
+  EXPECT_EQ(col.strings(), (std::vector<std::string>{"pear", "apple", "pear",
+                                                     "fig", "apple"}));
+}
+
+TEST(ColumnDictTest, EncodingDetachesSharedPayload) {
+  ColumnVector raw = StringColumn({"b", "a", "b"});
+  ColumnVector enc = raw;  // shares the payload until DictEncode mutates
+  ASSERT_TRUE(enc.DictEncode());
+  EXPECT_FALSE(raw.dict_encoded());
+  EXPECT_EQ(raw.strings()[0], "b");
+  EXPECT_TRUE(enc.dict_encoded());
+}
+
+TEST(ColumnDictTest, CellOpsAgreeAcrossPhysicalForms) {
+  ColumnVector raw = StringColumn({"b", "a", "c", "a"});
+  ColumnVector enc = raw;
+  ASSERT_TRUE(enc.DictEncode());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(enc.HashCell(i), raw.HashCell(i));
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(ColumnVector::CellsEqual(enc, i, raw, j),
+                ColumnVector::CellsEqual(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellsEqual(enc, i, enc, j),
+                ColumnVector::CellsEqual(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellLess(enc, i, raw, j),
+                ColumnVector::CellLess(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellLess(raw, i, enc, j),
+                ColumnVector::CellLess(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellLess(enc, i, enc, j),
+                ColumnVector::CellLess(raw, i, raw, j));
+    }
+  }
+}
+
+TEST(ColumnDictTest, GatherMovesCodesAndSharesDictionary) {
+  ColumnVector col = StringColumn({"a", "b", "c", "b"});
+  ASSERT_TRUE(col.DictEncode());
+  ColumnVector picked = col.Gather({1, 3});
+  ASSERT_TRUE(picked.dict_encoded());
+  EXPECT_EQ(picked.dict(), col.dict());
+  EXPECT_EQ(picked.codes(), (std::vector<int32_t>{1, 1}));
+}
+
+TEST(ColumnDictTest, AppendAllAdoptsAndMergesDictionaries) {
+  ColumnVector a = StringColumn({"x", "y", "x"});
+  ASSERT_TRUE(a.DictEncode());
+  ColumnVector sink(VecType::kString);
+  sink.AppendAll(a);  // an empty target adopts the source dictionary
+  ASSERT_TRUE(sink.dict_encoded());
+  EXPECT_EQ(sink.dict(), a.dict());
+  sink.AppendAll(a);  // same dictionary: appends codes only
+  ASSERT_TRUE(sink.dict_encoded());
+  EXPECT_EQ(sink.size(), 6u);
+  ColumnVector b = StringColumn({"z", "x"});
+  ASSERT_TRUE(b.DictEncode());
+  sink.AppendAll(b);  // mismatched dictionaries: falls back to raw strings
+  EXPECT_FALSE(sink.dict_encoded());
+  ASSERT_EQ(sink.size(), 8u);
+  EXPECT_EQ(sink.StringAt(0), "x");
+  EXPECT_EQ(sink.StringAt(5), "x");
+  EXPECT_EQ(sink.StringAt(6), "z");
+  EXPECT_EQ(sink.StringAt(7), "x");
 }
 
 // ---- Copy-on-write columns --------------------------------------------------
@@ -465,6 +548,115 @@ TEST(SpillFileTest, RoundTripIsExactIncludingEmptyBatch) {
   ASSERT_TRUE(empty.ok());
   EXPECT_EQ(empty.ValueOrDie().num_rows, 0u);
   EXPECT_TRUE(empty.ValueOrDie().columns.empty());
+}
+
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while (f != nullptr && (n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  if (f != nullptr) std::fclose(f);
+  return out;
+}
+
+void WriteHeaderBytes(const std::string& path, uint32_t magic,
+                      uint32_t version) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(&magic, 1, sizeof(magic), f), sizeof(magic));
+  ASSERT_EQ(std::fwrite(&version, 1, sizeof(version), f), sizeof(version));
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(SpillFileTest, DictionaryColumnsRoundTripByteStable) {
+  SpillDir dir;
+  ColumnBatch b;
+  b.names = {ColumnRef("t", "tag"), ColumnRef("t", "uniq")};
+  ColumnVector dup = StringColumn({"red", "blue", "red", "blue", "red"});
+  ASSERT_TRUE(dup.DictEncode());
+  ColumnVector uniq = StringColumn({"a", "b", "c", "d", "e"});  // all-distinct
+  ASSERT_TRUE(uniq.DictEncode());
+  b.columns = {dup, uniq};
+  b.num_rows = 5;
+
+  auto p1 = dir.NextPath();
+  auto p2 = dir.NextPath();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(WriteSegmentFile(p1.ValueOrDie(), b).ok());
+  auto back = ReadSegmentFile(p1.ValueOrDie());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const ColumnBatch& r = back.ValueOrDie();
+  ASSERT_EQ(r.columns.size(), 2u);
+  ASSERT_TRUE(r.columns[0].dict_encoded());
+  ASSERT_TRUE(r.columns[1].dict_encoded());
+  EXPECT_EQ(r.columns[0].dict()->entries, dup.dict()->entries);
+  EXPECT_EQ(r.columns[0].codes(), dup.codes());
+  EXPECT_EQ(r.columns[1].dict()->entries, uniq.dict()->entries);
+  EXPECT_EQ(r.columns[1].codes(), uniq.codes());
+  EXPECT_EQ(r.ByteSize(), b.ByteSize());
+  // Re-writing the reloaded batch reproduces the file byte for byte.
+  ASSERT_TRUE(WriteSegmentFile(p2.ValueOrDie(), r).ok());
+  EXPECT_EQ(ReadFileBytes(p1.ValueOrDie()), ReadFileBytes(p2.ValueOrDie()));
+}
+
+TEST(SpillFileTest, EmptyDictionaryRoundTrip) {
+  SpillDir dir;
+  ColumnBatch b;
+  b.names = {ColumnRef("t", "s")};
+  b.columns = {ColumnVector::FromDict(
+      ColumnDict::FromSortedUnique(std::vector<std::string>{}),
+      std::vector<int32_t>{})};
+  b.num_rows = 0;
+  auto path = dir.NextPath();
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(WriteSegmentFile(path.ValueOrDie(), b).ok());
+  auto back = ReadSegmentFile(path.ValueOrDie());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(back.ValueOrDie().columns[0].dict_encoded());
+  EXPECT_TRUE(back.ValueOrDie().columns[0].dict()->entries.empty());
+  EXPECT_TRUE(back.ValueOrDie().columns[0].codes().empty());
+}
+
+TEST(SpillFileTest, RejectsForeignMagicVersionAndTruncation) {
+  SpillDir dir;
+  auto p1 = dir.NextPath();
+  auto p2 = dir.NextPath();
+  auto p3 = dir.NextPath();
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+
+  // Wrong magic: not one of our files at all.
+  WriteHeaderBytes(p1.ValueOrDie(), 0x12345678u, kSpillFormatVersion);
+  auto r1 = ReadSegmentFile(p1.ValueOrDie());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().ToString().find("not a spill file"),
+            std::string::npos);
+
+  // Right magic, old format version: rejected explicitly, never misread.
+  WriteHeaderBytes(p2.ValueOrDie(), kSpillMagic, 1);
+  auto r2 = ReadSegmentFile(p2.ValueOrDie());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().ToString().find("unsupported spill format version 1"),
+            std::string::npos);
+
+  // Truncated mid-header.
+  {
+    std::FILE* f = std::fopen(p3.ValueOrDie().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(&kSpillMagic, 1, 2, f), 2u);
+    std::fclose(f);
+  }
+  auto r3 = ReadSegmentFile(p3.ValueOrDie());
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().ToString().find("corrupt or truncated"),
+            std::string::npos);
 }
 
 TEST(SpillFileTest, StoreDestructionRemovesSpillDirectory) {

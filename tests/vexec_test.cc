@@ -17,6 +17,7 @@
 #include "obs/obs.h"
 #include "obs/trace_check.h"
 #include "vexec/backend.h"
+#include "vexec/pipeline.h"
 #include "workload/example1.h"
 #include "workload/tpcd_queries.h"
 
@@ -89,8 +90,7 @@ std::vector<ExecOptions> VectorConfigs() {
 /// stats-collected leg re-runs the whole suite on data-driven statistics
 /// (different plans, identical answers — statistics are a performance
 /// decision, never a semantic one).
-void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
-  DataSet data = GenerateData(*memo->catalog(), gen);
+void CheckBackendsAgreeOn(Memo* memo, const DataSet& data) {
   TableStatsRegistry registry(&data);
   BatchOptimizerOptions optimizer_options;
   if (ResolveStatsMode(StatsMode::kDefault) == StatsMode::kCollected) {
@@ -161,6 +161,10 @@ void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
       }
     }
   }
+}
+
+void CheckBackendsAgree(Memo* memo, const DataGenOptions& gen) {
+  CheckBackendsAgreeOn(memo, GenerateData(*memo->catalog(), gen));
 }
 
 /// A tiny catalog with overlapping key domains, a fractional double column,
@@ -393,6 +397,104 @@ TEST(VexecDifferentialTest, TpcdQ15AllAlgorithms) {
   CheckBackendsAgree(&memo, gen);
 }
 
+// ---- String-key joins (dictionary-encoded key kernels) ----------------------
+
+/// Two tables joined ON their string `tag` columns. `tag_distinct` controls
+/// the dictionary shape: a small span makes duplicate-heavy keys (shared
+/// values, dense groups), a span >= rows makes mostly-distinct keys whose
+/// per-table dictionaries differ (exercising the probe-code remap and its
+/// absent-key early reject).
+Catalog MakeStringKeyCatalog(double tag_distinct) {
+  Catalog cat;
+  for (const char* name : {"u1", "u2"}) {
+    Table t(name, 48);
+    t.AddColumn(ColumnDef{"k", ColumnType::kInt, 4, 16, 0, 16});
+    t.AddColumn(ColumnDef{"v", ColumnType::kDouble, 8, 8, 0, 8});
+    t.AddColumn(
+        ColumnDef{"tag", ColumnType::kString, 8, tag_distinct, 0, tag_distinct});
+    (void)cat.AddTable(std::move(t));
+  }
+  return cat;
+}
+
+JoinCondition TagJoin(const char* la, const char* ra) {
+  JoinCondition c;
+  c.left = ColumnRef(la, "tag");
+  c.right = ColumnRef(ra, "tag");
+  return c;
+}
+
+/// Two queries sharing the string-keyed join, so MQO algorithms materialize
+/// it and dictionary-encoded columns flow through the MatStore (and, under a
+/// 1-byte budget, the spill format).
+std::vector<LogicalExprPtr> MakeStringKeyQueries() {
+  auto join =
+      LogicalExpr::Join(LogicalExpr::Scan("u1"), LogicalExpr::Scan("u2"),
+                        JoinPredicate({TagJoin("u1", "u2")}));
+  auto q1 = LogicalExpr::Aggregate(
+      join, {ColumnRef("u1", "tag")},
+      {Agg(AggFunc::kSum, ColumnRef("u2", "v")), Agg(AggFunc::kCount),
+       Agg(AggFunc::kMin, ColumnRef("u2", "tag"))});
+  auto q2 = LogicalExpr::Project(
+      LogicalExpr::Select(join, Predicate({Cmp("u1", "v", CompareOp::kGt, 2)})),
+      {ColumnRef("u1", "k"), ColumnRef("u2", "tag")});
+  return {q1, q2};
+}
+
+TEST(VexecDifferentialTest, StringKeyJoinDuplicateHeavy) {
+  // Three tag values over 48 rows per side: every probe hits a fat bucket.
+  Catalog catalog = MakeStringKeyCatalog(3);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeStringKeyQueries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 48;
+  gen.domain_cap = 200;
+  gen.seed = 11;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, StringKeyJoinAllDistinctDomains) {
+  // Span >= rows: keys are (near-)distinct and the two sides draw different
+  // dictionaries, so probes go through the code remap with early rejects.
+  Catalog catalog = MakeStringKeyCatalog(300);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeStringKeyQueries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataGenOptions gen;
+  gen.max_rows_per_table = 48;
+  gen.domain_cap = 300;
+  gen.seed = 13;
+  CheckBackendsAgree(&memo, gen);
+}
+
+TEST(VexecDifferentialTest, StringKeysWithEmptyStrings) {
+  // Hand-built tables where "" is a join key and a group key: the empty
+  // string must dictionary-encode, hash, join, and aggregate like any other
+  // value (it sorts first, so it takes code 0).
+  Catalog catalog = MakeStringKeyCatalog(4);
+  Memo memo(&catalog);
+  memo.InsertBatch(MakeStringKeyQueries());
+  ASSERT_TRUE(ExpandMemo(&memo).ok());
+  DataSet data;
+  NamedRows r1;
+  r1.columns = {ColumnRef("", "k"), ColumnRef("", "v"), ColumnRef("", "tag")};
+  r1.rows = {{Value(1.0), Value(0.5), Value("")},
+             {Value(2.0), Value(3.5), Value("a")},
+             {Value(3.0), Value(4.5), Value("")},
+             {Value(4.0), Value(2.5), Value("b")},
+             {Value(5.0), Value(6.5), Value("")}};
+  ASSERT_TRUE(data.AddTableRows("u1", r1).ok());
+  NamedRows r2;
+  r2.columns = r1.columns;
+  r2.rows = {{Value(7.0), Value(1.5), Value("")},
+             {Value(8.0), Value(9.5), Value("c")},
+             {Value(9.0), Value(2.5), Value("")},
+             {Value(10.0), Value(0.5), Value("a")}};
+  ASSERT_TRUE(data.AddTableRows("u2", r2).ok());
+  CheckBackendsAgreeOn(&memo, data);
+}
+
 TEST(VexecFacadeTest, OptimizeAndExecuteAgreesAcrossBackends) {
   Catalog catalog = MakeTpcdCatalog(1);
   const std::vector<std::string> batch = {
@@ -496,6 +598,149 @@ TEST(VexecTraceTest, OperatorRowCountsDeterministicAcrossThreadCounts) {
           << ": " << std::get<0>(baseline[i]) << " vs " << std::get<0>(got[i]);
     }
   }
+}
+
+// ---- Bloom-filter pushdown --------------------------------------------------
+
+/// Counter value from a metrics snapshot; 0 when absent.
+double CounterOf(ObsContext* obs, const std::string& name) {
+  auto snapshot = obs->metrics()->Snapshot();
+  auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0.0 : it->second.value;
+}
+
+/// A probe-source pipeline joining k against a build side covering only
+/// [0, build_keys): rows ready for manual RunVecPipeline runs.
+struct BloomFixture {
+  ColumnBatch probe;
+  std::shared_ptr<const JoinHashTable> table;
+
+  BloomFixture(int probe_rows, int build_keys) {
+    probe.names = {ColumnRef("p", "k"), ColumnRef("p", "v")};
+    ColumnVector pk(VecType::kInt64);
+    ColumnVector pv(VecType::kDouble);
+    for (int i = 0; i < probe_rows; ++i) {
+      pk.ints().push_back(i % 997);  // mostly outside the build domain
+      pv.doubles().push_back(static_cast<double>(i % 7));
+    }
+    probe.columns = {pk, pv};
+    probe.num_rows = probe_rows;
+    ColumnBatch build;
+    build.names = {ColumnRef("b", "k")};
+    ColumnVector bk(VecType::kInt64);
+    for (int i = 0; i < build_keys; ++i) bk.ints().push_back(i);
+    build.columns = {bk};
+    build.num_rows = build_keys;
+    table = std::make_shared<const JoinHashTable>(
+        JoinHashTable::Build(std::move(build), {0}, PipelineOptions{}));
+  }
+
+  VecPipeline MakePipeline(bool with_bloom) const {
+    VecPipeline pipe;
+    pipe.source = probe;
+    pipe.keep_idx = {0, 1};
+    pipe.chunk_names = probe.names;
+    pipe.ops.push_back(std::make_unique<ProbeChunkOp>(
+        table, std::vector<int>{0}, std::vector<int>{0, 1},
+        std::vector<ColumnRef>{ColumnRef("p", "k"), ColumnRef("p", "v"),
+                               ColumnRef("b", "k")}));
+    if (with_bloom) {
+      pipe.bloom = table->bloom();
+      pipe.bloom_key_idx = {0};
+    }
+    return pipe;
+  }
+};
+
+TEST(VexecBloomTest, PushdownPreservesJoinOutputExactly) {
+  // Most probe keys fall outside [0, 40): the Bloom prefilter (plus the zone
+  // min/max shortcut) drops them before materialization, and the join output
+  // must be identical — same rows, same order — with the pushdown on or off,
+  // at every thread count.
+  BloomFixture fx(2000, 40);
+  ExecOptions serial;
+  auto base = RunVecPipeline(fx.MakePipeline(false), serial);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_GT(base.ValueOrDie().num_rows, 0u);
+  for (const ExecOptions& exec : VectorConfigs()) {
+    auto got = RunVecPipeline(fx.MakePipeline(true), exec);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const ColumnBatch& b = base.ValueOrDie();
+    const ColumnBatch& g = got.ValueOrDie();
+    ASSERT_EQ(g.num_rows, b.num_rows) << "t" << exec.num_threads;
+    for (size_t c = 0; c < b.columns.size(); ++c) {
+      for (size_t r = 0; r < b.num_rows; ++r) {
+        ASSERT_TRUE(ColumnVector::CellsEqual(b.columns[c], r, g.columns[c], r))
+            << "t" << exec.num_threads << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(VexecBloomTest, PrunedRowCountsDeterministicAcrossThreads) {
+  // vexec.bloom_rows_pruned counts rows dropped by the per-row predicate —
+  // a pure function of each row, so the total is identical for every thread
+  // count. Morsel prunes depend on morsel boundaries and may vary.
+  BloomFixture fx(2000, 40);
+  std::vector<double> pruned;
+  for (const ExecOptions& base : VectorConfigs()) {
+    ObsOptions obs_options;
+    obs_options.metrics = true;
+    ObsContext obs(obs_options);
+    ExecOptions exec = base;
+    exec.obs = &obs;
+    auto got = RunVecPipeline(fx.MakePipeline(true), exec);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    pruned.push_back(CounterOf(&obs, "vexec.bloom_rows_pruned"));
+  }
+  // ~1920 of 2000 rows lie outside [0, 40); the zone+Bloom prefilter must
+  // drop nearly all of them (Bloom false positives keep a few percent).
+  EXPECT_GE(pruned[0], 1800.0);
+  for (size_t i = 1; i < pruned.size(); ++i) {
+    EXPECT_EQ(pruned[i], pruned[0]) << "thread config " << i;
+  }
+}
+
+TEST(VexecBloomTest, DictionaryProbeCountersSurfaceInMetrics) {
+  // A string-keyed probe between sides with different dictionaries must
+  // report dictionary-kernel rows (vexec.dict_hits) and the remap builds
+  // (vexec.dict_remap) when metrics are on.
+  ColumnBatch probe;
+  probe.names = {ColumnRef("p", "tag")};
+  ColumnVector pt(VecType::kString);
+  for (int i = 0; i < 64; ++i) pt.strings().push_back("t" + std::to_string(i % 6));
+  ASSERT_TRUE(pt.DictEncode());
+  probe.columns = {pt};
+  probe.num_rows = 64;
+  ColumnBatch build;
+  build.names = {ColumnRef("b", "tag")};
+  ColumnVector bt(VecType::kString);
+  for (int i = 0; i < 32; ++i) bt.strings().push_back("t" + std::to_string(i % 4));
+  ASSERT_TRUE(bt.DictEncode());
+  build.columns = {bt};
+  build.num_rows = 32;
+  ASSERT_NE(probe.columns[0].dict(), build.columns[0].dict());
+  auto table = std::make_shared<const JoinHashTable>(
+      JoinHashTable::Build(std::move(build), {0}, PipelineOptions{}));
+
+  VecPipeline pipe;
+  pipe.source = probe;
+  pipe.keep_idx = {0};
+  pipe.chunk_names = probe.names;
+  pipe.ops.push_back(std::make_unique<ProbeChunkOp>(
+      table, std::vector<int>{0}, std::vector<int>{0},
+      std::vector<ColumnRef>{ColumnRef("p", "tag"), ColumnRef("b", "tag")}));
+
+  ObsOptions obs_options;
+  obs_options.metrics = true;
+  ObsContext obs(obs_options);
+  ExecOptions exec;
+  exec.obs = &obs;
+  auto got = RunVecPipeline(pipe, exec);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GT(got.ValueOrDie().num_rows, 0u);
+  EXPECT_EQ(CounterOf(&obs, "vexec.dict_hits"), 64.0);
+  EXPECT_EQ(CounterOf(&obs, "vexec.dict_remap"), 1.0);
 }
 
 TEST(VexecBudgetTest, TinyBudgetForcesSpillsWithoutChangingResults) {
