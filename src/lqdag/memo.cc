@@ -60,10 +60,28 @@ std::string MemoOp::ToString() const {
 EqId Memo::Find(EqId id) const {
   assert(id >= 0 && id < static_cast<int>(parent_link_.size()));
   while (parent_link_[id] != id) {
-    parent_link_[id] = parent_link_[parent_link_[id]];
-    id = parent_link_[id];
+    const EqId parent = parent_link_[id];
+    const EqId grand = parent_link_[parent];
+    // Halve the path only when it actually moves: once CompressPaths has run,
+    // every link is direct and this loop never writes, so concurrent Find()
+    // calls stay read-only.
+    if (grand != parent) parent_link_[id] = grand;
+    id = grand;
   }
   return id;
+}
+
+void Memo::CompressPaths() const {
+  for (EqId i = 0; i < static_cast<EqId>(parent_link_.size()); ++i) {
+    EqId root = i;
+    while (parent_link_[root] != root) root = parent_link_[root];
+    EqId cur = i;
+    while (parent_link_[cur] != root) {
+      const EqId next = parent_link_[cur];
+      parent_link_[cur] = root;
+      cur = next;
+    }
+  }
 }
 
 int Memo::num_live_ops() const {

@@ -80,6 +80,12 @@ class Memo {
   /// Canonical representative of a class (union-find with path compression).
   EqId Find(EqId id) const;
 
+  /// Fully compresses every union-find path so each class links directly to
+  /// its root. After this, Find() performs no writes until the next merge —
+  /// which makes concurrent Find() calls from parallel plan searches pure
+  /// reads. The batch optimizer calls this before fanning evaluations out.
+  void CompressPaths() const;
+
   int num_classes() const { return static_cast<int>(class_ops_.size()); }
   int num_ops() const { return static_cast<int>(ops_.size()); }
 

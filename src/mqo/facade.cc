@@ -128,6 +128,12 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
   BatchOptimizerOptions optimizer_options;
   optimizer_options.stats = stats;
   optimizer_options.obs = obs;
+  // One knob governs executor and optimizer parallelism: an explicit
+  // exec.num_threads > 1 fans greedy candidate evaluations across the same
+  // worker pool; otherwise leave the 0 sentinel so MQO_OPT_THREADS (CI
+  // ablation) can still opt the optimizer in.
+  optimizer_options.num_threads =
+      options.exec.num_threads > 1 ? options.exec.num_threads : 0;
   BatchOptimizer optimizer(memo, CostModel(options.cost_params),
                            optimizer_options);
   outcome->stats_mode = optimizer.stats()->mode();

@@ -38,7 +38,10 @@ struct MqoOptions {
   /// Vectorized-engine execution knobs: `exec.num_threads` > 1 runs every
   /// pipeline — scans, filters, join build/probe, aggregation — morsel-
   /// parallel (results are identical for every value). The row engine is
-  /// serial but honours the store-governance knobs below.
+  /// serial but honours the store-governance knobs below. The same knob
+  /// also fans the optimizer's greedy candidate evaluations across the
+  /// worker pool (BatchOptimizerOptions::num_threads); plans, picks, and
+  /// costs stay bit-identical at every thread count.
   ExecOptions exec;
   /// Byte budget of the executors' materialized-segment store; 0 =
   /// unlimited. A non-zero budget flows to both sides of the system: the

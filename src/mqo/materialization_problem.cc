@@ -1,12 +1,30 @@
 #include "mqo/materialization_problem.h"
 
 #include "obs/obs.h"
+#include "storage/morsel.h"
 
 namespace mqo {
+
+namespace {
+
+/// Evaluates `fn(i)` for every i in [0, n) — across the worker pool when the
+/// optimizer is configured for it, serially otherwise. `fn` writes only its
+/// own index's slot, so downstream index-order consumption is deterministic.
+void ForEachIndex(size_t n, int num_threads,
+                  const std::function<void(size_t)>& fn) {
+  if (num_threads > 1 && n > 1) {
+    ParallelFor(n, num_threads, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
 
 MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
     : optimizer_(optimizer), universe_(ShareableNodes(*optimizer->memo())) {
   const CostModel& cm = optimizer_->cost_model();
+  const int num_threads = optimizer_->options().num_threads;
   if (cm.params().mat_budget_bytes > 0.0) {
     // Admission control: refuse nodes whose standalone recomputation is
     // cheaper than the spill round trip of their footprint. With
@@ -14,14 +32,25 @@ MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
     // of the same footprint, this refuses exactly the nodes whose compute
     // cost undercuts one sequential read of their own result — segments
     // that can never repay the budget pressure of holding them.
+    // The per-node footprint/standalone-cost evaluations are independent, so
+    // they fan across the worker pool; the refusal filter below runs
+    // serially in universe order, keeping refusal order and tracing
+    // identical to the serial run.
     Tracer* tracer = TracerOf(optimizer_->obs());
+    std::vector<double> footprints(universe_.size());
+    std::vector<double> standalones(universe_.size());
+    ForEachIndex(universe_.size(), num_threads, [&](size_t i) {
+      footprints[i] = optimizer_->MatFootprintBytes(universe_[i]);
+      standalones[i] = optimizer_->StandaloneMatCost(universe_[i]);
+    });
     std::vector<EqId> admitted;
-    for (EqId e : universe_) {
-      const double footprint = optimizer_->MatFootprintBytes(e);
+    for (size_t i = 0; i < universe_.size(); ++i) {
+      const EqId e = universe_[i];
+      const double footprint = footprints[i];
       const double blocks = cm.Blocks(footprint);
       const double spill_round_trip =
           cm.SeqWriteCost(blocks) + cm.SeqReadCost(blocks);
-      const double standalone = optimizer_->StandaloneMatCost(e);
+      const double standalone = standalones[i];
       if (standalone <= spill_round_trip) {
         refused_.push_back(e);
         if (tracer) {
@@ -71,10 +100,12 @@ std::set<EqId> MaterializationProblem::ToEqIds(const ElementSet& s) const {
 
 Decomposition MaterializationProblem::CanonicalDecomposition() {
   // c*(e) needs bc(U) and bc(U \ {e}) for every e: pin the full universe as
-  // the incremental base so each bc(U \ {e}) re-plans only e's ancestors.
+  // the incremental base so each bc(U \ {e}) re-plans only e's ancestor
+  // cone, and fan the n independent evaluations across the worker pool.
   std::set<EqId> full(universe_.begin(), universe_.end());
   optimizer_->SetIncrementalBase(full);
-  Decomposition d = ::mqo::CanonicalDecomposition(*benefit_);
+  Decomposition d = ::mqo::CanonicalDecomposition(
+      *benefit_, optimizer_->options().num_threads);
   optimizer_->SetIncrementalBase({});
   return d;
 }
@@ -82,9 +113,10 @@ Decomposition MaterializationProblem::CanonicalDecomposition() {
 Decomposition MaterializationProblem::UseBenefitDecomposition() {
   Decomposition d;
   d.costs.resize(universe_.size());
-  for (size_t i = 0; i < universe_.size(); ++i) {
-    d.costs[i] = optimizer_->StandaloneMatCost(universe_[i]);
-  }
+  ForEachIndex(universe_.size(), optimizer_->options().num_threads,
+               [&](size_t i) {
+                 d.costs[i] = optimizer_->StandaloneMatCost(universe_[i]);
+               });
   return d;
 }
 

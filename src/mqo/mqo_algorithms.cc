@@ -59,7 +59,8 @@ MqoResult RunGreedy(MaterializationProblem* problem, bool lazy) {
   };
   CostGreedyResult greedy =
       CostGreedyMin(problem->best_cost(), candidates, lazy, on_pick,
-                    TracerOf(problem->optimizer()->obs()));
+                    TracerOf(problem->optimizer()->obs()),
+                    problem->optimizer()->options().num_threads);
   return Finalize(problem, "Greedy", greedy.selected, timer.ElapsedMillis(),
                   before, greedy.function_evals);
 }
@@ -77,6 +78,7 @@ MqoResult RunMarginalGreedy(MaterializationProblem* problem,
   greedy_options.cardinality_limit = options.cardinality_limit;
   greedy_options.universe_reduction = options.universe_reduction;
   greedy_options.tracer = TracerOf(problem->optimizer()->obs());
+  greedy_options.num_threads = problem->optimizer()->options().num_threads;
   problem->optimizer()->SetIncrementalBase({});
   greedy_options.on_pick = [problem](const ElementSet& x) {
     problem->optimizer()->SetIncrementalBase(problem->ToEqIds(x));

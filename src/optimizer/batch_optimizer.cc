@@ -1,16 +1,75 @@
 #include "optimizer/batch_optimizer.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/hash.h"
 #include "obs/obs.h"
 
 namespace mqo {
 
+int ResolveOptimizerThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MQO_OPT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+    if (env[0] != '\0') {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "MQO_OPT_THREADS='%s' not recognized (want a positive "
+                     "integer); running the optimizer serially\n",
+                     env);
+      }
+    }
+  }
+  return 1;
+}
+
+bool CostCache::Get(uint64_t hash, const std::set<EqId>& set,
+                    std::pair<double, double>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return false;
+  for (const Entry& e : it->second) {
+    if (e.set == set) {
+      *out = e.cost;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CostCache::Put(uint64_t hash, const std::set<EqId>& set,
+                    std::pair<double, double> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry>& bucket = buckets_[hash];
+  for (const Entry& e : bucket) {
+    if (e.set == set) return;  // first writer wins; values are identical
+  }
+  bucket.push_back(Entry{set, value});
+}
+
 BatchOptimizer::BatchOptimizer(Memo* memo, CostModel cost_model,
                                BatchOptimizerOptions options)
     : memo_(memo), cm_(cost_model), options_(options), stats_(memo, options.stats) {
   assert(memo_->root() >= 0 && "InsertBatch must run before optimization");
+  options_.num_threads = ResolveOptimizerThreads(options_.num_threads);
+  if (options_.num_threads > 1) PrewarmSharedCaches();
+}
+
+void BatchOptimizer::PrewarmSharedCaches() {
+  // After this, worker threads only ever *read* the shared per-class state:
+  // union-find links are fully compressed (Find stops writing) and every
+  // class's statistics — and the memo attribute sets they derive from — are
+  // resident, so concurrent ClassStats calls are pure cache hits.
+  memo_->CompressPaths();
+  for (EqId c : memo_->TopologicalClasses()) (void)stats_.ClassStats(c);
 }
 
 std::set<EqId> BatchOptimizer::Canonical(const std::set<EqId>& mat) const {
@@ -37,7 +96,8 @@ std::pair<double, double> BatchOptimizer::Evaluate(PlanSearch* search,
     assert(compute != nullptr);
     bc += compute->total_cost + search->WriteCost(e);
   }
-  num_costings_ += search->num_costings() - costings_before;
+  num_costings_.fetch_add(search->num_costings() - costings_before,
+                          std::memory_order_relaxed);
   return {bc, buc};
 }
 
@@ -70,90 +130,137 @@ EqId SymmetricDiffOne(const std::set<EqId>& a, const std::set<EqId>& b,
 
 }  // namespace
 
-PlanSearch* BatchOptimizer::AcquireSearch(const std::set<EqId>& mat) {
-  if (options_.incremental) {
-    for (PlanSearch* candidate : {base_.get(), scratch_.get()}) {
-      if (candidate == nullptr) continue;
-      if (candidate->materialized() == mat) {
-        ++num_incremental_;
-        if (candidate == base_.get()) {
-          // Work on a copy so the pinned base stays clean for future deltas.
-          scratch_ = std::make_unique<PlanSearch>(*candidate);
-          return scratch_.get();
-        }
-        return candidate;
-      }
-      bool added = false;
-      EqId delta = SymmetricDiffOne(mat, candidate->materialized(), &added);
-      if (delta >= 0) {
-        ++num_incremental_;
-        if (candidate == base_.get()) {
-          scratch_ = std::make_unique<PlanSearch>(*candidate);
-          scratch_->ToggleMaterialized(delta, added);
-          return scratch_.get();
-        }
-        candidate->ToggleMaterialized(delta, added);
-        return candidate;
-      }
-    }
-  }
-  scratch_ = std::make_unique<PlanSearch>(memo_, &stats_, cm_, mat, options_.search);
-  return scratch_.get();
-}
-
 void BatchOptimizer::SetIncrementalBase(const std::set<EqId>& mat) {
   if (!options_.incremental) return;
   std::set<EqId> s = Canonical(mat);
   if (base_ != nullptr && base_->materialized() == s) return;
-  if (scratch_ != nullptr && scratch_->materialized() == s) {
-    base_ = std::make_unique<PlanSearch>(*scratch_);
-    return;
+  std::unique_ptr<PlanSearch> next;
+  if (base_ != nullptr) {
+    bool added = false;
+    const EqId delta = SymmetricDiffOne(s, base_->materialized(), &added);
+    if (delta >= 0) {
+      // Derive the new base from the old one: copy, toggle, and re-plan only
+      // the toggled node's cone below.
+      next = std::make_unique<PlanSearch>(*base_);
+      next->ToggleMaterialized(delta, added);
+    }
   }
-  base_ = std::make_unique<PlanSearch>(memo_, &stats_, cm_, s, options_.search);
-  (void)Evaluate(base_.get(), s);  // warm the caches for future deltas
+  if (next == nullptr) {
+    next = std::make_unique<PlanSearch>(memo_, &stats_, cm_, s, options_.search);
+  }
+  base_ = std::move(next);
+  (void)Evaluate(base_.get(), s);  // warm the caches overlays fall through to
 }
 
 double BatchOptimizer::BestCost(const std::set<EqId>& mat) {
   std::set<EqId> s = Canonical(mat);
   const uint64_t key = SetKey(s);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second.first;
+  std::pair<double, double> result;
+  if (cache_.Get(key, s, &result)) return result.first;
 
-  ++num_optimizations_;
-  const int64_t incremental_before = num_incremental_;
-  const int64_t costings_before = num_costings_;
+  num_optimizations_.fetch_add(1, std::memory_order_relaxed);
   TraceSpan span(TracerOf(options_.obs), "plan_search", "optimizer");
   ScopedTimer timer(MetricsOf(options_.obs), "optimizer.plan_search_ms");
-  PlanSearch* search = AcquireSearch(s);
-  auto [bc, buc] = Evaluate(search, s);
-  cache_.emplace(key, std::make_pair(bc, buc));
+
+  // Delta against the pinned base: -1 = same set, >= 0 = the toggled node,
+  // kNoDelta = not within one toggle (fresh full search).
+  constexpr EqId kNoDelta = -2;
+  EqId delta = kNoDelta;
+  bool added = false;
+  if (options_.incremental && base_ != nullptr) {
+    if (base_->materialized() == s) {
+      delta = -1;
+    } else {
+      const EqId one = SymmetricDiffOne(s, base_->materialized(), &added);
+      if (one >= 0) delta = one;
+    }
+  }
+
+  const bool incremental_call = delta != kNoDelta;
+  int64_t call_costings = 0;
+  int64_t cone_classes = 0;
+  int64_t reuse_hits = 0;
+  if (incremental_call && options_.cone_scoped) {
+    // Cone-scoped overlay: recompute only AncestorClasses(delta), serve the
+    // rest from the pinned base. Call-local, so worker threads never share
+    // mutable search state.
+    PlanSearch overlay(base_.get(), delta, added);
+    result = Evaluate(&overlay, s);
+    call_costings = overlay.num_costings();
+    cone_classes = overlay.cone_size();
+    reuse_hits = overlay.reuse_hits();
+    if (options_.verify_cone) {
+      PlanSearch fresh(memo_, &stats_, cm_, s, options_.search);
+      PlanNodePtr root = fresh.UsePlan(memo_->root(), {});
+      double buc = root->total_cost;
+      double bc = buc;
+      for (EqId e : s) {
+        PlanNodePtr compute = fresh.ComputePlan(e, {});
+        bc += compute->total_cost + fresh.WriteCost(e);
+      }
+      const double tol = 1e-9 * std::max({1.0, std::abs(bc), std::abs(buc)});
+      if (std::abs(bc - result.first) > tol ||
+          std::abs(buc - result.second) > tol) {
+        std::fprintf(stderr,
+                     "verify_cone: cone-scoped bc/buc (%.17g, %.17g) != fresh "
+                     "full search (%.17g, %.17g) for |S|=%zu\n",
+                     result.first, result.second, bc, buc, s.size());
+        std::abort();
+      }
+    }
+  } else if (incremental_call) {
+    // Full incremental path: copy the pinned base and toggle (O(memo) copy,
+    // cone-only recomputation) — the pre-overlay behavior, kept for the
+    // bench ablation and as the SetIncrementalBase building block.
+    PlanSearch local(*base_);
+    const int64_t copied_costings = local.num_costings();
+    if (delta >= 0) local.ToggleMaterialized(delta, added);
+    result = Evaluate(&local, s);
+    call_costings = local.num_costings() - copied_costings;
+  } else {
+    PlanSearch local(memo_, &stats_, cm_, s, options_.search);
+    result = Evaluate(&local, s);
+    call_costings = local.num_costings();
+  }
+  if (incremental_call) {
+    num_incremental_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cache_.Put(key, s, result);
+
   if (span.active()) {
     span.AddNum("mat_set_size", static_cast<double>(s.size()));
-    span.AddNum("incremental", num_incremental_ > incremental_before ? 1 : 0);
-    span.AddNum("costings", static_cast<double>(num_costings_ - costings_before));
-    span.AddNum("bc", bc);
-    span.AddNum("buc", buc);
+    span.AddNum("incremental", incremental_call ? 1 : 0);
+    span.AddNum("costings", static_cast<double>(call_costings));
+    span.AddNum("cone_classes", static_cast<double>(cone_classes));
+    span.AddNum("bc", result.first);
+    span.AddNum("buc", result.second);
   }
   if (MetricsRegistry* m = MetricsOf(options_.obs)) {
     m->AddCounter("optimizer.plan_searches");
-    if (num_incremental_ > incremental_before) {
-      m->AddCounter("optimizer.incremental_reuses");
+    if (incremental_call) m->AddCounter("optimizer.incremental_reuses");
+    m->AddCounter("optimizer.costings", static_cast<double>(call_costings));
+    if (cone_classes > 0) {
+      m->AddCounter("optimizer.cone_classes", static_cast<double>(cone_classes));
     }
-    m->AddCounter("optimizer.costings",
-                  static_cast<double>(num_costings_ - costings_before));
+    if (reuse_hits > 0) {
+      m->AddCounter("optimizer.search_reuse_hits",
+                    static_cast<double>(reuse_hits));
+    }
   }
-  return bc;
+  return result.first;
 }
 
 double BatchOptimizer::BestUseCost(const std::set<EqId>& mat) {
   std::set<EqId> s = Canonical(mat);
   const uint64_t key = SetKey(s);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
+  std::pair<double, double> cached;
+  if (!cache_.Get(key, s, &cached)) {
     BestCost(mat);
-    it = cache_.find(key);
+    const bool hit = cache_.Get(key, s, &cached);
+    assert(hit);
+    (void)hit;
   }
-  return it->second.second;
+  return cached.second;
 }
 
 ConsolidatedPlan BatchOptimizer::Plan(const std::set<EqId>& mat) {

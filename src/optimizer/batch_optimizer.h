@@ -8,12 +8,23 @@
 //                       materialized nodes below it),
 //   mb(S)             = bestCost(Q, ∅) − bestCost(Q, S), the materialization
 //                       benefit the MQO algorithms maximize.
+//
+// The oracle is safe to call from the worker pool: the greedy drivers fan a
+// round's candidate evaluations across threads (submodular/algorithms.cc),
+// and every BestCost call either hits the concurrent cost cache or builds a
+// call-local search — a cone-scoped overlay over the pinned incremental base
+// when the set differs by one element, a fresh full search otherwise. The
+// memo and statistics caches are pre-warmed so concurrent reads stay pure.
 
 #ifndef MQO_OPTIMIZER_BATCH_OPTIMIZER_H_
 #define MQO_OPTIMIZER_BATCH_OPTIMIZER_H_
 
+#include <atomic>
+#include <mutex>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/element_set.h"
 #include "optimizer/plan_search.h"
@@ -44,6 +55,23 @@ struct BatchOptimizerOptions {
   /// re-optimization; the paper reuses it in Section 5.1). Off = every bc()
   /// runs a fresh search.
   bool incremental = true;
+  /// Serve the non-cone part of a delta evaluation straight from the pinned
+  /// base search's caches (a fall-through overlay) instead of copying the
+  /// whole search and toggling. Provably the same costs — a class outside
+  /// the toggled node's ancestor cone cannot see the change — for O(cone)
+  /// instead of O(memo) work per candidate. Only meaningful with
+  /// `incremental`; off = the copy-and-toggle path (the "full" mode of
+  /// bench_optimizer).
+  bool cone_scoped = true;
+  /// Debug cross-check: every cone-scoped evaluation is re-run as a fresh
+  /// full search and the bc/buc pair asserted equal. Expensive; for tests.
+  bool verify_cone = false;
+  /// Worker threads the greedy drivers may fan candidate evaluations across
+  /// (1 = serial). 0 = unset: resolved against the MQO_OPT_THREADS
+  /// environment variable, else serial. The facade wires
+  /// MqoOptions::exec.num_threads through here so one knob governs optimizer
+  /// and executor parallelism. Results are bit-identical for every value.
+  int num_threads = 0;
   /// Physical search knobs (e.g. the index nested-loops join extension).
   SearchOptions search;
   /// Statistics source of the estimator (cost/stats.h): catalog guesses
@@ -57,6 +85,34 @@ struct BatchOptimizerOptions {
   ObsContext* obs = nullptr;
 };
 
+/// Resolves BatchOptimizerOptions::num_threads: an explicit value (> 0) wins,
+/// 0 falls back to the MQO_OPT_THREADS environment variable (CI ablation),
+/// else serial.
+int ResolveOptimizerThreads(int requested);
+
+/// Concurrent bc/buc cache keyed by the exact materialized set. The 64-bit
+/// set hash is only a bucket index; every hit verifies the stored set, so a
+/// hash collision costs a probe instead of silently returning a wrong cost.
+/// Get/Put take the caller-computed hash so tests can force collisions.
+class CostCache {
+ public:
+  /// Looks up `set` under `hash`; fills `out` {bc, buc} on a verified hit.
+  bool Get(uint64_t hash, const std::set<EqId>& set,
+           std::pair<double, double>* out) const;
+
+  /// Stores {bc, buc} for `set` under `hash` (first writer wins).
+  void Put(uint64_t hash, const std::set<EqId>& set,
+           std::pair<double, double> value);
+
+ private:
+  struct Entry {
+    std::set<EqId> set;
+    std::pair<double, double> cost;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+};
+
 /// Expected number of materialized-store reads per materialized class in
 /// `plan`: ReadMaterialized leaves across the root plan and every compute
 /// plan, plus join side-inputs (single-child join nodes whose inner is a
@@ -68,6 +124,8 @@ std::unordered_map<EqId, double> ExpectedSegmentReads(
 
 /// Cost oracle for the MQO algorithms. Evaluations are cached per set, and
 /// instrumentation counters expose how many full optimizations were run.
+/// BestCost/BestUseCost are thread-safe between SetIncrementalBase calls;
+/// SetIncrementalBase and Plan must be called from one thread at a time.
 class BatchOptimizer {
  public:
   /// The memo must already contain the batch (InsertBatch) and be expanded.
@@ -94,23 +152,26 @@ class BatchOptimizer {
   double MatFootprintBytes(EqId eq);
 
   /// Pins S as the incremental base: subsequent bc(S ∪ {x}) / bc(S \ {x})
-  /// calls clone the pinned search and re-plan only the ancestor classes of
+  /// calls overlay the pinned search and re-plan only the ancestor cone of
   /// x. The MQO greedy drivers call this after each committed pick.
   void SetIncrementalBase(const std::set<EqId>& mat);
 
   /// Number of distinct bc() optimizations actually executed (cache misses).
-  int64_t num_optimizations() const { return num_optimizations_; }
+  int64_t num_optimizations() const { return num_optimizations_.load(); }
 
   /// How many of those were served by delta-reuse of a prior search.
-  int64_t num_incremental() const { return num_incremental_; }
+  int64_t num_incremental() const { return num_incremental_.load(); }
 
   /// Total operator costings across all optimizations (work proxy).
-  int64_t num_costings() const { return num_costings_; }
+  int64_t num_costings() const { return num_costings_.load(); }
 
   Memo* memo() { return memo_; }
   StatsEstimator* stats() { return &stats_; }
   const CostModel& cost_model() const { return cm_; }
   ObsContext* obs() { return options_.obs; }
+
+  /// The options this optimizer runs with, `num_threads` resolved (> 0).
+  const BatchOptimizerOptions& options() const { return options_; }
 
  private:
   std::set<EqId> Canonical(const std::set<EqId>& mat) const;
@@ -118,20 +179,20 @@ class BatchOptimizer {
   /// Runs bc+buc on `search`, charging only the costings delta.
   std::pair<double, double> Evaluate(PlanSearch* search,
                                      const std::set<EqId>& mat);
-  /// Obtains a search for `mat`, via delta-reuse when possible. The returned
-  /// pointer stays owned by the optimizer (scratch_ slot).
-  PlanSearch* AcquireSearch(const std::set<EqId>& mat);
+  /// Warms every per-class cache concurrent evaluations read (union-find
+  /// paths, statistics, attribute sets) so worker threads never mutate
+  /// shared state. Idempotent.
+  void PrewarmSharedCaches();
 
   Memo* memo_;
   CostModel cm_;
   BatchOptimizerOptions options_;
   StatsEstimator stats_;
-  std::unordered_map<uint64_t, std::pair<double, double>> cache_;  // key -> {bc, buc}
-  std::unique_ptr<PlanSearch> base_;     // pinned committed base (greedy's X)
-  std::unique_ptr<PlanSearch> scratch_;  // most recent evaluated search
-  int64_t num_optimizations_ = 0;
-  int64_t num_incremental_ = 0;
-  int64_t num_costings_ = 0;
+  CostCache cache_;
+  std::unique_ptr<PlanSearch> base_;  // pinned committed base (greedy's X)
+  std::atomic<int64_t> num_optimizations_{0};
+  std::atomic<int64_t> num_incremental_{0};
+  std::atomic<int64_t> num_costings_{0};
 };
 
 }  // namespace mqo

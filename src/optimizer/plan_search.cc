@@ -28,6 +28,40 @@ PlanSearch::PlanSearch(Memo* memo, StatsEstimator* stats,
   for (EqId e : materialized) mat_.insert(memo_->Find(e));
 }
 
+PlanSearch::PlanSearch(const PlanSearch* base, EqId toggled, bool materialized)
+    : memo_(base->memo_),
+      stats_(base->stats_),
+      cm_(base->cm_),
+      options_(base->options_),
+      mat_(base->mat_),
+      base_(base) {
+  assert(base->base_ == nullptr && "overlays do not stack");
+  if (toggled < 0) return;  // empty-cone overlay: every lookup falls through
+  const EqId eq = memo_->Find(toggled);
+  if (materialized) {
+    mat_.insert(eq);
+  } else {
+    mat_.erase(eq);
+  }
+  for (EqId ancestor : memo_->AncestorClasses(eq)) cone_.insert(ancestor);
+}
+
+const PlanNodePtr* PlanSearch::BaseUse(EqId eq, uint64_t key) const {
+  if (base_ == nullptr || cone_.count(eq) > 0) return nullptr;
+  auto bucket = base_->use_cache_.find(eq);
+  if (bucket == base_->use_cache_.end()) return nullptr;
+  auto it = bucket->second.find(key);
+  return it != bucket->second.end() ? &it->second : nullptr;
+}
+
+const PlanNodePtr* PlanSearch::BaseCompute(EqId eq, uint64_t key) const {
+  if (base_ == nullptr || cone_.count(eq) > 0) return nullptr;
+  auto bucket = base_->compute_cache_.find(eq);
+  if (bucket == base_->compute_cache_.end()) return nullptr;
+  auto it = bucket->second.find(key);
+  return it != bucket->second.end() ? &it->second : nullptr;
+}
+
 uint64_t PlanSearch::Key(EqId eq, const SortOrder& order) const {
   uint64_t h = static_cast<uint64_t>(memo_->Find(eq));
   for (const auto& c : order) h = HashCombine(h, c.Hash());
@@ -35,6 +69,7 @@ uint64_t PlanSearch::Key(EqId eq, const SortOrder& order) const {
 }
 
 void PlanSearch::ToggleMaterialized(EqId eq, bool materialized) {
+  assert(base_ == nullptr && "toggle the base, not an overlay");
   eq = memo_->Find(eq);
   if (materialized) {
     mat_.insert(eq);
@@ -62,6 +97,13 @@ const SortOrder& PlanSearch::MaterializedOrder(EqId eq) {
   eq = memo_->Find(eq);
   auto it = mat_order_cache_.find(eq);
   if (it != mat_order_cache_.end()) return it->second;
+  if (base_ != nullptr && cone_.count(eq) == 0) {
+    auto base_it = base_->mat_order_cache_.find(eq);
+    if (base_it != base_->mat_order_cache_.end()) {
+      ++reuse_hits_;
+      return base_it->second;
+    }
+  }
   // Reserve the slot first: the compute search below may consult other
   // materialized nodes but never this one at its own root.
   auto [ins, _] = mat_order_cache_.emplace(eq, SortOrder{});
@@ -79,6 +121,10 @@ PlanNodePtr PlanSearch::UsePlan(EqId eq, const SortOrder& required) {
       auto it = bucket->second.find(key);
       if (it != bucket->second.end()) return it->second;
     }
+  }
+  if (const PlanNodePtr* reused = BaseUse(eq, key)) {
+    ++reuse_hits_;
+    return *reused;
   }
 
   std::vector<PlanNodePtr> candidates;
@@ -110,6 +156,10 @@ PlanNodePtr PlanSearch::ComputePlan(EqId eq, const SortOrder& required) {
       auto it = bucket->second.find(key);
       if (it != bucket->second.end()) return it->second;
     }
+  }
+  if (const PlanNodePtr* reused = BaseCompute(eq, key)) {
+    ++reuse_hits_;
+    return *reused;
   }
   if (in_progress_.count(key) > 0) {
     // Cycle guard; a well-formed LQDAG is acyclic so this never fires.

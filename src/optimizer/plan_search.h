@@ -14,6 +14,7 @@
 
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cost/cost_model.h"
 #include "cost/stats.h"
@@ -35,6 +36,19 @@ class PlanSearch {
   /// `materialized` holds canonical EqIds. The memo must be fully expanded.
   PlanSearch(Memo* memo, StatsEstimator* stats, const CostModel& cost_model,
              std::set<EqId> materialized, SearchOptions options = {});
+
+  /// Cone-scoped overlay: a search for base's set with the materialization
+  /// status of `toggled` flipped to `materialized`, that reuses `base`'s
+  /// cached plans for every class outside AncestorClasses(toggled) and
+  /// recomputes only inside that cone. A class's best plan depends only on
+  /// its downward closure, and a class outside the cone cannot reach
+  /// `toggled`, so every reused plan is exactly what a fresh full search
+  /// would produce — per-candidate cost drops from O(memo) to O(cone)
+  /// without copying the base's caches. `toggled < 0` means no flip (an
+  /// empty-cone overlay evaluating the base's own set). The overlay never
+  /// mutates `base`, so many overlays over one pinned base may run on
+  /// separate threads concurrently.
+  PlanSearch(const PlanSearch* base, EqId toggled, bool materialized);
 
   /// Best plan producing `eq` in `required` order, allowed to read any
   /// materialized node (including eq itself). Never returns null for a
@@ -61,6 +75,11 @@ class PlanSearch {
   /// Number of operator-implementation costings performed (instrumentation
   /// for the lazy-evaluation ablation).
   int64_t num_costings() const { return num_costings_; }
+
+  /// Overlay instrumentation: cached plans served from the base search
+  /// (0 for a non-overlay search) and the size of the recomputed cone.
+  int64_t reuse_hits() const { return reuse_hits_; }
+  int64_t cone_size() const { return static_cast<int64_t>(cone_.size()); }
 
   /// Incremental re-optimization (Roy et al.'s second optimization, reused
   /// by the paper's Section 5.1): flips the materialization status of `eq`
@@ -89,11 +108,22 @@ class PlanSearch {
   void AddBatchCandidates(const MemoOp& op, OpId oid, EqId eq,
                           std::vector<PlanNodePtr>* out);
 
+  /// Base-cache lookups for the overlay fall-through; null pointees when this
+  /// search is not an overlay or the base has no entry.
+  const PlanNodePtr* BaseUse(EqId eq, uint64_t key) const;
+  const PlanNodePtr* BaseCompute(EqId eq, uint64_t key) const;
+
   Memo* memo_;
   StatsEstimator* stats_;
   CostModel cm_;
   SearchOptions options_;
   std::set<EqId> mat_;
+  /// Overlay state: the pinned read-only base search and the ancestor cone of
+  /// the toggled class. Classes outside the cone fall through to `base_`'s
+  /// caches. Null/empty for an ordinary full search.
+  const PlanSearch* base_ = nullptr;
+  std::unordered_set<EqId> cone_;
+  int64_t reuse_hits_ = 0;
   // Caches are nested per class so incremental invalidation can drop exactly
   // the ancestor classes of a toggled node.
   using OrderedPlans = std::unordered_map<uint64_t, PlanNodePtr>;

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "obs/trace.h"
+#include "storage/morsel.h"
 
 namespace mqo {
 
@@ -17,6 +18,23 @@ std::vector<int> DefaultCandidates(const SetFunction& f,
   std::vector<int> all(f.universe_size());
   for (int i = 0; i < f.universe_size(); ++i) all[i] = i;
   return all;
+}
+
+/// Runs `fn(i)` exactly once for every i in [0, n), fanning across the
+/// persistent worker pool when `num_threads` > 1. `fn` must write only to
+/// its own index's result slot, so the merged results — and everything the
+/// caller derives from them in index order — are bit-identical to the
+/// serial run. Wrapped in a "greedy.parallel_eval" span when tracing is on
+/// (allocation-free otherwise: `tracer` is already null when disabled).
+void EvaluateIndexed(size_t n, int num_threads, Tracer* tracer,
+                     const std::function<void(size_t)>& fn) {
+  if (num_threads > 1 && n > 1) {
+    TraceSpan span(tracer, "greedy.parallel_eval", "submodular");
+    if (span.active()) span.AddNum("evals", static_cast<double>(n));
+    ParallelFor(n, num_threads, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 /// Positive-cost candidates go through the ratio loop; non-positive-cost
@@ -44,7 +62,7 @@ double Theorem1Bound(double f_opt, double c_opt) {
 
 std::vector<int> UniverseReduction(const SetFunction& f, const Decomposition& d,
                                    std::vector<int> candidates, int k,
-                                   int64_t* evals) {
+                                   int64_t* evals, int num_threads) {
   const int n = static_cast<int>(candidates.size());
   if (k >= n || k < 0) {
     // Case 1 of Theorem 4: every element passes the filter; skip the
@@ -62,18 +80,28 @@ std::vector<int> UniverseReduction(const SetFunction& f, const Decomposition& d,
     int e;
     double last_ratio;
   };
-  std::vector<Ranked> ranked;
+  std::vector<int> rankable;
   std::vector<int> keep_always;
   int64_t local_evals = 0;
   for (int e : candidates) {
     if (d.costs[e] <= 0) {
       keep_always.push_back(e);
-      continue;
+    } else {
+      rankable.push_back(e);
     }
-    const double marginal = d.MonotoneMarginal(f, e, full.Without(e));
-    ++local_evals;
-    ranked.push_back({e, marginal / d.costs[e]});
   }
+  // The marginals against U \ {e} all share f(U): warm it before fanning out
+  // so workers only compute their own f(U \ {e}).
+  if (num_threads > 1 && rankable.size() > 1) (void)f.Value(full);
+  std::vector<Ranked> ranked(rankable.size());
+  EvaluateIndexed(rankable.size(), num_threads, /*tracer=*/nullptr,
+                  [&](size_t i) {
+                    const int e = rankable[i];
+                    const double marginal =
+                        d.MonotoneMarginal(f, e, full.Without(e));
+                    ranked[i] = {e, marginal / d.costs[e]};
+                  });
+  local_evals += static_cast<int64_t>(rankable.size());
   if (static_cast<int>(keep_always.size()) >= k || ranked.empty()) {
     if (evals != nullptr) *evals += local_evals;
     return candidates;  // reduction cannot apply meaningfully
@@ -87,11 +115,18 @@ std::vector<int> UniverseReduction(const SetFunction& f, const Decomposition& d,
   const double threshold = sorted[kth].last_ratio;
   std::vector<int> out = keep_always;
   const ElementSet empty(f.universe_size());
-  for (const auto& r : ranked) {
-    // Keep e iff fM({e})/c(e) >= threshold.
-    const double fm_singleton = d.MonotoneMarginal(f, r.e, empty);
-    ++local_evals;
-    if (fm_singleton / d.costs[r.e] >= threshold) out.push_back(r.e);
+  // Keep e iff fM({e})/c(e) >= threshold; the singleton values share f(∅).
+  if (num_threads > 1 && ranked.size() > 1) (void)f.Value(empty);
+  std::vector<double> singleton(ranked.size());
+  EvaluateIndexed(ranked.size(), num_threads, /*tracer=*/nullptr,
+                  [&](size_t i) {
+                    singleton[i] = d.MonotoneMarginal(f, ranked[i].e, empty);
+                  });
+  local_evals += static_cast<int64_t>(ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (singleton[i] / d.costs[ranked[i].e] >= threshold) {
+      out.push_back(ranked[i].e);
+    }
   }
   if (evals != nullptr) *evals += local_evals;
   std::sort(out.begin(), out.end());
@@ -117,7 +152,8 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
   if (options.universe_reduction && options.cardinality_limit >= 0) {
     candidates = UniverseReduction(f, d, std::move(candidates),
                                    options.cardinality_limit,
-                                   &result.function_evals);
+                                   &result.function_evals,
+                                   options.num_threads);
   }
   result.universe_after_reduction = static_cast<int>(candidates.size());
 
@@ -131,17 +167,30 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
 
   if (!options.lazy) {
     // Eager MarginalGreedy: full rescan per iteration, with the Section 5.1
-    // drop-below-one pruning applied during the scan.
+    // drop-below-one pruning applied during the scan. The rescan's marginals
+    // are independent, so they evaluate into an index array (in parallel when
+    // requested) and the selection below reduces serially in index order —
+    // the pick, tie-breaks, pruning, and tracing all match the serial run.
     while (!pool.empty() && x.Size() < limit) {
       const int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
       const int pool_before = static_cast<int>(pool.size());
+      // Every marginal shares f(X); warm it once before fanning out so
+      // workers don't race to compute the same base value (the shared cost
+      // cache makes the race benign, but the duplicate misses would inflate
+      // the optimizer's work counters relative to the serial run).
+      if (options.num_threads > 1 && pool.size() > 1) (void)f.Value(x);
+      std::vector<double> ratios(pool.size());
+      EvaluateIndexed(pool.size(), options.num_threads, tracer, [&](size_t i) {
+        ratios[i] = d.MonotoneMarginal(f, pool[i], x) / d.costs[pool[i]];
+      });
+      result.function_evals += static_cast<int64_t>(pool.size());
       int best = -1;
       double best_ratio = -std::numeric_limits<double>::infinity();
       std::vector<int> next_pool;
       next_pool.reserve(pool.size());
-      for (int e : pool) {
-        const double ratio = d.MonotoneMarginal(f, e, x) / d.costs[e];
-        ++result.function_evals;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const int e = pool[i];
+        const double ratio = ratios[i];
         if (tracer) {
           tracer->Instant("greedy.candidate", "submodular",
                           {TNum("elem", e), TNum("ratio", ratio),
@@ -181,12 +230,23 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
     }
   } else {
     // LazyMarginalGreedy: heap of stale upper bounds on the ratio. Marginals
-    // only shrink as X grows, so a re-validated top-of-heap is exact.
+    // only shrink as X grows, so a re-validated top-of-heap is exact. Stale
+    // tops that share the maximal bound are gathered into one "wave" and
+    // re-evaluated together (in parallel when requested) — the initial wave
+    // of infinite bounds is the whole pool, which is where nearly all of the
+    // lazy variant's evaluations happen. Serial and parallel runs execute the
+    // exact same waves, so picks and evaluation counts are identical.
     struct HeapEntry {
       double bound;
       int e;
       int stamp;  // |X| at which the bound was computed
-      bool operator<(const HeapEntry& o) const { return bound < o.bound; }
+      bool operator<(const HeapEntry& o) const {
+        // Bound descending, element index ascending: on equal bounds the
+        // smallest index pops first, matching the eager scan's "first strict
+        // improvement wins" tie-break.
+        if (bound != o.bound) return bound < o.bound;
+        return e > o.e;
+      }
     };
     std::priority_queue<HeapEntry> heap;
     for (int e : pool) {
@@ -194,10 +254,10 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
     }
     int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
     while (!heap.empty() && x.Size() < limit) {
-      HeapEntry top = heap.top();
-      heap.pop();
+      const HeapEntry top = heap.top();
       if (top.stamp == x.Size()) {
         // Fresh bound: it is the exact ratio and it dominates the heap.
+        heap.pop();
         if (top.bound <= 1.0) break;
         x.Add(top.e);
         result.pick_order.push_back(top.e);
@@ -213,17 +273,30 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
         if (options.on_pick) options.on_pick(x);
         continue;
       }
-      const double ratio = d.MonotoneMarginal(f, top.e, x) / d.costs[top.e];
-      ++result.function_evals;
-      if (tracer) {
-        tracer->Instant("greedy.candidate", "submodular",
-                        {TNum("elem", top.e), TNum("ratio", ratio),
-                         TNum("round", result.pick_order.size())});
+      // Gather the wave of consecutive stale tops sharing the maximal bound.
+      std::vector<HeapEntry> wave;
+      while (!heap.empty() && heap.top().bound == top.bound &&
+             heap.top().stamp != x.Size()) {
+        wave.push_back(heap.top());
+        heap.pop();
       }
-      if (options.prune_ratio_below_one && ratio <= 1.0) {
-        continue;  // drop permanently
+      if (options.num_threads > 1 && wave.size() > 1) (void)f.Value(x);
+      std::vector<double> ratios(wave.size());
+      EvaluateIndexed(wave.size(), options.num_threads, tracer, [&](size_t i) {
+        ratios[i] = d.MonotoneMarginal(f, wave[i].e, x) / d.costs[wave[i].e];
+      });
+      result.function_evals += static_cast<int64_t>(wave.size());
+      for (size_t i = 0; i < wave.size(); ++i) {
+        if (tracer) {
+          tracer->Instant("greedy.candidate", "submodular",
+                          {TNum("elem", wave[i].e), TNum("ratio", ratios[i]),
+                           TNum("round", result.pick_order.size())});
+        }
+        if (options.prune_ratio_below_one && ratios[i] <= 1.0) {
+          continue;  // drop permanently
+        }
+        heap.push({ratios[i], wave[i].e, x.Size()});
       }
-      heap.push({ratio, top.e, x.Size()});
     }
   }
 
@@ -254,11 +327,15 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& raw_d,
 
 CostGreedyResult CostGreedyMin(
     const SetFunction& g, const std::vector<int>& candidates, bool lazy,
-    const std::function<void(const ElementSet&)>& on_pick, Tracer* raw_tracer) {
+    const std::function<void(const ElementSet&)>& on_pick, Tracer* raw_tracer,
+    int num_threads) {
   CostGreedyResult result;
   std::vector<int> pool = DefaultCandidates(g, candidates);
   ElementSet x(g.universe_size());
   Tracer* tracer = raw_tracer && raw_tracer->enabled() ? raw_tracer : nullptr;
+  // Also serves as the parallel prewarm: g(X) is in the cost cache before any
+  // wave fans out, and each candidate's g(X∪{e}) is a distinct set, so
+  // workers never race to compute the same value.
   double current = g.Value(x);
   ++result.function_evals;
 
@@ -266,16 +343,22 @@ CostGreedyResult CostGreedyMin(
     while (!pool.empty()) {
       const int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
       const int pool_before = static_cast<int>(pool.size());
+      std::vector<double> costs(pool.size());
+      EvaluateIndexed(pool.size(), num_threads, tracer, [&](size_t i) {
+        costs[i] = g.Value(x.With(pool[i]));
+      });
+      result.function_evals += static_cast<int64_t>(pool.size());
       int best = -1;
       double best_cost = std::numeric_limits<double>::infinity();
-      for (int e : pool) {
-        const double c = g.Value(x.With(e));
-        ++result.function_evals;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        const int e = pool[i];
+        const double c = costs[i];
         if (tracer) {
           tracer->Instant("greedy.candidate", "submodular",
                           {TNum("elem", e), TNum("cost", c),
                            TNum("round", result.pick_order.size())});
         }
+        // Strict < keeps the earliest index on ties, same as the serial scan.
         if (c < best_cost) {
           best_cost = c;
           best = e;
@@ -307,12 +390,18 @@ CostGreedyResult CostGreedyMin(
     // Lazy variant under the "monotonicity heuristic" (supermodularity of g):
     // benefit(e, X) = g(X) − g(X∪{e}) only shrinks as X grows, so stale
     // benefit upper bounds are safe (this is Roy et al.'s third optimization).
+    // Stale tops sharing the maximal bound re-evaluate as one wave, in
+    // parallel when requested — identical waves, picks, and evaluation
+    // counts at every thread count (see the lazy MarginalGreedy above).
     struct HeapEntry {
       double benefit_bound;
       int e;
       int stamp;
       bool operator<(const HeapEntry& o) const {
-        return benefit_bound < o.benefit_bound;
+        if (benefit_bound != o.benefit_bound) {
+          return benefit_bound < o.benefit_bound;
+        }
+        return e > o.e;  // equal bounds: smallest index first (eager parity)
       }
     };
     std::priority_queue<HeapEntry> heap;
@@ -321,9 +410,9 @@ CostGreedyResult CostGreedyMin(
     }
     int64_t round_start_ns = tracer ? MonotonicNanos() : 0;
     while (!heap.empty()) {
-      HeapEntry top = heap.top();
-      heap.pop();
+      const HeapEntry top = heap.top();
       if (top.stamp == x.Size()) {
+        heap.pop();
         if (top.benefit_bound <= 0) break;
         x.Add(top.e);
         current -= top.benefit_bound;
@@ -339,15 +428,27 @@ CostGreedyResult CostGreedyMin(
         if (on_pick) on_pick(x);
         continue;
       }
-      const double benefit = current - g.Value(x.With(top.e));
-      ++result.function_evals;
-      if (tracer) {
-        tracer->Instant("greedy.candidate", "submodular",
-                        {TNum("elem", top.e), TNum("benefit", benefit),
-                         TNum("round", result.pick_order.size())});
+      std::vector<HeapEntry> wave;
+      while (!heap.empty() && heap.top().benefit_bound == top.benefit_bound &&
+             heap.top().stamp != x.Size()) {
+        wave.push_back(heap.top());
+        heap.pop();
       }
-      if (benefit <= 0) continue;  // never beneficial again (supermodular g)
-      heap.push({benefit, top.e, x.Size()});
+      std::vector<double> benefits(wave.size());
+      EvaluateIndexed(wave.size(), num_threads, tracer, [&](size_t i) {
+        benefits[i] = current - g.Value(x.With(wave[i].e));
+      });
+      result.function_evals += static_cast<int64_t>(wave.size());
+      for (size_t i = 0; i < wave.size(); ++i) {
+        if (tracer) {
+          tracer->Instant("greedy.candidate", "submodular",
+                          {TNum("elem", wave[i].e),
+                           TNum("benefit", benefits[i]),
+                           TNum("round", result.pick_order.size())});
+        }
+        if (benefits[i] <= 0) continue;  // never beneficial again
+        heap.push({benefits[i], wave[i].e, x.Size()});
+      }
     }
   }
 

@@ -61,6 +61,12 @@ struct MarginalGreedyOptions {
   /// and "greedy.candidate" instants with each evaluated marginal/cost ratio.
   /// Null = no tracing.
   Tracer* tracer = nullptr;
+  /// Worker threads for each round's candidate evaluations (1 = serial).
+  /// Evaluations within a round are independent; results merge by candidate
+  /// index, so picks, tie-breaks, and evaluation counts are bit-identical to
+  /// the serial run at every thread count. The MQO drivers pass the
+  /// optimizer's resolved thread count through here.
+  int num_threads = 1;
 };
 
 /// Result of a greedy run.
@@ -80,9 +86,12 @@ GreedyResult MarginalGreedy(const SetFunction& f, const Decomposition& d,
 
 /// Theorem 4 preprocessing: returns the reduced candidate list U' for a
 /// cardinality limit k. Guaranteed not to change MarginalGreedy's output.
+/// The per-element rankings evaluate in parallel on `num_threads` workers
+/// (identical output and evaluation count for every value).
 std::vector<int> UniverseReduction(const SetFunction& f, const Decomposition& d,
                                    std::vector<int> candidates, int k,
-                                   int64_t* evals = nullptr);
+                                   int64_t* evals = nullptr,
+                                   int num_threads = 1);
 
 /// Roy et al.'s greedy (Algorithm 1), phrased over an arbitrary cost
 /// objective g to minimize: repeatedly add the element minimizing g(X∪{x})
@@ -96,7 +105,7 @@ struct CostGreedyResult {
 CostGreedyResult CostGreedyMin(
     const SetFunction& g, const std::vector<int>& candidates, bool lazy = false,
     const std::function<void(const ElementSet&)>& on_pick = {},
-    Tracer* tracer = nullptr);
+    Tracer* tracer = nullptr, int num_threads = 1);
 
 /// Deterministic double greedy of Buchbinder et al. (1/3-approx for
 /// non-negative unconstrained submodular maximization). Included as a
