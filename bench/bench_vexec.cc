@@ -90,16 +90,17 @@ AggExpr BenchAgg(AggFunc f, ColumnRef arg = {}) {
   return a;
 }
 
-/// Serial best-of-`reps` wall time of one pipeline; the result lands in
-/// `*out` so callers can differential-check variants.
-double BestOfRuns(const VecPipeline& pipe, int reps, ColumnBatch* out) {
+/// Serial best-of-`reps` wall time of one pipeline under `exec`; the result
+/// lands in `*out` so callers can differential-check variants.
+double BestOfRuns(const VecPipeline& pipe, const ExecOptions& exec, int reps,
+                  ColumnBatch* out) {
   double best_ms = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
     WallTimer timer;
-    auto result = RunVecPipeline(pipe, ExecOptions{});
+    auto result = RunVecPipeline(pipe, exec);
     const double ms = timer.ElapsedMillis();
     if (!result.ok()) {
-      std::printf("string bench failed: %s\n",
+      std::printf("pipeline bench failed: %s\n",
                   result.status().ToString().c_str());
       std::exit(1);
     }
@@ -107,6 +108,10 @@ double BestOfRuns(const VecPipeline& pipe, int reps, ColumnBatch* out) {
     *out = std::move(result).ValueOrDie();
   }
   return best_ms;
+}
+
+double BestOfRuns(const VecPipeline& pipe, int reps, ColumnBatch* out) {
+  return BestOfRuns(pipe, ExecOptions{}, reps, out);
 }
 
 bool BatchesEqual(const ColumnBatch& a, const ColumnBatch& b) {
@@ -282,6 +287,149 @@ void RunBloomSweep(int rows, int reps, BenchJsonWriter* json, int* failures) {
   table.Print();
 }
 
+// ---- Compressed-domain numeric execution sweep ------------------------------
+
+Comparison BandCmp(CompareOp op, double lit) {
+  Comparison c;
+  c.column = ColumnRef("n", "k");
+  c.op = op;
+  c.literal = lit;
+  return c;
+}
+
+/// Scan + fused `k < cutoff` filter over `source`, keeping both columns.
+VecPipeline NumericFilterPipeline(const ColumnBatch& source, double cutoff) {
+  VecPipeline pipe;
+  pipe.source = source;
+  pipe.source_filters = {BandCmp(CompareOp::kLt, cutoff)};
+  pipe.source_filter_idx = {0};
+  pipe.keep_idx = {0, 1};
+  pipe.chunk_names = source.names;
+  return pipe;
+}
+
+/// Physical bytes of the source's columns — what MatStore would account.
+double SourceBytes(const ColumnBatch& source) {
+  double bytes = 0.0;
+  for (const ColumnVector& col : source.columns) {
+    bytes += static_cast<double>(col.ByteSize());
+  }
+  return bytes;
+}
+
+/// FOR codes + zone skipping across filter selectivities, serial: a sorted
+/// (clustered) int64 key column where `k < cutoff` passes a controlled
+/// fraction of rows at the front of the table and the zone maps prune every
+/// granule past it. Variants: plain vector, FOR codes (compressed-domain
+/// compare, no skipping), FOR + zone maps. All three must produce identical
+/// batches; bytes-resident rides along so the space win is visible next to
+/// the time win.
+void RunNumericSweep(int rows, int reps, BenchJsonWriter* json,
+                     int* failures) {
+  std::printf("\n=== numeric compression: FOR codes + zone skipping "
+              "(serial, %d rows) ===\n\n", rows);
+  TablePrinter table({"selectivity", "plain (ms)", "FOR (ms)",
+                      "FOR+zones (ms)", "zone speedup", "bytes FOR/plain"});
+
+  // Sorted, clustered key: k = row / 4. Every 1024-row granule spans 256
+  // values, so a front-of-table band filter leaves whole granules excluded.
+  ColumnBatch plain_src;
+  plain_src.names = {ColumnRef("n", "k"), ColumnRef("n", "v")};
+  ColumnVector k(VecType::kInt64);
+  ColumnVector v(VecType::kDouble);
+  for (int i = 0; i < rows; ++i) {
+    k.ints().push_back(i / 4);
+    v.doubles().push_back(static_cast<double>(i % 10));
+  }
+  plain_src.columns = {std::move(k), std::move(v)};
+  plain_src.num_rows = rows;
+  ColumnBatch for_src = plain_src;  // COW copy, then re-encode the key
+  if (!for_src.columns[0].ForEncode()) {
+    std::printf("numeric bench: FOR encoding unexpectedly declined\n");
+    ++*failures;
+    return;
+  }
+  for_src.columns[0].BuildZoneMap();
+  for_src.columns[1].BuildZoneMap();
+  const double bytes_plain = SourceBytes(plain_src);
+  const double bytes_for = SourceBytes(for_src);
+
+  ExecOptions no_zones;
+  no_zones.zone_maps = 0;
+  ExecOptions with_zones;
+  with_zones.zone_maps = 1;
+  const double max_key = static_cast<double>(rows) / 4.0;
+  for (const double sel : {0.01, 0.1, 0.5}) {
+    const double cutoff = max_key * sel;
+    ColumnBatch plain_out;
+    ColumnBatch for_out;
+    ColumnBatch zone_out;
+    const double plain_ms = BestOfRuns(NumericFilterPipeline(plain_src, cutoff),
+                                       no_zones, reps, &plain_out);
+    const double for_ms = BestOfRuns(NumericFilterPipeline(for_src, cutoff),
+                                     no_zones, reps, &for_out);
+    const double zone_ms = BestOfRuns(NumericFilterPipeline(for_src, cutoff),
+                                      with_zones, reps, &zone_out);
+    if (!BatchesEqual(plain_out, for_out) ||
+        !BatchesEqual(plain_out, zone_out)) {
+      ++*failures;
+    }
+    const double zone_speedup = plain_ms / std::max(zone_ms, 1e-9);
+    table.AddRow({FormatDouble(sel, 2), FormatDouble(plain_ms, 2),
+                  FormatDouble(for_ms, 2), FormatDouble(zone_ms, 2),
+                  FormatDouble(zone_speedup, 1) + "x",
+                  FormatDouble(bytes_for / std::max(bytes_plain, 1.0), 2)});
+    json->AddRecord({JStr("bench", "vexec_zone"), JNum("rows", rows),
+                     JNum("selectivity", sel), JNum("plain_ms", plain_ms),
+                     JNum("for_ms", for_ms), JNum("for_zone_ms", zone_ms),
+                     JNum("zone_speedup", zone_speedup),
+                     JNum("bytes_plain", bytes_plain),
+                     JNum("bytes_for", bytes_for)});
+  }
+  table.Print();
+
+  // Join-key hashing on packed blocks: the same int-keyed join, build and
+  // probe key columns plain vs FOR-encoded. Outputs must be identical —
+  // the FOR hash kernel is bit-compatible with the plain one.
+  const int build_keys = std::max(rows / 64, 16);
+  ColumnBatch plain_build;
+  plain_build.names = {ColumnRef("b", "k")};
+  ColumnVector bk(VecType::kInt64);
+  for (int i = 0; i < build_keys; ++i) bk.ints().push_back(i);
+  plain_build.columns = {std::move(bk)};
+  plain_build.num_rows = build_keys;
+  ColumnBatch probe = plain_src;
+  for (size_t r = 0; r < probe.columns[0].ints().size(); ++r) {
+    probe.columns[0].ints()[r] = static_cast<int64_t>(r) % build_keys;
+  }
+  ColumnBatch for_build = plain_build;
+  ColumnBatch for_probe = probe;
+  const bool build_enc = for_build.columns[0].ForEncode();
+  const bool probe_enc = for_probe.columns[0].ForEncode();
+  auto plain_table = std::make_shared<const JoinHashTable>(
+      JoinHashTable::Build(plain_build, {0}, PipelineOptions{}));
+  auto for_table = std::make_shared<const JoinHashTable>(
+      JoinHashTable::Build(for_build, {0}, PipelineOptions{}));
+  ColumnBatch plain_join_out;
+  ColumnBatch for_join_out;
+  const double plain_join_ms =
+      BestOfRuns(JoinPipeline(probe, plain_table), no_zones, reps,
+                 &plain_join_out);
+  const double for_join_ms =
+      BestOfRuns(JoinPipeline(for_probe, for_table), no_zones, reps,
+                 &for_join_out);
+  if (!BatchesEqual(plain_join_out, for_join_out)) ++*failures;
+  std::printf("\njoin keys: plain %.2f ms, FOR %.2f ms (build/probe encoded: "
+              "%d/%d)\n", plain_join_ms, for_join_ms, build_enc ? 1 : 0,
+              probe_enc ? 1 : 0);
+  json->AddRecord({JStr("bench", "vexec_for_join"), JNum("rows", rows),
+                   JNum("build_keys", build_keys),
+                   JNum("plain_ms", plain_join_ms),
+                   JNum("for_ms", for_join_ms),
+                   JNum("bytes_plain", SourceBytes(probe)),
+                   JNum("bytes_for", SourceBytes(for_probe))});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -384,6 +532,10 @@ int main(int argc, char** argv) {
   const int string_rows = std::max(2000, row_counts.back() * 8);
   RunStringKernelBench(string_rows, kReps, &json, &failures);
   RunBloomSweep(string_rows, kReps, &json, &failures);
+  // The numeric sweep wants several 1024-row zone granules even in smoke
+  // runs, so it gets a higher floor.
+  RunNumericSweep(std::max(16384, row_counts.back() * 8), kReps, &json,
+                  &failures);
 
   // MQO_TRACE=1 (optionally MQO_TRACE_FILE=<path>): one extra traced run of
   // the consolidated plan on the vector backend, separate from the timed

@@ -67,12 +67,15 @@ DataSet GenerateData(const Catalog& catalog, const DataGenOptions& options,
     }
     ColumnStore store;
     for (size_t c = 0; c < num_cols; ++c) {
-      // Dictionary-encode string columns after generation: the RNG stream
-      // above stays bit-identical, and downstream kernels get codes.
-      cols[c].DictEncode();
       // Generated columns are uniformly n rows; AddColumn cannot fail.
       (void)store.AddColumn(table->columns()[c].name, std::move(cols[c]));
     }
+    // Compress after generation: the RNG stream above stays bit-identical,
+    // and downstream kernels get string dictionaries, FOR codes (when they
+    // shrink the column), and per-zone min/max maps.
+    store.Compress(options.numeric_compression >= 0
+                       ? options.numeric_compression != 0
+                       : NumericCompressionDefault());
     out.AddTable(name, std::move(store));
   }
   return out;

@@ -52,6 +52,13 @@ struct DataGenOptions {
   /// options) always yields the same database, so differential and benchmark
   /// runs are reproducible across execution backends.
   uint64_t seed = 0x5eedull;
+  /// Frame-of-reference compression of generated int64 columns (zone maps
+  /// are always built). Tri-state: -1 = process default (the
+  /// MQO_NUM_COMPRESSION environment variable, on when unset), 0 = off,
+  /// 1 = on. The values generated are identical either way — this only
+  /// picks the physical form, so tests can ablate encoded vs plain on one
+  /// bit-identical database.
+  int numeric_compression = -1;
 };
 
 /// Generates deterministic data for every table in `catalog`, written

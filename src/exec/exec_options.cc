@@ -2,7 +2,35 @@
 
 #include <cstdlib>
 
+#include "storage/for_codec.h"
+
 namespace mqo {
+
+namespace {
+
+/// Unset-knobs-only resolution for a tri-state toggle: an explicit knob
+/// wins; the environment variable fills only the unset value ("0" = off,
+/// anything else = on); both unset = `fallback`.
+bool ResolveToggle(int knob, const char* env_name, bool fallback) {
+  if (knob >= 0) return knob != 0;
+  if (const char* env = std::getenv(env_name)) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+  return fallback;
+}
+
+}  // namespace
+
+bool ExecOptions::zone_maps_enabled() const {
+  return ResolveToggle(zone_maps, "MQO_ZONE_MAPS", true);
+}
+
+bool ExecOptions::numeric_compression_enabled() const {
+  // Shares MQO_NUM_COMPRESSION with the build-time ColumnStore default so
+  // one variable ablates the whole lever.
+  if (numeric_compression >= 0) return numeric_compression != 0;
+  return NumericCompressionDefault();
+}
 
 MatStoreOptions ExecOptions::mat_store() const {
   MatStoreOptions options;

@@ -39,9 +39,27 @@ struct ExecOptions : PipelineOptions {
   /// before materializing chunks. Conservative — never a false negative —
   /// so results are identical with it on or off; off exists for benching.
   bool bloom_filters = true;
+  /// Zone-map scan skipping: scan pipelines consult a column's persisted
+  /// per-zone min/max to skip whole zones for any constant numeric filter —
+  /// no join upstream required. Conservative (a pruned zone contains no
+  /// passing row), so results are identical with it on or off. Tri-state:
+  /// -1 = unset (the MQO_ZONE_MAPS environment variable decides, "0" = off,
+  /// default on), 0 = off, 1 = on.
+  int zone_maps = -1;
+  /// Build-time numeric compression of *materialized segments* (base tables
+  /// are governed by ColumnStore build flags): FOR-encode int64 columns when
+  /// that shrinks them and attach zone maps, so MatStore budget accounting
+  /// sees encoded bytes and segment reads can zone-skip. Tri-state like
+  /// zone_maps; MQO_NUM_COMPRESSION fills the unset value.
+  int numeric_compression = -1;
   /// Observability sink (obs/obs.h): pipeline/operator spans, store events,
   /// executor metrics. Null = off; execution is unaffected either way.
   ObsContext* obs = nullptr;
+
+  /// `zone_maps` with the environment fallback resolved.
+  bool zone_maps_enabled() const;
+  /// `numeric_compression` with the environment fallback resolved.
+  bool numeric_compression_enabled() const;
 
   /// The pipeline-driver view of these knobs.
   const PipelineOptions& pipeline() const { return *this; }

@@ -41,7 +41,7 @@ int32_t ColumnDict::Lookup(const std::string& s) const {
 size_t ColumnVector::size() const {
   switch (type_) {
     case VecType::kInt64:
-      return data_->ints.size();
+      return data_->fr ? data_->fr->size() : data_->ints.size();
     case VecType::kDouble:
       return data_->doubles.size();
     case VecType::kString:
@@ -83,6 +83,15 @@ bool ColumnVector::DictEncode() {
 }
 
 void ColumnVector::DecodeInPlace() {
+  if (for_encoded()) {
+    // Read through the handle before Mutable() possibly detaches it.
+    const std::shared_ptr<const ForColumn> fr = data_->fr;
+    Payload* p = Mutable();
+    p->ints.resize(fr->size());
+    fr->Unpack(0, fr->size(), p->ints.data());
+    p->fr.reset();
+    return;
+  }
   if (!dict_encoded()) return;
   const std::shared_ptr<const ColumnDict> dict = data_->dict;
   const std::vector<int32_t> codes = data_->codes;
@@ -94,6 +103,42 @@ void ColumnVector::DecodeInPlace() {
   p->codes.clear();
   p->codes.shrink_to_fit();
   p->dict.reset();
+}
+
+bool ColumnVector::ForEncode() {
+  if (type_ != VecType::kInt64) return false;
+  if (data_->fr != nullptr) return true;
+  if (data_->ints.empty()) return false;
+  std::shared_ptr<const ForColumn> fr = ForColumn::Encode(data_->ints);
+  // Decision rule: adopt the encoding only when its physical bytes beat the
+  // plain vector. Full-range random data fails this and stays plain.
+  if (fr == nullptr || fr->ByteSize() >= data_->ints.size() * sizeof(int64_t)) {
+    return false;
+  }
+  Payload* p = Mutable();
+  p->fr = std::move(fr);
+  p->ints.clear();
+  p->ints.shrink_to_fit();
+  return true;
+}
+
+void ColumnVector::BuildZoneMap() {
+  if (!is_numeric() || size() == 0) return;
+  std::shared_ptr<const ZoneMap> zones;
+  if (type_ == VecType::kInt64) {
+    zones = data_->fr ? ZoneMap::FromFor(*data_->fr)
+                      : ZoneMap::FromInts(data_->ints.data(),
+                                          data_->ints.size());
+  } else {
+    zones = ZoneMap::FromDoubles(data_->doubles.data(), data_->doubles.size());
+  }
+  Mutable()->zones = std::move(zones);
+}
+
+ColumnVector ColumnVector::FromFor(std::shared_ptr<const ForColumn> fr) {
+  ColumnVector out(VecType::kInt64);
+  out.Mutable()->fr = std::move(fr);
+  return out;
 }
 
 ColumnVector ColumnVector::FromDict(std::shared_ptr<const ColumnDict> dict,
@@ -113,9 +158,15 @@ ColumnVector ColumnVector::Gather(const SelVector& sel) const {
     case VecType::kInt64: {
       auto& ints = out.Mutable()->ints;
       ints.resize(n);
-      const int64_t* src = data_->ints.data();
       int64_t* dst = ints.data();
-      for (size_t k = 0; k < n; ++k) dst[k] = src[s[k]];
+      if (data_->fr) {
+        // Gathers are sparse; the output is a fresh plain vector.
+        const ForColumn& fr = *data_->fr;
+        for (size_t k = 0; k < n; ++k) dst[k] = fr.ValueAt(s[k]);
+      } else {
+        const int64_t* src = data_->ints.data();
+        for (size_t k = 0; k < n; ++k) dst[k] = src[s[k]];
+      }
       break;
     }
     case VecType::kDouble: {
@@ -150,12 +201,19 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
   // ours, so self-appends stay correct.
   const std::shared_ptr<Payload> src = other.data_;
   switch (type_) {
-    case VecType::kInt64:
-      Mutable()->ints.push_back(src->ints[i]);
+    case VecType::kInt64: {
+      if (for_encoded()) DecodeInPlace();
+      Payload* p = Mutable();
+      p->zones.reset();
+      p->ints.push_back(src->fr ? src->fr->ValueAt(i) : src->ints[i]);
       break;
-    case VecType::kDouble:
-      Mutable()->doubles.push_back(src->doubles[i]);
+    }
+    case VecType::kDouble: {
+      Payload* p = Mutable();
+      p->zones.reset();
+      p->doubles.push_back(src->doubles[i]);
       break;
+    }
     case VecType::kString: {
       if (data_->dict && src->dict == data_->dict) {
         Mutable()->codes.push_back(src->codes[i]);
@@ -175,13 +233,36 @@ void ColumnVector::AppendAll(const ColumnVector& other) {
   const std::shared_ptr<Payload> src = other.data_;
   switch (type_) {
     case VecType::kInt64: {
-      auto& ints = Mutable()->ints;
-      ints.insert(ints.end(), src->ints.begin(), src->ints.end());
+      if (src->fr) {
+        if (size() == 0) {
+          // Adopt the source encoding (and its zone map, which still
+          // describes exactly these rows): concatenating one encoded chunk
+          // into an empty sink moves only shared handles.
+          Payload* p = Mutable();
+          p->ints.clear();
+          p->fr = src->fr;
+          p->zones = src->zones;
+          break;
+        }
+        if (for_encoded()) DecodeInPlace();
+        Payload* p = Mutable();
+        p->zones.reset();
+        const size_t old = p->ints.size();
+        p->ints.resize(old + src->fr->size());
+        src->fr->Unpack(0, src->fr->size(), p->ints.data() + old);
+        break;
+      }
+      if (for_encoded()) DecodeInPlace();
+      Payload* p = Mutable();
+      p->zones.reset();
+      p->ints.insert(p->ints.end(), src->ints.begin(), src->ints.end());
       break;
     }
     case VecType::kDouble: {
-      auto& doubles = Mutable()->doubles;
-      doubles.insert(doubles.end(), src->doubles.begin(), src->doubles.end());
+      Payload* p = Mutable();
+      p->zones.reset();
+      p->doubles.insert(p->doubles.end(), src->doubles.begin(),
+                        src->doubles.end());
       break;
     }
     case VecType::kString: {
@@ -216,11 +297,13 @@ void ColumnVector::AppendAll(const ColumnVector& other) {
 }
 
 size_t ColumnVector::ByteSize() const {
+  const size_t zone_bytes = data_->zones ? data_->zones->ByteSize() : 0;
   switch (type_) {
     case VecType::kInt64:
-      return data_->ints.size() * sizeof(int64_t);
+      return zone_bytes + (data_->fr ? data_->fr->ByteSize()
+                                     : data_->ints.size() * sizeof(int64_t));
     case VecType::kDouble:
-      return data_->doubles.size() * sizeof(double);
+      return zone_bytes + data_->doubles.size() * sizeof(double);
     case VecType::kString: {
       size_t bytes = 0;
       if (data_->dict) {

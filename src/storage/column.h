@@ -21,6 +21,16 @@
 // int64 column joins against a double column exactly as the row engine's
 // ValueEq does); strings and numbers never compare equal, and numbers order
 // before strings, matching ValueLess.
+//
+// Int64 columns likewise come in two physical forms: plain (an int64 vector)
+// and frame-of-reference-encoded (storage/for_codec.h — per-block reference +
+// bit-packed deltas, adopted at ColumnStore build/append time only when it
+// shrinks the column). Readers that must handle both forms use Int64At();
+// the non-const ints() accessor decodes first, so mutation sites keep
+// working. Numeric columns may additionally carry a persisted per-zone
+// min/max ZoneMap, which scan pipelines consult to skip whole zones; any
+// mutation through a non-const accessor drops the zone map (it describes the
+// rows it was built over).
 
 #ifndef MQO_STORAGE_COLUMN_H_
 #define MQO_STORAGE_COLUMN_H_
@@ -30,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/for_codec.h"
 #include "storage/named_rows.h"
 
 namespace mqo {
@@ -71,10 +82,23 @@ class ColumnVector {
 
   size_t size() const;
 
+  /// Raw int64 payload. The non-const accessor decodes a FOR-encoded column
+  /// first (and drops any zone map — the caller is about to mutate); the
+  /// const accessor must only be used on unencoded columns (it is empty for
+  /// encoded ones) — readers that must handle both forms use Int64At().
   const std::vector<int64_t>& ints() const { return data_->ints; }
   const std::vector<double>& doubles() const { return data_->doubles; }
-  std::vector<int64_t>& ints() { return Mutable()->ints; }
-  std::vector<double>& doubles() { return Mutable()->doubles; }
+  std::vector<int64_t>& ints() {
+    if (for_encoded()) DecodeInPlace();
+    Payload* p = Mutable();
+    p->zones.reset();
+    return p->ints;
+  }
+  std::vector<double>& doubles() {
+    Payload* p = Mutable();
+    p->zones.reset();
+    return p->doubles;
+  }
 
   /// Raw string payload. The non-const accessor decodes a dictionary-encoded
   /// column first so legacy mutation sites keep working; the const accessor
@@ -101,13 +125,54 @@ class ColumnVector {
                        : data_->strs[i];
   }
 
+  /// True iff this int64 column is frame-of-reference-encoded.
+  bool for_encoded() const {
+    return type_ == VecType::kInt64 && data_->fr != nullptr;
+  }
+  /// Shared FOR encoding (null when not encoded).
+  const std::shared_ptr<const ForColumn>& for_column() const {
+    return data_->fr;
+  }
+  /// Persisted per-zone min/max, or null. Valid only for the payload it was
+  /// built over (mutating accessors drop it).
+  const std::shared_ptr<const ZoneMap>& zone_map() const {
+    return data_->zones;
+  }
+
+  /// Int64 cell readable in both physical forms. Precondition: kInt64.
+  int64_t Int64At(size_t i) const {
+    return data_->fr ? data_->fr->ValueAt(i) : data_->ints[i];
+  }
+
   /// Converts a raw string column to dictionary encoding (sorted-unique
   /// dictionary + int32 codes). No-op for non-string or already-encoded
   /// columns. Returns true iff the column is dictionary-encoded on exit.
   bool DictEncode();
 
-  /// Converts a dictionary-encoded column back to raw strings. No-op
-  /// otherwise.
+  /// Frame-of-reference-encodes a plain int64 column, adopting the encoding
+  /// only when it is physically smaller than the plain vector (clustered or
+  /// narrow-range data). No-op for other types, already-encoded, or
+  /// incompressible columns. Returns true iff FOR-encoded on exit.
+  bool ForEncode();
+
+  /// Builds (or rebuilds) the per-zone min/max map of a numeric column.
+  /// O(blocks) for FOR-encoded columns (exact, straight from block headers).
+  /// No-op for strings and empty columns.
+  void BuildZoneMap();
+
+  /// Attaches an externally built zone map (spill rehydration). The caller
+  /// guarantees it describes this column's current rows.
+  void SetZoneMap(std::shared_ptr<const ZoneMap> zones) {
+    Mutable()->zones = std::move(zones);
+  }
+
+  /// Assembles a FOR-encoded int64 column from a decoded encoding (spill
+  /// rehydration and tests).
+  static ColumnVector FromFor(std::shared_ptr<const ForColumn> fr);
+
+  /// Converts an encoded column back to its raw payload (dictionary-encoded
+  /// strings to raw strings, FOR-encoded int64 to a plain vector). Zone maps
+  /// survive — decoding does not change the values. No-op otherwise.
   void DecodeInPlace();
 
   /// Assembles a dictionary-encoded column from parts (spill rehydration and
@@ -122,7 +187,7 @@ class ColumnVector {
 
   /// Numeric cell widened to double. Precondition: is_numeric().
   double Number(size_t i) const {
-    return type_ == VecType::kInt64 ? static_cast<double>(data_->ints[i])
+    return type_ == VecType::kInt64 ? static_cast<double>(Int64At(i))
                                     : data_->doubles[i];
   }
 
@@ -144,9 +209,12 @@ class ColumnVector {
 
   void Reserve(size_t n);
 
-  /// Payload bytes held by this column (raw string columns count character
-  /// storage plus per-string object overhead; dictionary-encoded columns
-  /// count the code vector plus the dictionary).
+  /// Physical payload bytes held by this column (raw string columns count
+  /// character storage plus per-string object overhead; dictionary-encoded
+  /// columns count the code vector plus the dictionary; FOR-encoded int64
+  /// columns count block headers plus packed words, not the decoded width).
+  /// Zone maps count too. This is what MatStore budget accounting, eviction
+  /// weights, and spill penalties see.
   size_t ByteSize() const;
 
   /// Value-semantics cell hash: equal numbers hash equally across int64 and
@@ -173,6 +241,12 @@ class ColumnVector {
     // Detached payload copies still share the dictionary itself.
     std::vector<int32_t> codes;
     std::shared_ptr<const ColumnDict> dict;
+    // FOR form (int64 only): immutable shared encoding; `ints` is empty
+    // while this is set. Detached payload copies share the encoding itself.
+    std::shared_ptr<const ForColumn> fr;
+    // Persisted per-zone min/max of a numeric column; dropped by any
+    // mutating accessor (it describes the rows it was built over).
+    std::shared_ptr<const ZoneMap> zones;
   };
 
   /// Detaches a private payload copy before mutation if the payload is

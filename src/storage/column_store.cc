@@ -23,16 +23,53 @@ int ColumnStore::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
+void ColumnStore::Compress(bool numeric_compression) {
+  for (ColumnVector& col : columns_) {
+    col.DictEncode();
+    if (numeric_compression) col.ForEncode();
+    // Zone maps persist for every numeric column regardless of the FOR
+    // decision — scan skipping does not require the codes.
+    col.BuildZoneMap();
+  }
+}
+
+Status ColumnStore::AppendRows(const NamedRows& rows,
+                               bool numeric_compression) {
+  MQO_ASSIGN_OR_RETURN(ColumnBatch batch, BatchFromRows(rows));
+  if (batch.columns.size() != columns_.size()) {
+    return Status::InvalidArgument("append schema width mismatch");
+  }
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    if (batch.names[c].name != names_[c]) {
+      return Status::InvalidArgument("append column '" + batch.names[c].name +
+                                     "' does not match '" + names_[c] + "'");
+    }
+    if (batch.columns[c].type() != columns_[c].type()) {
+      return Status::InvalidArgument("append column '" + names_[c] +
+                                     "' has mismatched type");
+    }
+  }
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    // AppendAll decodes an encoded target and drops its stale zone map;
+    // Compress below rebuilds both over the new row count.
+    columns_[c].AppendAll(batch.columns[c]);
+  }
+  num_rows_ += batch.num_rows;
+  Compress(numeric_compression);
+  return Status::OK();
+}
+
 Result<ColumnStore> ColumnStore::FromRows(const NamedRows& rows) {
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, BatchFromRows(rows));
   ColumnStore store;
   for (size_t c = 0; c < batch.columns.size(); ++c) {
-    // Ingested tables use the dictionary form for string columns so every
-    // reader (scans, joins, group-bys, spill) sees codes.
-    batch.columns[c].DictEncode();
     MQO_RETURN_NOT_OK(
         store.AddColumn(batch.names[c].name, std::move(batch.columns[c])));
   }
+  // Ingested tables use the compressed forms (string dictionaries, FOR codes
+  // when they shrink the column, zone maps) so every reader — scans, joins,
+  // group-bys, spill — sees the same physical layout generated data gets.
+  store.Compress(NumericCompressionDefault());
   return store;
 }
 

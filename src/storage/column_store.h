@@ -31,8 +31,20 @@ class ColumnStore {
   /// Index of the column called `name`, or -1.
   int ColumnIndex(const std::string& name) const;
 
+  /// (Re)compresses every column in place: string columns to the dictionary
+  /// form, int64 columns (when `numeric_compression`) to the FOR form when
+  /// it shrinks them, and every numeric column gets a fresh per-zone min/max
+  /// map. Idempotent; called at build time and after every append.
+  void Compress(bool numeric_compression);
+
+  /// Appends a row table to the store (schema matched by unqualified column
+  /// name, same order), then re-runs Compress so encodings and zone maps are
+  /// maintained across appends.
+  Status AppendRows(const NamedRows& rows, bool numeric_compression);
+
   /// Boundary conversion: builds a store from a row table, using the
   /// unqualified part of each column name. Fails on mixed-type columns.
+  /// Compresses with the process-wide NumericCompressionDefault().
   static Result<ColumnStore> FromRows(const NamedRows& rows);
 
  private:

@@ -14,12 +14,20 @@ namespace mqo {
 namespace {
 
 // File layout: header (magic, version, num_rows, num_cols), then each column
-// as (qualifier, name, type, encoding, count, payload). Strings are
-// length-prefixed; numeric payloads are raw arrays. Encoding 1 (dictionary,
-// string columns only) stores the sorted-unique dictionary (entry count +
-// length-prefixed entries) followed by the raw int32 code array.
+// as (qualifier, name, type, encoding, count, payload, zone section).
+// Strings are length-prefixed; numeric payloads are raw arrays. Encoding 1
+// (dictionary, string columns only) stores the sorted-unique dictionary
+// (entry count + length-prefixed entries) followed by the raw int32 code
+// array. Encoding 2 (frame-of-reference, int64 columns only) stores the
+// block count, per block (reference i64, max_delta u64, bit_width u32) —
+// word offsets are recomputed on read, never trusted — then the packed word
+// count and the raw u64 word array. The zone section is a u8 presence flag;
+// when set, u64 covered-row count (must equal the cell count), u64 zone
+// count (must equal ceil(rows / granule)), then per zone (min f64, max f64,
+// null_free u8).
 constexpr uint8_t kEncodingPlain = 0;
 constexpr uint8_t kEncodingDict = 1;
+constexpr uint8_t kEncodingFor = 2;
 
 /// Distinguishes files from concurrently-live stores sharing one directory.
 std::atomic<uint64_t> g_spill_serial{0};
@@ -65,6 +73,49 @@ Status IoError(const std::string& op, const std::string& path) {
                           std::strerror(errno) + ")");
 }
 
+bool WriteZoneSection(std::FILE* f, const ColumnVector& col) {
+  const std::shared_ptr<const ZoneMap>& zm = col.zone_map();
+  if (zm == nullptr) return WritePod<uint8_t>(f, 0);
+  bool ok = WritePod<uint8_t>(f, 1) &&
+            WritePod<uint64_t>(f, zm->num_rows) &&
+            WritePod<uint64_t>(f, zm->zones.size());
+  for (const ZoneMap::Entry& z : zm->zones) {
+    if (!ok) break;
+    ok = WritePod<double>(f, z.min) && WritePod<double>(f, z.max) &&
+         WritePod<uint8_t>(f, z.null_free ? 1 : 0);
+  }
+  return ok;
+}
+
+/// Reads the zone section into `col`. Returns false on IO failure; sets
+/// `*bad` on a structurally inconsistent section.
+bool ReadZoneSection(std::FILE* f, uint64_t count, ColumnVector* col,
+                     bool* bad) {
+  uint8_t has_zones = 0;
+  if (!ReadPod(f, &has_zones)) return false;
+  if (has_zones == 0) return true;
+  uint64_t zone_rows = 0, num_zones = 0;
+  if (!ReadPod(f, &zone_rows) || !ReadPod(f, &num_zones)) return false;
+  if (has_zones != 1 || zone_rows != count || !col->is_numeric() ||
+      num_zones != (count + kForBlockRows - 1) / kForBlockRows) {
+    *bad = true;
+    return true;
+  }
+  auto zm = std::make_shared<ZoneMap>();
+  zm->num_rows = zone_rows;
+  zm->zones.resize(num_zones);
+  for (uint64_t z = 0; z < num_zones; ++z) {
+    uint8_t null_free = 0;
+    if (!ReadPod(f, &zm->zones[z].min) || !ReadPod(f, &zm->zones[z].max) ||
+        !ReadPod(f, &null_free)) {
+      return false;
+    }
+    zm->zones[z].null_free = null_free != 0;
+  }
+  col->SetZoneMap(std::move(zm));
+  return true;
+}
+
 }  // namespace
 
 Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
@@ -76,8 +127,9 @@ Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
             WritePod<uint64_t>(f, batch.columns.size());
   for (size_t c = 0; ok && c < batch.columns.size(); ++c) {
     const ColumnVector& col = batch.columns[c];
-    const uint8_t encoding =
-        col.dict_encoded() ? kEncodingDict : kEncodingPlain;
+    const uint8_t encoding = col.dict_encoded()  ? kEncodingDict
+                             : col.for_encoded() ? kEncodingFor
+                                                 : kEncodingPlain;
     ok = WriteString(f, batch.names[c].qualifier) &&
          WriteString(f, batch.names[c].name) &&
          WritePod<uint8_t>(f, static_cast<uint8_t>(col.type())) &&
@@ -85,7 +137,21 @@ Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
     if (!ok) break;
     switch (col.type()) {
       case VecType::kInt64:
-        ok = WriteRaw(f, col.ints().data(), col.size() * sizeof(int64_t));
+        if (encoding == kEncodingFor) {
+          const ForColumn& fr = *col.for_column();
+          ok = WritePod<uint64_t>(f, fr.blocks().size());
+          for (const ForBlock& blk : fr.blocks()) {
+            if (!ok) break;
+            ok = WritePod<int64_t>(f, blk.reference) &&
+                 WritePod<uint64_t>(f, blk.max_delta) &&
+                 WritePod<uint32_t>(f, blk.bit_width);
+          }
+          ok = ok && WritePod<uint64_t>(f, fr.packed().size()) &&
+               WriteRaw(f, fr.packed().data(),
+                        fr.packed().size() * sizeof(uint64_t));
+        } else {
+          ok = WriteRaw(f, col.ints().data(), col.size() * sizeof(int64_t));
+        }
         break;
       case VecType::kDouble:
         ok = WriteRaw(f, col.doubles().data(), col.size() * sizeof(double));
@@ -109,6 +175,7 @@ Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch) {
         }
         break;
     }
+    if (ok) ok = WriteZoneSection(f, col);
   }
   // Flush before reporting success: a buffered write that only fails at
   // close time (e.g. ENOSPC) must not let the caller discard its in-memory
@@ -149,17 +216,47 @@ Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
     if (!ReadString(f, &ref.qualifier) || !ReadString(f, &ref.name) ||
         !ReadPod(f, &type) || !ReadPod(f, &encoding) || !ReadPod(f, &count) ||
         type > static_cast<uint8_t>(VecType::kString) ||
-        encoding > kEncodingDict ||
+        encoding > kEncodingFor ||
         (encoding == kEncodingDict &&
-         type != static_cast<uint8_t>(VecType::kString))) {
+         type != static_cast<uint8_t>(VecType::kString)) ||
+        (encoding == kEncodingFor &&
+         type != static_cast<uint8_t>(VecType::kInt64))) {
       return Status::Internal("spill file corrupt or truncated: " + path);
     }
     ColumnVector col(static_cast<VecType>(type));
     bool ok = true;
     switch (col.type()) {
       case VecType::kInt64:
-        col.ints().resize(count);
-        ok = ReadRaw(f, col.ints().data(), count * sizeof(int64_t));
+        if (encoding == kEncodingFor) {
+          uint64_t num_blocks = 0;
+          if (!ReadPod(f, &num_blocks)) {
+            return Status::Internal("spill file corrupt or truncated: " +
+                                    path);
+          }
+          std::vector<ForBlock> blocks(num_blocks);
+          for (uint64_t b = 0; ok && b < num_blocks; ++b) {
+            ok = ReadPod(f, &blocks[b].reference) &&
+                 ReadPod(f, &blocks[b].max_delta) &&
+                 ReadPod(f, &blocks[b].bit_width);
+          }
+          uint64_t num_words = 0;
+          ok = ok && ReadPod(f, &num_words);
+          std::vector<uint64_t> packed(ok ? num_words : 0);
+          ok = ok && ReadRaw(f, packed.data(), num_words * sizeof(uint64_t));
+          if (ok) {
+            // FromParts revalidates every decode invariant (block count,
+            // exact bit widths, packed size) and recomputes word offsets.
+            auto fr = ForColumn::FromParts(count, std::move(blocks),
+                                           std::move(packed));
+            if (!fr.ok()) {
+              return Status::Internal(fr.status().message() + ": " + path);
+            }
+            col = ColumnVector::FromFor(std::move(fr).ValueOrDie());
+          }
+        } else {
+          col.ints().resize(count);
+          ok = ReadRaw(f, col.ints().data(), count * sizeof(int64_t));
+        }
         break;
       case VecType::kDouble:
         col.doubles().resize(count);
@@ -201,6 +298,14 @@ Result<ColumnBatch> ReadSegmentFile(const std::string& path) {
     }
     if (!ok) {
       return Status::Internal("spill file corrupt or truncated: " + path);
+    }
+    bool bad_zones = false;
+    if (!ReadZoneSection(f, count, &col, &bad_zones)) {
+      return Status::Internal("spill file corrupt or truncated: " + path);
+    }
+    if (bad_zones) {
+      return Status::Internal(
+          "spill file corrupt (inconsistent zone map): " + path);
     }
     batch.names.push_back(std::move(ref));
     batch.columns.push_back(std::move(col));

@@ -5,12 +5,14 @@
 // + format-version header, then typed column payloads written raw
 // (int64/double vectors byte-for-byte, strings length-prefixed,
 // dictionary-encoded string columns as their dictionary plus the raw int32
-// code array), so a spill -> reload round trip reproduces the batch exactly
-// — same schema, same types, same physical encoding, same cells, same
-// ByteSize. The format is private to one process run (host endianness);
-// files with a foreign magic or a different format version are rejected
-// with an explicit error rather than misread, as are out-of-range
-// dictionary codes and truncated payloads.
+// code array, FOR-encoded int64 columns as their block headers plus the raw
+// packed delta words), each followed by the column's zone map when it has
+// one, so a spill -> reload round trip reproduces the batch exactly — same
+// schema, same types, same physical encoding, same cells, same ByteSize.
+// The format is private to one process run (host endianness); files with a
+// foreign magic or a different format version are rejected with an explicit
+// error rather than misread, as are out-of-range dictionary codes,
+// inconsistent FOR block metadata, and truncated payloads.
 //
 // SpillDir owns the directory lifecycle: it creates the directory lazily on
 // the first spill (a unique directory under TMPDIR when no path is given),
@@ -28,7 +30,7 @@ namespace mqo {
 
 /// Spill file header constants (exposed for format tests).
 constexpr uint32_t kSpillMagic = 0x4753514du;  // "MQSG"
-constexpr uint32_t kSpillFormatVersion = 2;    // v2: dictionary column records
+constexpr uint32_t kSpillFormatVersion = 3;    // v3: FOR columns + zone maps
 
 /// Serializes `batch` to `path`, replacing any existing file.
 Status WriteSegmentFile(const std::string& path, const ColumnBatch& batch);

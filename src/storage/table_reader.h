@@ -5,10 +5,15 @@
 //
 //   - the vectorized engine calls Columnar(alias): a zero-copy ColumnBatch
 //     view (COW column payloads shared with the store) with names qualified
-//     under the scan alias, sliced into morsels for parallel scans;
+//     under the scan alias, sliced into morsels for parallel scans. The view
+//     carries the store's physical encodings verbatim — string dictionaries,
+//     frame-of-reference int64 blocks, and persisted per-zone min/max maps
+//     all ride along on the shared payload handle, so scan pipelines can
+//     filter in the code domain and skip zones without touching the store;
 //   - the row interpreter drives a Cursor — the row-at-a-time adapter that
-//     materializes one boundary row per step — or takes the whole table via
-//     Rows(alias).
+//     materializes one boundary row per step (decoding cells through
+//     GetValue, which makes it the differential oracle for every encoded
+//     form) — or takes the whole table via Rows(alias).
 //
 // The reader does not own the store; it must not outlive it.
 

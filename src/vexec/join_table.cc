@@ -27,6 +27,29 @@ void HashKeyRange(const ColumnBatch& batch, const std::vector<int>& cols,
     const ColumnVector& col = batch.columns[c];
     switch (col.type()) {
       case VecType::kInt64: {
+        if (col.for_encoded()) {
+          // Unpack-and-mix kernel: decode one block of packed deltas into a
+          // stack buffer, then mix with a flat loop over contiguous values —
+          // the same SIMD-friendly shape as the plain path, and bit-identical
+          // hashes (build sides can be zero-copy encoded scan views).
+          const ForColumn& fc = *col.for_column();
+          int64_t buf[kForBlockRows];
+          uint32_t r = begin;
+          while (r < end) {
+            const uint32_t re = std::min<uint32_t>(
+                end, static_cast<uint32_t>(
+                         (r / kForBlockRows + 1) * kForBlockRows));
+            fc.Unpack(r, re, buf);
+            const uint32_t n = re - r;
+            for (uint32_t j = 0; j < n; ++j) {
+              const double d = static_cast<double>(buf[j]);
+              out[r + j] =
+                  HashCombine(out[r + j], HashDouble(d == 0.0 ? 0.0 : d));
+            }
+            r = re;
+          }
+          break;
+        }
         const int64_t* v = col.ints().data();
         for (uint32_t r = begin; r < end; ++r) {
           const double d = static_cast<double>(v[r]);
@@ -69,6 +92,15 @@ void HashKeySel(const ColumnBatch& batch, const std::vector<int>& cols,
     const ColumnVector& col = batch.columns[c];
     switch (col.type()) {
       case VecType::kInt64: {
+        if (col.for_encoded()) {
+          // Selected rows are sparse; per-row decode beats block unpacking.
+          const ForColumn& fc = *col.for_column();
+          for (size_t j = 0; j < n; ++j) {
+            const double d = static_cast<double>(fc.ValueAt(sel[j]));
+            out[j] = HashCombine(out[j], HashDouble(d == 0.0 ? 0.0 : d));
+          }
+          break;
+        }
         const int64_t* v = col.ints().data();
         for (size_t j = 0; j < n; ++j) {
           const double d = static_cast<double>(v[sel[j]]);
@@ -142,7 +174,30 @@ void NumericMinMax(const ColumnVector& col, uint32_t begin, uint32_t end,
                    double* lo, double* hi) {
   double mn = col.Number(begin);
   double mx = mn;
-  if (col.type() == VecType::kInt64) {
+  if (col.for_encoded()) {
+    // Block metadata answers fully covered blocks; only the (at most two)
+    // partial edge blocks decode per row.
+    const ForColumn& fc = *col.for_column();
+    for (size_t b = begin / kForBlockRows; b * kForBlockRows < end; ++b) {
+      const uint32_t rb =
+          std::max<uint32_t>(begin, static_cast<uint32_t>(b * kForBlockRows));
+      const uint32_t re = std::min<uint32_t>(
+          end, static_cast<uint32_t>((b + 1) * kForBlockRows));
+      const ForBlock& blk = fc.blocks()[b];
+      if (rb == b * kForBlockRows && re - rb == fc.BlockRows(b)) {
+        mn = std::min(mn, static_cast<double>(blk.reference));
+        mx = std::max(mx, static_cast<double>(static_cast<int64_t>(
+                              static_cast<uint64_t>(blk.reference) +
+                              blk.max_delta)));
+        continue;
+      }
+      for (uint32_t r = rb; r < re; ++r) {
+        const double d = static_cast<double>(fc.ValueAt(r));
+        mn = std::min(mn, d);
+        mx = std::max(mx, d);
+      }
+    }
+  } else if (col.type() == VecType::kInt64) {
     const int64_t* v = col.ints().data();
     for (uint32_t r = begin + 1; r < end; ++r) {
       const double d = static_cast<double>(v[r]);

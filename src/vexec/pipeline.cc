@@ -28,6 +28,7 @@ struct WorkerState {
   Status status;
   int64_t bloom_rows_pruned = 0;    ///< Deterministic across thread counts.
   int64_t bloom_morsels_pruned = 0; ///< Depends on morsel bounds: obs only.
+  int64_t compressed_cmp_rows = 0;  ///< Per-block counts: deterministic.
   size_t morsels = 0;            ///< Tracing only.
   int64_t source_rows = 0;       ///< Tracing only: rows entering the chain.
   std::vector<OpCounters> ops;   ///< Tracing only, sized lazily.
@@ -177,23 +178,76 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
   }
 
   const int64_t start_ns = tracer ? MonotonicNanos() : 0;
+
+  // Zone-map scan skipping: resolve the pruned-zone set serially from the
+  // source columns' persisted per-zone min/max before any worker starts.
+  // Zones partition the row space at the fixed codec granule (never the
+  // adaptive morsel size), so the pruned set — and the counter derived from
+  // it — is identical at every thread count. Pruning is conservative: a
+  // pruned zone contains no row passing the excluding conjunct, so the
+  // surviving row set is unchanged.
+  std::vector<char> zone_pruned;
+  int64_t zones_pruned = 0;
+  if (options.zone_maps_enabled()) {
+    for (size_t c = 0; c < pipeline.source_filters.size(); ++c) {
+      const Comparison& cmp = pipeline.source_filters[c];
+      if (!cmp.literal.is_number()) continue;
+      const ColumnVector& col =
+          pipeline.source.columns[pipeline.source_filter_idx[c]];
+      if (!col.is_numeric()) continue;
+      const std::shared_ptr<const ZoneMap>& zm = col.zone_map();
+      // Staleness guard: a zone map only prunes when it covers exactly the
+      // source's current rows.
+      if (zm == nullptr || zm->num_rows != pipeline.source.num_rows) continue;
+      if (zone_pruned.empty()) zone_pruned.assign(zm->zones.size(), 0);
+      const double lit = cmp.literal.number();
+      for (size_t z = 0; z < zm->zones.size(); ++z) {
+        if (zone_pruned[z] == 0 && ZoneExcludes(zm->zones[z].min,
+                                                zm->zones[z].max, cmp.op,
+                                                lit)) {
+          zone_pruned[z] = 1;
+        }
+      }
+    }
+    for (char p : zone_pruned) zones_pruned += p;
+  }
+
   const JoinBloomFilter* bloom = pipeline.bloom.get();
   const bool bloom_zone =
       bloom != nullptr && bloom->has_range() &&
       pipeline.bloom_key_idx.size() == 1 &&
       pipeline.source.columns[pipeline.bloom_key_idx[0]].is_numeric();
-  auto process = [&pipeline, tracer, bloom, bloom_zone](WorkerState& state,
-                                                        size_t m,
-                                                        const Morsel& morsel) {
+  auto process = [&pipeline, &zone_pruned, tracer, bloom,
+                  bloom_zone](WorkerState& state, size_t m,
+                              const Morsel& morsel) {
     if (!state.status.ok()) return;
     SelVector sel;
     if (pipeline.source_filters.empty()) {
       sel.reserve(morsel.size());
       for (uint32_t r = morsel.begin; r < morsel.end; ++r) sel.push_back(r);
+    } else if (!zone_pruned.empty()) {
+      // Zone-aligned scan: walk the morsel in zone-granule subranges,
+      // skipping pruned zones entirely. Subranges are disjoint and
+      // ascending, so concatenating their selections preserves row order
+      // (FilterRangeInto swaps its output, hence the temporary).
+      SelVector part;
+      for (uint32_t zb = morsel.begin; zb < morsel.end;) {
+        const size_t z = zb / kForBlockRows;
+        const uint32_t ze = std::min<uint32_t>(
+            morsel.end, static_cast<uint32_t>((z + 1) * kForBlockRows));
+        if (zone_pruned[z] == 0) {
+          part.clear();
+          FilterRangeInto(pipeline.source, pipeline.source_filters,
+                          pipeline.source_filter_idx, zb, ze, &part,
+                          &state.compressed_cmp_rows);
+          sel.insert(sel.end(), part.begin(), part.end());
+        }
+        zb = ze;
+      }
     } else {
       FilterRangeInto(pipeline.source, pipeline.source_filters,
                       pipeline.source_filter_idx, morsel.begin, morsel.end,
-                      &sel);
+                      &sel, &state.compressed_cmp_rows);
     }
     if (bloom != nullptr && !sel.empty()) {
       if (bloom_zone) {
@@ -314,6 +368,29 @@ Result<ColumnBatch> RunVecPipeline(const VecPipeline& pipeline,
                     static_cast<double>(rows_pruned));
       m->AddCounter("vexec.bloom_morsels_pruned",
                     static_cast<double>(morsels_pruned));
+    }
+    if (!zone_pruned.empty()) {
+      // Zone granule == default morsel granule; the pruned-zone set is
+      // resolved serially above, so this count is thread-invariant.
+      m->AddCounter("vexec.zone_morsels_pruned",
+                    static_cast<double>(zones_pruned));
+    }
+    int64_t for_blocks = 0;
+    for (const ColumnVector& col : pipeline.source.columns) {
+      if (col.for_encoded()) {
+        for_blocks += static_cast<int64_t>(col.for_column()->blocks().size());
+      }
+    }
+    if (for_blocks > 0) {
+      m->AddCounter("vexec.for_blocks", static_cast<double>(for_blocks));
+    }
+    int64_t compressed_rows = 0;
+    for (const WorkerState& state : states) {
+      compressed_rows += state.compressed_cmp_rows;
+    }
+    if (compressed_rows > 0) {
+      m->AddCounter("vexec.compressed_cmp_rows",
+                    static_cast<double>(compressed_rows));
     }
     if (pipeline.aggregate) {
       int64_t dict_rows = 0;

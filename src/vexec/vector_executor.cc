@@ -441,6 +441,15 @@ Status VectorPlanExecutor::MaterializeNode(EqId eq,
   // re-optimization (same contract as the row engine).
   feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
                    static_cast<double>(batch.num_rows));
+  if (options_.numeric_compression_enabled()) {
+    // Compress the segment before it lands: MatStore budget accounting,
+    // eviction weights, and spill penalties then see encoded bytes, and
+    // later reads of this segment can zone-skip like base-table scans.
+    for (ColumnVector& col : batch.columns) {
+      col.ForEncode();
+      col.BuildZoneMap();
+    }
+  }
   if (span.active()) {
     span.AddNum("eq", eq);
     span.AddNum("rows", static_cast<double>(batch.num_rows));

@@ -24,10 +24,20 @@ namespace mqo {
 /// conjunct -> column, pre-resolved), leaving the surviving row positions
 /// (ascending) in `sel`. The per-range filter primitive shared by
 /// FilterBatch and the pipeline layer; thread-safe over disjoint ranges.
+/// FOR-encoded int64 columns are compared in the code domain (the literal
+/// rewritten against each block's reference, packed deltas tested without
+/// decoding); when `compressed_cmp_rows` is non-null it accumulates the
+/// rows so compared — a per-block count, so the total is identical at every
+/// thread count.
 void FilterRangeInto(const ColumnBatch& in,
                      const std::vector<Comparison>& conjuncts,
                      const std::vector<int>& col_idx, uint32_t begin,
-                     uint32_t end, SelVector* sel);
+                     uint32_t end, SelVector* sel,
+                     int64_t* compressed_cmp_rows = nullptr);
+
+/// True iff no value in [zmin, zmax] can satisfy `x op lit` — the zone-map
+/// pruning test. Conservative: false never hides a passing row.
+bool ZoneExcludes(double zmin, double zmax, CompareOp op, double lit);
 
 /// Base-table columns re-qualified under a scan alias: a zero-copy view of
 /// the table's ColumnStore (COW payloads shared, nothing converted).

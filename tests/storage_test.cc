@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <limits>
 
 #include "catalog/tpcd.h"
 #include "exec/dataset.h"
@@ -194,6 +196,306 @@ TEST(ColumnDictTest, AppendAllAdoptsAndMergesDictionaries) {
   EXPECT_EQ(sink.StringAt(5), "x");
   EXPECT_EQ(sink.StringAt(6), "z");
   EXPECT_EQ(sink.StringAt(7), "x");
+}
+
+// ---- FOR codec and zone maps ------------------------------------------------
+
+/// A clustered int64 column: values walk upward slowly, so every FOR block
+/// has a small span and the encoding always wins.
+std::vector<int64_t> ClusteredInts(size_t n, int64_t start = -500) {
+  std::vector<int64_t> v(n);
+  int64_t x = start;
+  for (size_t i = 0; i < n; ++i) {
+    x += int64_t(i % 7);
+    v[i] = x;
+  }
+  return v;
+}
+
+ColumnVector IntColumnOf(const std::vector<int64_t>& values) {
+  ColumnVector col(VecType::kInt64);
+  col.ints() = values;
+  return col;
+}
+
+TEST(ForCodecTest, BitWidthFor) {
+  EXPECT_EQ(BitWidthFor(0), 0u);
+  EXPECT_EQ(BitWidthFor(1), 1u);
+  EXPECT_EQ(BitWidthFor(2), 2u);
+  EXPECT_EQ(BitWidthFor(255), 8u);
+  EXPECT_EQ(BitWidthFor(256), 9u);
+  EXPECT_EQ(BitWidthFor(~0ull), 64u);
+}
+
+TEST(ForCodecTest, RoundTripsAcrossSizesAndBlockBoundaries) {
+  // Sizes straddle the 1024-row block granule: empty, single, one short
+  // block, exactly one block, one block plus one row, many blocks.
+  for (size_t n : {size_t(0), size_t(1), size_t(1023), size_t(1024),
+                   size_t(1025), size_t(5000)}) {
+    const std::vector<int64_t> values = ClusteredInts(n);
+    auto fc = ForColumn::Encode(values);
+    if (n == 0) {
+      EXPECT_EQ(fc, nullptr);
+      continue;
+    }
+    ASSERT_NE(fc, nullptr) << n;
+    ASSERT_EQ(fc->size(), n);
+    EXPECT_EQ(fc->blocks().size(), (n + kForBlockRows - 1) / kForBlockRows);
+    // ValueAt and Unpack agree with the source at every row.
+    std::vector<int64_t> decoded(n);
+    fc->Unpack(0, n, decoded.data());
+    EXPECT_EQ(decoded, values) << n;
+    for (size_t i = 0; i < n; i += (n < 64 ? 1 : 97)) {
+      EXPECT_EQ(fc->ValueAt(i), values[i]) << n << ":" << i;
+    }
+    // Partial-range unpack (straddling a block boundary when possible).
+    if (n > 10) {
+      const size_t begin = n / 2 - 5, end = n / 2 + 5;
+      std::vector<int64_t> part(end - begin);
+      fc->Unpack(begin, end, part.data());
+      for (size_t i = 0; i < part.size(); ++i) {
+        EXPECT_EQ(part[i], values[begin + i]);
+      }
+    }
+  }
+}
+
+TEST(ForCodecTest, HandlesExtremesNegativesAndZeroWidthBlocks) {
+  // A block whose span exceeds INT64_MAX (min ... max straddling zero) must
+  // pack 64-bit deltas without overflow; constant blocks pack zero bits.
+  std::vector<int64_t> values(kForBlockRows * 2, 42);
+  values[0] = std::numeric_limits<int64_t>::min();
+  values[1] = std::numeric_limits<int64_t>::max();
+  values[2] = -1;
+  auto fc = ForColumn::Encode(values);
+  ASSERT_NE(fc, nullptr);
+  ASSERT_EQ(fc->blocks().size(), 2u);
+  EXPECT_EQ(fc->blocks()[0].bit_width, 64u);
+  EXPECT_EQ(fc->blocks()[1].bit_width, 0u);  // constant: headers only
+  std::vector<int64_t> decoded(values.size());
+  fc->Unpack(0, values.size(), decoded.data());
+  EXPECT_EQ(decoded, values);
+  // Block headers expose the exact min/max.
+  EXPECT_EQ(fc->blocks()[0].reference, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(int64_t(uint64_t(fc->blocks()[0].reference) +
+                    fc->blocks()[0].max_delta),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(ForCodecTest, UnpackDeltasMatchesValuesMinusReference) {
+  const std::vector<int64_t> values = ClusteredInts(kForBlockRows + 100);
+  auto fc = ForColumn::Encode(values);
+  ASSERT_NE(fc, nullptr);
+  for (size_t b = 0; b < fc->blocks().size(); ++b) {
+    std::vector<uint64_t> deltas(fc->BlockRows(b));
+    fc->UnpackDeltas(b, deltas.data());
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      const size_t row = b * kForBlockRows + i;
+      EXPECT_EQ(deltas[i],
+                uint64_t(values[row]) - uint64_t(fc->blocks()[b].reference));
+    }
+  }
+}
+
+TEST(ForCodecTest, FromPartsRevalidatesCorruptMetadata) {
+  const std::vector<int64_t> values = ClusteredInts(2500);
+  auto fc = ForColumn::Encode(values);
+  ASSERT_NE(fc, nullptr);
+  // The honest parts round-trip.
+  auto good = ForColumn::FromParts(fc->size(), fc->blocks(), fc->packed());
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  std::vector<int64_t> decoded(values.size());
+  good.ValueOrDie()->Unpack(0, values.size(), decoded.data());
+  EXPECT_EQ(decoded, values);
+
+  // Wrong block count for the row count.
+  auto blocks = fc->blocks();
+  blocks.pop_back();
+  auto r1 = ForColumn::FromParts(fc->size(), blocks, fc->packed());
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().ToString().find("block count"), std::string::npos);
+
+  // A bit width that disagrees with max_delta (would mis-stride decode).
+  blocks = fc->blocks();
+  blocks[0].bit_width = 64;
+  auto r2 = ForColumn::FromParts(fc->size(), blocks, fc->packed());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().ToString().find("bit width"), std::string::npos);
+
+  // Truncated packed words.
+  auto packed = fc->packed();
+  packed.pop_back();
+  auto r3 = ForColumn::FromParts(fc->size(), fc->blocks(), packed);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().ToString().find("packed size"), std::string::npos);
+}
+
+TEST(ForColumnVectorTest, ForEncodeAdoptsOnlyWhenSmaller) {
+  // Clustered data compresses: the column adopts the encoding, reports the
+  // encoded physical bytes, and decodes back to the same values.
+  const std::vector<int64_t> clustered = ClusteredInts(4096);
+  ColumnVector col = IntColumnOf(clustered);
+  const size_t plain_bytes = col.ByteSize();
+  ASSERT_TRUE(col.ForEncode());
+  ASSERT_TRUE(col.for_encoded());
+  EXPECT_EQ(col.size(), clustered.size());
+  EXPECT_LT(col.ByteSize(), plain_bytes);
+  for (size_t i = 0; i < clustered.size(); i += 131) {
+    EXPECT_EQ(col.Int64At(i), clustered[i]);
+  }
+
+  // Incompressible data (64-bit-span alternation) stays plain.
+  std::vector<int64_t> wide(2048);
+  for (size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = (i % 2 == 0) ? std::numeric_limits<int64_t>::min() + int64_t(i)
+                           : std::numeric_limits<int64_t>::max() - int64_t(i);
+  }
+  ColumnVector hard = IntColumnOf(wide);
+  EXPECT_FALSE(hard.ForEncode());
+  EXPECT_FALSE(hard.for_encoded());
+
+  // Non-int64 columns decline.
+  ColumnVector str = StringColumn({"a", "b"});
+  EXPECT_FALSE(str.ForEncode());
+}
+
+TEST(ForColumnVectorTest, CellOpsAgreeAcrossPhysicalForms) {
+  const std::vector<int64_t> values = ClusteredInts(2050);
+  ColumnVector raw = IntColumnOf(values);
+  ColumnVector enc = IntColumnOf(values);
+  ASSERT_TRUE(enc.ForEncode());
+  const size_t probes[] = {0, 1, 1023, 1024, 1025, 2049};
+  for (size_t i : probes) {
+    EXPECT_EQ(enc.HashCell(i), raw.HashCell(i)) << i;
+    for (size_t j : probes) {
+      EXPECT_EQ(ColumnVector::CellsEqual(enc, i, raw, j),
+                ColumnVector::CellsEqual(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellsEqual(enc, i, enc, j),
+                ColumnVector::CellsEqual(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellLess(enc, i, enc, j),
+                ColumnVector::CellLess(raw, i, raw, j));
+      EXPECT_EQ(ColumnVector::CellLess(raw, i, enc, j),
+                ColumnVector::CellLess(raw, i, raw, j));
+    }
+  }
+}
+
+TEST(ForColumnVectorTest, GatherAndAppendDecodeCorrectly) {
+  const std::vector<int64_t> values = ClusteredInts(3000);
+  ColumnVector enc = IntColumnOf(values);
+  ASSERT_TRUE(enc.ForEncode());
+
+  ColumnVector picked = enc.Gather({0, 1024, 2999, 7});
+  ASSERT_EQ(picked.size(), 4u);
+  EXPECT_EQ(picked.ints(),
+            (std::vector<int64_t>{values[0], values[1024], values[2999],
+                                  values[7]}));
+
+  // AppendAll into an empty sink adopts the encoded payload zero-copy.
+  ColumnVector sink(VecType::kInt64);
+  sink.AppendAll(enc);
+  ASSERT_TRUE(sink.for_encoded());
+  EXPECT_EQ(sink.for_column(), enc.for_column());
+  // A second append decodes and concatenates.
+  sink.AppendAll(enc);
+  EXPECT_FALSE(sink.for_encoded());
+  ASSERT_EQ(sink.size(), 2 * values.size());
+  EXPECT_EQ(sink.Int64At(0), values[0]);
+  EXPECT_EQ(sink.Int64At(values.size()), values[0]);
+  EXPECT_EQ(sink.Int64At(2 * values.size() - 1), values.back());
+
+  // AppendFrom picks single rows out of an encoded source, decoded.
+  ColumnVector sel_sink(VecType::kInt64);
+  for (size_t i : {size_t(5), size_t(1500), size_t(2998)}) {
+    sel_sink.AppendFrom(enc, i);
+  }
+  EXPECT_EQ(sel_sink.ints(),
+            (std::vector<int64_t>{values[5], values[1500], values[2998]}));
+}
+
+TEST(ForColumnVectorTest, DecodeInPlaceIsCowSafe) {
+  ColumnVector enc = IntColumnOf(ClusteredInts(2000));
+  ASSERT_TRUE(enc.ForEncode());
+  ColumnVector shared = enc;  // COW: same payload
+  ASSERT_TRUE(shared.SharesPayloadWith(enc));
+  shared.DecodeInPlace();
+  // The decoded copy detached; the original still reads the encoded form.
+  EXPECT_FALSE(shared.for_encoded());
+  EXPECT_TRUE(enc.for_encoded());
+  EXPECT_EQ(shared.size(), enc.size());
+  EXPECT_EQ(shared.ints()[1999], enc.Int64At(1999));
+}
+
+TEST(ZoneMapTest, BuildsExactMinMaxPerGranule) {
+  const std::vector<int64_t> values = ClusteredInts(2500);
+  ColumnVector col = IntColumnOf(values);
+  col.BuildZoneMap();
+  auto zm = col.zone_map();
+  ASSERT_NE(zm, nullptr);
+  EXPECT_EQ(zm->num_rows, values.size());
+  ASSERT_EQ(zm->zones.size(), 3u);
+  for (size_t z = 0; z < zm->zones.size(); ++z) {
+    const size_t begin = z * kForBlockRows;
+    const size_t end = std::min(values.size(), begin + kForBlockRows);
+    double mn = double(values[begin]), mx = double(values[begin]);
+    for (size_t i = begin; i < end; ++i) {
+      mn = std::min(mn, double(values[i]));
+      mx = std::max(mx, double(values[i]));
+    }
+    EXPECT_EQ(zm->zones[z].min, mn) << z;
+    EXPECT_EQ(zm->zones[z].max, mx) << z;
+    EXPECT_TRUE(zm->zones[z].null_free);
+  }
+
+  // The FOR fast path (zones from block headers) builds the same map.
+  ColumnVector enc = IntColumnOf(values);
+  ASSERT_TRUE(enc.ForEncode());
+  enc.BuildZoneMap();
+  ASSERT_NE(enc.zone_map(), nullptr);
+  ASSERT_EQ(enc.zone_map()->zones.size(), zm->zones.size());
+  for (size_t z = 0; z < zm->zones.size(); ++z) {
+    EXPECT_EQ(enc.zone_map()->zones[z].min, zm->zones[z].min);
+    EXPECT_EQ(enc.zone_map()->zones[z].max, zm->zones[z].max);
+  }
+}
+
+TEST(ZoneMapTest, MutationDropsStaleZones) {
+  ColumnVector col = IntColumnOf(ClusteredInts(100));
+  col.BuildZoneMap();
+  ASSERT_NE(col.zone_map(), nullptr);
+  col.ints().push_back(9999);  // mutating accessor invalidates the map
+  EXPECT_EQ(col.zone_map(), nullptr);
+}
+
+TEST(ColumnStoreTest, CompressAndAppendRowsMaintainEncodingsAndZones) {
+  ColumnStore store;
+  std::vector<int64_t> ints = ClusteredInts(1500);
+  ASSERT_TRUE(store.AddColumn("k", IntColumnOf(ints)).ok());
+  store.Compress(/*numeric_compression=*/true);
+  ASSERT_TRUE(store.column(0).for_encoded());
+  ASSERT_NE(store.column(0).zone_map(), nullptr);
+  EXPECT_EQ(store.column(0).zone_map()->num_rows, 1500u);
+
+  NamedRows more;
+  more.columns = {ColumnRef("", "k")};
+  for (int i = 0; i < 10; ++i) {
+    more.rows.push_back({Value(double(7 + i))});
+  }
+  ASSERT_TRUE(store.AppendRows(more, /*numeric_compression=*/true).ok());
+  EXPECT_EQ(store.num_rows(), 1510u);
+  // Re-compressed after the append: encoding and zones cover all rows.
+  ASSERT_TRUE(store.column(0).for_encoded());
+  ASSERT_NE(store.column(0).zone_map(), nullptr);
+  EXPECT_EQ(store.column(0).zone_map()->num_rows, 1510u);
+  EXPECT_EQ(store.column(0).Int64At(1500), 7);
+  EXPECT_EQ(store.column(0).Int64At(1509), 16);
+
+  // Schema mismatches are rejected before any mutation.
+  NamedRows bad;
+  bad.columns = {ColumnRef("", "wrong")};
+  bad.rows = {{Value(1.0)}};
+  EXPECT_FALSE(store.AppendRows(bad, true).ok());
+  EXPECT_EQ(store.num_rows(), 1510u);
 }
 
 // ---- Copy-on-write columns --------------------------------------------------
@@ -623,6 +925,113 @@ TEST(SpillFileTest, EmptyDictionaryRoundTrip) {
   ASSERT_TRUE(back.ValueOrDie().columns[0].dict_encoded());
   EXPECT_TRUE(back.ValueOrDie().columns[0].dict()->entries.empty());
   EXPECT_TRUE(back.ValueOrDie().columns[0].codes().empty());
+}
+
+TEST(SpillFileTest, ForColumnsAndZoneMapsRoundTripByteStable) {
+  SpillDir dir;
+  ColumnBatch b;
+  b.names = {ColumnRef("t", "k"), ColumnRef("t", "d")};
+  std::vector<int64_t> ints = ClusteredInts(3000);
+  ColumnVector enc = IntColumnOf(ints);
+  ASSERT_TRUE(enc.ForEncode());
+  enc.BuildZoneMap();
+  ColumnVector dbl(VecType::kDouble);
+  for (size_t i = 0; i < ints.size(); ++i) dbl.doubles().push_back(i * 0.5);
+  dbl.BuildZoneMap();
+  b.columns = {enc, dbl};
+  b.num_rows = ints.size();
+
+  auto p1 = dir.NextPath();
+  auto p2 = dir.NextPath();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  ASSERT_TRUE(WriteSegmentFile(p1.ValueOrDie(), b).ok());
+  auto back = ReadSegmentFile(p1.ValueOrDie());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const ColumnBatch& r = back.ValueOrDie();
+  ASSERT_EQ(r.columns.size(), 2u);
+  // The FOR form survives the round trip — rehydration does not decode.
+  ASSERT_TRUE(r.columns[0].for_encoded());
+  ASSERT_EQ(r.columns[0].size(), ints.size());
+  for (size_t i = 0; i < ints.size(); i += 211) {
+    EXPECT_EQ(r.columns[0].Int64At(i), ints[i]);
+  }
+  // Zone maps survive for both columns, entry for entry.
+  for (size_t c = 0; c < 2; ++c) {
+    auto zm = r.columns[c].zone_map();
+    auto want = b.columns[c].zone_map();
+    ASSERT_NE(zm, nullptr) << c;
+    ASSERT_EQ(zm->num_rows, want->num_rows);
+    ASSERT_EQ(zm->zones.size(), want->zones.size());
+    for (size_t z = 0; z < zm->zones.size(); ++z) {
+      EXPECT_EQ(zm->zones[z].min, want->zones[z].min);
+      EXPECT_EQ(zm->zones[z].max, want->zones[z].max);
+      EXPECT_EQ(zm->zones[z].null_free, want->zones[z].null_free);
+    }
+  }
+  // Physical accounting is preserved (encoded bytes, not decoded bytes).
+  EXPECT_EQ(r.ByteSize(), b.ByteSize());
+  // Re-writing the reloaded batch reproduces the file byte for byte.
+  ASSERT_TRUE(WriteSegmentFile(p2.ValueOrDie(), r).ok());
+  EXPECT_EQ(ReadFileBytes(p1.ValueOrDie()), ReadFileBytes(p2.ValueOrDie()));
+}
+
+TEST(SpillFileTest, EveryTruncationOfForFileFailsLoudly) {
+  SpillDir dir;
+  ColumnBatch b;
+  b.names = {ColumnRef("t", "k")};
+  ColumnVector enc = IntColumnOf(ClusteredInts(2048));
+  ASSERT_TRUE(enc.ForEncode());
+  enc.BuildZoneMap();
+  b.columns = {enc};
+  b.num_rows = 2048;
+  auto p1 = dir.NextPath();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(WriteSegmentFile(p1.ValueOrDie(), b).ok());
+  const std::string full = ReadFileBytes(p1.ValueOrDie());
+  ASSERT_GT(full.size(), 64u);
+  // Every proper prefix — cutting mid-header, mid-packed-words, or mid-zone
+  // section — must be rejected, never read out of bounds or half-succeed.
+  auto pt = dir.NextPath();
+  ASSERT_TRUE(pt.ok());
+  for (size_t len = 0; len < full.size(); len += 7) {
+    std::FILE* f = std::fopen(pt.ValueOrDie().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (len > 0) {
+      ASSERT_EQ(std::fwrite(full.data(), 1, len, f), len);
+    }
+    std::fclose(f);
+    EXPECT_FALSE(ReadSegmentFile(pt.ValueOrDie()).ok()) << "prefix " << len;
+  }
+}
+
+TEST(MatStoreTest, AccountsEncodedBytesAndRehydratesEncodedForms) {
+  // Budget, eviction, and spill accounting all see the encoded physical
+  // size, so compression directly buys materialization headroom.
+  ColumnBatch seg;
+  seg.names = {ColumnRef("t", "k")};
+  std::vector<int64_t> ints = ClusteredInts(4096);
+  ColumnVector enc = IntColumnOf(ints);
+  const size_t plain_bytes = enc.ByteSize();
+  ASSERT_TRUE(enc.ForEncode());
+  enc.BuildZoneMap();
+  seg.columns = {enc};
+  seg.num_rows = ints.size();
+  ASSERT_LT(seg.ByteSize(), plain_bytes);
+
+  MatStoreOptions options;
+  options.budget_bytes = seg.ByteSize();  // fits exactly one encoded segment
+  MatStore store(options);
+  ASSERT_TRUE(store.Put(1, seg).ok());
+  EXPECT_EQ(store.bytes_used(), seg.ByteSize());
+  ASSERT_TRUE(store.IsResident(1));
+  ASSERT_TRUE(store.Put(2, seg).ok());  // evicts 1 to disk
+  ASSERT_FALSE(store.IsResident(1));
+  auto pinned = store.Pin(1);  // rehydrates: still encoded, zones intact
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  const ColumnVector& back = pinned.ValueOrDie().batch().columns[0];
+  ASSERT_TRUE(back.for_encoded());
+  ASSERT_NE(back.zone_map(), nullptr);
+  EXPECT_EQ(back.Int64At(4095), ints[4095]);
 }
 
 TEST(SpillFileTest, RejectsForeignMagicVersionAndTruncation) {

@@ -743,6 +743,205 @@ TEST(VexecBloomTest, DictionaryProbeCountersSurfaceInMetrics) {
   EXPECT_EQ(CounterOf(&obs, "vexec.dict_remap"), 1.0);
 }
 
+// ---- Zone-map scan skipping and compressed-domain filters -------------------
+
+/// A clustered (sorted) scan source: "k" = row / 2, so a narrow band filter
+/// touches few 1024-row zone granules and the rest prune; "v" is payload.
+/// Optionally FOR-encodes the key column so the same pipeline exercises the
+/// compressed-domain comparison kernels.
+struct ZoneFixture {
+  ColumnBatch source;
+
+  ZoneFixture(size_t rows, bool for_encode) {
+    ColumnVector k(VecType::kInt64);
+    ColumnVector v(VecType::kDouble);
+    for (size_t i = 0; i < rows; ++i) {
+      k.ints().push_back(static_cast<int64_t>(i / 2));
+      v.doubles().push_back(static_cast<double>(i % 13));
+    }
+    if (for_encode) EXPECT_TRUE(k.ForEncode());
+    k.BuildZoneMap();
+    v.BuildZoneMap();
+    source.names = {ColumnRef("s", "k"), ColumnRef("s", "v")};
+    source.columns = {std::move(k), std::move(v)};
+    source.num_rows = rows;
+  }
+
+  /// Scan + fused band filter lo <= k <= hi, keeping both columns.
+  VecPipeline MakePipeline(int lo, int hi) const {
+    VecPipeline pipe;
+    pipe.source = source;
+    pipe.source_filters = {Cmp("s", "k", CompareOp::kGe, lo),
+                           Cmp("s", "k", CompareOp::kLe, hi)};
+    pipe.source_filter_idx = {0, 0};
+    pipe.keep_idx = {0, 1};
+    pipe.chunk_names = source.names;
+    return pipe;
+  }
+};
+
+TEST(VexecZoneTest, SkippingPreservesFilterOutputAcrossFormsAndThreads) {
+  // The surviving rows — and their morsel-order concatenation — must be
+  // identical with zone maps on or off, plain or FOR-encoded, at every
+  // thread count. Zone skipping is sound (a pruned zone holds no passing
+  // row), so it is invisible in the output.
+  const size_t rows = 8192;
+  ZoneFixture plain(rows, /*for_encode=*/false);
+  ZoneFixture enc(rows, /*for_encode=*/true);
+  ASSERT_TRUE(enc.source.columns[0].for_encoded());
+  ExecOptions off;
+  off.zone_maps = 0;
+  auto base = RunVecPipeline(plain.MakePipeline(100, 300), off);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const ColumnBatch& b = base.ValueOrDie();
+  ASSERT_EQ(b.num_rows, 402u);  // k = row/2: each value in [100,300] twice
+  for (const ZoneFixture* fx : {&plain, &enc}) {
+    for (ExecOptions exec : VectorConfigs()) {
+      exec.zone_maps = 1;
+      auto got = RunVecPipeline(fx->MakePipeline(100, 300), exec);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      const ColumnBatch& g = got.ValueOrDie();
+      ASSERT_EQ(g.num_rows, b.num_rows)
+          << "encoded=" << (fx == &enc) << " t" << exec.num_threads;
+      for (size_t c = 0; c < b.columns.size(); ++c) {
+        for (size_t r = 0; r < b.num_rows; ++r) {
+          ASSERT_TRUE(
+              ColumnVector::CellsEqual(b.columns[c], r, g.columns[c], r))
+              << "encoded=" << (fx == &enc) << " t" << exec.num_threads
+              << " col " << c << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(VexecZoneTest, PrunedZoneCountDeterministicAcrossThreads) {
+  // The pruned-zone set is resolved serially at the fixed 1024-row granule
+  // before any worker starts, so vexec.zone_morsels_pruned is a pure
+  // function of (column zones, predicate) — identical at every thread count
+  // and morsel size. 8192 rows = 8 zones; the band [100, 300] lives
+  // entirely in zone 0 (values 0..511), so zones 1..7 prune.
+  const size_t rows = 8192;
+  for (bool encode : {false, true}) {
+    ZoneFixture fx(rows, encode);
+    std::vector<double> pruned;
+    for (const ExecOptions& base : VectorConfigs()) {
+      ObsOptions obs_options;
+      obs_options.metrics = true;
+      ObsContext obs(obs_options);
+      ExecOptions exec = base;
+      exec.zone_maps = 1;
+      exec.obs = &obs;
+      auto got = RunVecPipeline(fx.MakePipeline(100, 300), exec);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.ValueOrDie().num_rows, 402u);
+      pruned.push_back(CounterOf(&obs, "vexec.zone_morsels_pruned"));
+      if (encode) {
+        // The encoded source also surfaces the compressed-domain counters,
+        // and the per-block comparison row count is itself deterministic.
+        EXPECT_GT(CounterOf(&obs, "vexec.for_blocks"), 0.0);
+        EXPECT_GT(CounterOf(&obs, "vexec.compressed_cmp_rows"), 0.0);
+      }
+    }
+    ASSERT_EQ(pruned.size(), 3u);
+    EXPECT_EQ(pruned[0], 7.0) << "encoded=" << encode;
+    EXPECT_EQ(pruned[1], pruned[0]) << "encoded=" << encode;
+    EXPECT_EQ(pruned[2], pruned[0]) << "encoded=" << encode;
+  }
+}
+
+TEST(VexecZoneTest, CompressedCompareRowCountDeterministicAcrossThreads) {
+  // With zones off, every morsel runs the filter; on an encoded column the
+  // mid-block (partially passing) row count is per-block, not per-morsel,
+  // so it too must not vary with the thread count.
+  ZoneFixture fx(8192, /*for_encode=*/true);
+  std::vector<double> cmp_rows;
+  for (const ExecOptions& base : VectorConfigs()) {
+    ObsOptions obs_options;
+    obs_options.metrics = true;
+    ObsContext obs(obs_options);
+    ExecOptions exec = base;
+    exec.zone_maps = 0;
+    exec.obs = &obs;
+    auto got = RunVecPipeline(fx.MakePipeline(100, 300), exec);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    cmp_rows.push_back(CounterOf(&obs, "vexec.compressed_cmp_rows"));
+  }
+  EXPECT_GT(cmp_rows[0], 0.0);
+  EXPECT_EQ(cmp_rows[1], cmp_rows[0]);
+  EXPECT_EQ(cmp_rows[2], cmp_rows[0]);
+}
+
+TEST(VexecZoneTest, EnvKnobsResolveUnsetOptionsOnly) {
+  // MQO_ZONE_MAPS / MQO_NUM_COMPRESSION fill in knobs the caller left at
+  // -1; an explicit ExecOptions value always wins (the unset-knobs-only
+  // convention shared with MQO_MAT_BUDGET_BYTES). Runs hermetically: the
+  // ambient values (the CI legs set them) are saved and restored.
+  const char* zone_env = ::getenv("MQO_ZONE_MAPS");
+  const char* comp_env = ::getenv("MQO_NUM_COMPRESSION");
+  const std::string saved_zone = zone_env ? zone_env : "";
+  const std::string saved_comp = comp_env ? comp_env : "";
+  ::unsetenv("MQO_ZONE_MAPS");
+  ::unsetenv("MQO_NUM_COMPRESSION");
+  ExecOptions opts;
+  EXPECT_TRUE(opts.zone_maps_enabled());
+  EXPECT_TRUE(opts.numeric_compression_enabled());
+  ::setenv("MQO_ZONE_MAPS", "0", 1);
+  ::setenv("MQO_NUM_COMPRESSION", "0", 1);
+  EXPECT_FALSE(opts.zone_maps_enabled());
+  EXPECT_FALSE(opts.numeric_compression_enabled());
+  opts.zone_maps = 1;
+  opts.numeric_compression = 1;
+  EXPECT_TRUE(opts.zone_maps_enabled());
+  EXPECT_TRUE(opts.numeric_compression_enabled());
+  opts.zone_maps = 0;
+  ::setenv("MQO_ZONE_MAPS", "1", 1);
+  EXPECT_FALSE(opts.zone_maps_enabled());
+  if (zone_env == nullptr) {
+    ::unsetenv("MQO_ZONE_MAPS");
+  } else {
+    ::setenv("MQO_ZONE_MAPS", saved_zone.c_str(), 1);
+  }
+  if (comp_env == nullptr) {
+    ::unsetenv("MQO_NUM_COMPRESSION");
+  } else {
+    ::setenv("MQO_NUM_COMPRESSION", saved_comp.c_str(), 1);
+  }
+}
+
+TEST(VexecZoneTest, GeneratedDataIsValueIdenticalAcrossPhysicalForms) {
+  // DataGenOptions::numeric_compression only picks the physical form: the
+  // same seed yields cell-identical tables encoded or plain, which is what
+  // lets benchmarks and the differential suite ablate FOR on one database.
+  Catalog catalog = MakeTpcdCatalog(1);
+  DataGenOptions gen;
+  gen.max_rows_per_table = 2500;
+  gen.seed = 11;
+  gen.numeric_compression = 1;
+  DataSet enc_data = GenerateData(catalog, gen);
+  gen.numeric_compression = 0;
+  DataSet plain_data = GenerateData(catalog, gen);
+  const ColumnStore* enc = enc_data.GetTable("lineitem").ValueOrDie();
+  const ColumnStore* plain = plain_data.GetTable("lineitem").ValueOrDie();
+  ASSERT_EQ(enc->num_rows(), plain->num_rows());
+  bool any_for = false;
+  for (size_t c = 0; c < enc->num_columns(); ++c) {
+    const ColumnVector& e = enc->column(c);
+    const ColumnVector& p = plain->column(c);
+    EXPECT_FALSE(p.for_encoded());
+    any_for |= e.for_encoded();
+    if (e.type() == VecType::kInt64) {
+      // Narrow generated domains also persist zone maps on both forms.
+      EXPECT_NE(e.zone_map(), nullptr);
+      EXPECT_NE(p.zone_map(), nullptr);
+      for (size_t r = 0; r < enc->num_rows(); ++r) {
+        ASSERT_EQ(e.Int64At(r), p.ints()[r]) << "col " << c << " row " << r;
+      }
+    }
+  }
+  EXPECT_TRUE(any_for);  // domain_cap-bounded int columns compress
+}
+
 TEST(VexecBudgetTest, TinyBudgetForcesSpillsWithoutChangingResults) {
   // Drive the vector executor directly so the store's spill counters are
   // observable: with a 1-byte budget every materialized segment must evict
