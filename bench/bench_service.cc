@@ -1,0 +1,158 @@
+// Concurrent MQO service bench: mixed multi-client traffic against one
+// long-lived MqoSession with the cross-batch semantic segment cache on.
+//
+// Clients {1, 2, 4} each submit a sequence of TPC-D template batches drawn
+// from an overlapping mix (Q3/Q5/Q9/Q10, both selection-constant variants),
+// so distinct batches — same client later, or another client concurrently —
+// re-request whole materialization classes the session has already computed.
+// Reports service throughput, per-batch latency percentiles (p50/p95, from
+// the session's log-spaced "session.run_ms" timing histogram) and the
+// cross-batch cache hit rate. The hit rate must be positive on this mix:
+// the bench exits nonzero when the cache never serves a segment, or when any
+// batch fails.
+//
+// Usage: bench_service [batches_per_client] [rows_per_table]
+// (default: 8 batches per client over 200-row tables; CI smoke passes
+// smaller values). Machine-readable records land in BENCH_service.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util/bench_json.h"
+#include "bench_util/table_printer.h"
+#include "catalog/tpcd.h"
+#include "common/string_util.h"
+#include "exec/dataset.h"
+#include "mqo/facade.h"
+#include "mqo/service.h"
+#include "storage/segment_cache.h"
+#include "workload/tpcd_queries.h"
+
+using namespace mqo;
+
+namespace {
+
+/// Overlapping-template traffic: every client draws from the same four
+/// templates, rotating by (client + batch_index), so the same structural
+/// fingerprints recur across clients and across a client's own sequence.
+std::vector<LogicalExprPtr> TemplateBatch(int client, int batch_index) {
+  std::vector<LogicalExprPtr> batch;
+  switch ((client + batch_index) % 4) {
+    case 0:
+      batch.push_back(MakeQ3(0));
+      batch.push_back(MakeQ3(1));
+      break;
+    case 1:
+      batch.push_back(MakeQ5(0));
+      batch.push_back(MakeQ5(1));
+      break;
+    case 2:
+      batch.push_back(MakeQ9(0));
+      batch.push_back(MakeQ9(1));
+      break;
+    default:
+      batch.push_back(MakeQ10(0));
+      batch.push_back(MakeQ10(1));
+      break;
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int batches_per_client = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int rows_per_table = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  Catalog catalog = MakeTpcdCatalog(1);
+  DataGenOptions gen;
+  gen.max_rows_per_table = rows_per_table;
+  DataSet data = GenerateData(catalog, gen);
+
+  std::printf(
+      "concurrent MQO service: %d batches/client, %d rows/table, "
+      "overlapping Q3/Q5/Q9/Q10 mix\n\n",
+      batches_per_client, rows_per_table);
+
+  BenchJsonWriter json;
+  TablePrinter table({"clients", "batches", "wall ms", "batches/s", "p50 ms",
+                      "p95 ms", "hits", "lookups", "hit rate"});
+  bool ok = true;
+  for (int clients : {1, 2, 4}) {
+    MqoOptions options;
+    options.backend = ExecBackend::kVector;
+    options.obs.metrics = true;
+    MqoSession session(&catalog, &data, options);
+
+    ServiceTrafficOptions traffic;
+    traffic.num_clients = clients;
+    traffic.batches_per_client = batches_per_client;
+    ServiceReport report = RunServiceTraffic(&session, TemplateBatch, traffic);
+
+    MetricsRegistry* metrics = session.session_obs()->metrics();
+    const double p50 = metrics->QuantileMs("session.run_ms", 0.5);
+    const double p95 = metrics->QuantileMs("session.run_ms", 0.95);
+    const SegmentCacheStats cache = session.segment_cache()->stats();
+    const double hit_rate =
+        cache.lookups > 0
+            ? static_cast<double>(cache.hits) /
+                  static_cast<double>(cache.lookups)
+            : 0.0;
+    const int total_batches = static_cast<int>(report.batches.size());
+
+    if (report.failed > 0) {
+      std::printf("FAILED: %d of %d batches errored at %d clients\n",
+                  report.failed, total_batches, clients);
+      for (const ServiceBatchResult& b : report.batches) {
+        if (!b.ok) {
+          std::printf("  client %d batch %d: %s\n", b.client, b.batch_index,
+                      b.error.c_str());
+        }
+      }
+      ok = false;
+    }
+
+    table.AddRow({std::to_string(clients), std::to_string(total_batches),
+                  FormatDouble(report.wall_ms, 1),
+                  FormatDouble(report.batches_per_second, 1),
+                  FormatDouble(p50, 2), FormatDouble(p95, 2),
+                  std::to_string(cache.hits), std::to_string(cache.lookups),
+                  FormatDouble(hit_rate, 3)});
+    json.AddRecord(
+        {JStr("bench", "service"),
+         JNum("clients", clients),
+         JNum("batches", total_batches),
+         JNum("queries", 2.0 * total_batches),
+         JNum("wall_ms", report.wall_ms),
+         JNum("throughput_batches_per_s", report.batches_per_second),
+         JNum("p50_ms", p50),
+         JNum("p95_ms", p95),
+         JNum("hits", static_cast<double>(cache.hits)),
+         JNum("lookups", static_cast<double>(cache.lookups)),
+         JNum("stale_misses", static_cast<double>(cache.stale_misses)),
+         JNum("inserts", static_cast<double>(cache.inserts)),
+         JNum("hit_rate", hit_rate),
+         JNum("cross_batch_hits",
+              static_cast<double>(report.cross_batch_hits))});
+
+    if (hit_rate <= 0.0) {
+      std::printf(
+          "FAILED: zero cross-batch hit rate at %d clients on an "
+          "overlapping-template mix\n",
+          clients);
+      ok = false;
+    }
+  }
+
+  table.Print();
+  if (json.WriteFile("BENCH_service.json")) {
+    std::printf("\nwrote %zu records to BENCH_service.json\n",
+                json.num_records());
+  } else {
+    std::printf("\nwriting BENCH_service.json FAILED\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

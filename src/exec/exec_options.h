@@ -20,6 +20,7 @@
 namespace mqo {
 
 class ObsContext;
+class SharedSegmentCache;
 
 /// Execution-time knobs: the pipeline driver's scheduling (`num_threads`
 /// worker threads, 1 = serial; `morsel_rows` per scheduling granule) plus
@@ -55,6 +56,14 @@ struct ExecOptions : PipelineOptions {
   /// Observability sink (obs/obs.h): pipeline/operator spans, store events,
   /// executor metrics. Null = off; execution is unaffected either way.
   ObsContext* obs = nullptr;
+  /// Cross-batch semantic segment cache (storage/segment_cache.h), shared
+  /// across a session's concurrent batches. When set, MaterializeNode first
+  /// consults the cache by structural class fingerprint (a hit skips the
+  /// compute entirely) and publishes freshly computed segments back. Null =
+  /// per-run materialization only. Results are identical either way — the
+  /// cache can only serve a segment whose fingerprint and base-table
+  /// versions both match.
+  SharedSegmentCache* shared_cache = nullptr;
 
   /// `zone_maps` with the environment fallback resolved.
   bool zone_maps_enabled() const;

@@ -5,6 +5,7 @@
 #include "common/timer.h"
 #include "exec/row_ops.h"
 #include "obs/obs.h"
+#include "storage/segment_cache.h"
 
 namespace mqo {
 
@@ -105,14 +106,33 @@ Result<NamedRows> PlanExecutor::Execute(const PlanNodePtr& plan) {
 Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
   TraceSpan span(TracerOf(obs_), "materialize", "exec");
   ScopedTimer metric(MetricsOf(obs_), "exec.materialize_ms");
+  eq = memo_->Find(eq);
+  const uint64_t fp = ClassFingerprint(*memo_, eq, &fingerprints_);
+  if (shared_cache_ != nullptr) {
+    // Cross-batch semantic cache (same contract as the vectorized engine):
+    // a structurally identical segment from an earlier batch serves this
+    // class without recomputation. The schema guard rejects fingerprint
+    // collisions between classes with different attribute lists.
+    ColumnBatch cached;
+    if (shared_cache_->Lookup(fp, &cached) &&
+        cached.names == memo_->Attributes(eq)) {
+      compute_ms_[eq] = 0.0;
+      feedback_.Record(fp, static_cast<double>(cached.num_rows));
+      ++cross_batch_hits_;
+      if (span.active()) {
+        span.AddNum("eq", eq);
+        span.AddNum("rows", static_cast<double>(cached.num_rows));
+        span.AddNum("cross_batch_hit", 1);
+      }
+      return store_.Put(eq, std::move(cached));
+    }
+  }
   WallTimer timer;
   MQO_ASSIGN_OR_RETURN(NamedRows rows, Execute(compute_plan));
-  eq = memo_->Find(eq);
   compute_ms_[eq] = timer.ElapsedMillis();
   // Observed cardinality of the shared subexpression: later optimizations
   // match it by structural fingerprint and estimate against reality.
-  feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
-                   static_cast<double>(rows.rows.size()));
+  feedback_.Record(fp, static_cast<double>(rows.rows.size()));
   // Segments are stored columnar even for the row engine, so both executors
   // share one materialization format.
   MQO_ASSIGN_OR_RETURN(ColumnBatch segment, BatchFromRows(rows));
@@ -120,6 +140,13 @@ Status PlanExecutor::MaterializeNode(EqId eq, const PlanNodePtr& compute_plan) {
     span.AddNum("eq", eq);
     span.AddNum("rows", static_cast<double>(segment.num_rows));
     span.AddNum("bytes", static_cast<double>(segment.ByteSize()));
+  }
+  if (shared_cache_ != nullptr) {
+    // Publish for later batches (COW copy: shares payloads, no deep copy).
+    auto reads = expected_reads_.find(eq);
+    shared_cache_->Insert(
+        fp, ColumnBatch(segment), ClassBaseTables(*memo_, eq),
+        reads == expected_reads_.end() ? 0.0 : reads->second);
   }
   return store_.Put(eq, std::move(segment));
 }
@@ -135,10 +162,13 @@ Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
   }
   feedback_.clear();
   compute_ms_.clear();
+  expected_reads_.clear();
+  cross_batch_hits_ = 0;
   // Seed the eviction weights before any segment lands: a segment with many
   // reads still ahead of it is the last one the budget pushes to disk.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
     store_.SetExpectedReads(eq, reads);
+    expected_reads_[eq] = reads;
   }
   // Materialize chosen nodes children-first (a node's compute plan may read
   // materialized descendants).
@@ -178,7 +208,8 @@ Result<std::vector<NamedRows>> PlanExecutor::ExecuteConsolidated(
 
 std::vector<SegmentRuntime> PlanExecutor::SegmentRuntimes() const {
   std::vector<SegmentRuntime> out;
-  for (const auto& [eq, t] : store_.Telemetry()) {
+  for (const auto& [key, t] : store_.Telemetry()) {
+    const EqId eq = static_cast<EqId>(key);
     SegmentRuntime r;
     r.eq = eq;
     auto fp = fingerprints_.find(eq);

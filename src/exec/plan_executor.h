@@ -39,7 +39,8 @@ class PlanExecutor {
         data_(data),
         evaluator_(memo, data),
         store_(options.mat_store()),
-        obs_(options.obs) {}
+        obs_(options.obs),
+        shared_cache_(options.shared_cache) {}
 
   /// Executes one plan tree; the result is canonicalized to the plan's class
   /// attributes. ReadMaterialized leaves require the node to be present in
@@ -70,6 +71,10 @@ class PlanExecutor {
   /// contract as VectorPlanExecutor::SegmentRuntimes.
   std::vector<SegmentRuntime> SegmentRuntimes() const;
 
+  /// Materializations of the most recent ExecuteConsolidated run served
+  /// from the cross-batch segment cache instead of being computed.
+  int64_t cross_batch_hits() const { return cross_batch_hits_; }
+
  private:
   Result<NamedRows> ExecuteUncanonicalized(const PlanNodePtr& plan);
   /// Input rows for a join's inner side that is not a plan child (base
@@ -81,9 +86,12 @@ class PlanExecutor {
   Evaluator evaluator_;
   MatStore store_;
   ObsContext* obs_ = nullptr;
+  SharedSegmentCache* shared_cache_ = nullptr;
   CardinalityFeedback feedback_;
   std::unordered_map<EqId, uint64_t> fingerprints_;
   std::unordered_map<EqId, double> compute_ms_;  ///< Materialization times.
+  std::unordered_map<EqId, double> expected_reads_;  ///< Plan's read counts.
+  int64_t cross_batch_hits_ = 0;
 };
 
 }  // namespace mqo

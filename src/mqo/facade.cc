@@ -8,7 +8,9 @@
 
 #include "common/string_util.h"
 #include "lqdag/rules.h"
+#include "obs/clock.h"
 #include "stats/feedback.h"
+#include "storage/segment_cache.h"
 
 namespace mqo {
 
@@ -134,6 +136,14 @@ Result<ConsolidatedPlan> OptimizeIntoMemo(
   // ablation) can still opt the optimizer in.
   optimizer_options.num_threads =
       options.exec.num_threads > 1 ? options.exec.num_threads : 0;
+  // A session's shared segment cache makes its resident classes zero-cost
+  // materialization candidates: the snapshot is taken once here, so this
+  // optimization prices a consistent view even while concurrent batches
+  // insert and evict.
+  if (options.exec.shared_cache != nullptr) {
+    optimizer_options.cached_fingerprints =
+        options.exec.shared_cache->FingerprintSnapshot();
+  }
   BatchOptimizer optimizer(memo, CostModel(options.cost_params),
                            optimizer_options);
   outcome->stats_mode = optimizer.stats()->mode();
@@ -242,7 +252,7 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
   if (stats.mode == StatsMode::kCollected && stats.table_stats == nullptr) {
     AnalyzeOptions analyze;
     analyze.num_threads = effective.exec.num_threads;
-    local_registry = TableStatsRegistry(&data, analyze);
+    local_registry.Reset(&data, analyze);
     stats.table_stats = &local_registry;
   }
   MQO_ASSIGN_OR_RETURN(
@@ -255,16 +265,31 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
                                 effective.exec));
   outcome.results = std::move(executed.results);
   outcome.feedback = std::move(executed.feedback);
+  outcome.cross_batch_hits = executed.cross_batch_hits;
   AssembleRunReport(executed, obs, &outcome);
   return outcome;
 }
 
 MqoSession::MqoSession(const Catalog* catalog, const DataSet* data,
                        MqoOptions options)
-    : catalog_(catalog), data_(data), options_(std::move(options)) {
+    : catalog_(catalog),
+      data_(data),
+      options_(WithBudgetApplied(options)),
+      session_obs_(ResolveObsOptions(options_.obs)) {
   AnalyzeOptions analyze;
   analyze.num_threads = options_.exec.num_threads;
-  registry_ = TableStatsRegistry(data_, analyze);
+  registry_.Reset(data_, analyze);
+  if (options_.shared_segment_cache) {
+    // The cache rides the executors' store machinery (budget, eviction,
+    // spill) with its own budget knob; its counters and store events report
+    // into the session-lifetime obs scope, not any single run's.
+    MatStoreOptions cache_options = options_.exec.mat_store();
+    if (options_.shared_cache_budget_bytes > 0) {
+      cache_options.budget_bytes = options_.shared_cache_budget_bytes;
+    }
+    cache_options.obs = session_obs();
+    cache_ = std::make_unique<SharedSegmentCache>(cache_options);
+  }
 }
 
 Result<MqoExecutionOutcome> MqoSession::Run(
@@ -276,22 +301,58 @@ Result<MqoExecutionOutcome> MqoSession::Run(
 
 Result<MqoExecutionOutcome> MqoSession::Run(
     const std::vector<LogicalExprPtr>& queries) {
+  const uint64_t batch_id = next_batch_id_.fetch_add(1);
+  const int64_t run_start_ns = MonotonicNanos();
   MqoOptions effective = options_;
   effective.table_stats = &registry_;
-  effective.feedback = &feedback_;
+  effective.exec.shared_cache = cache_.get();
+  // The run optimizes against a point-in-time copy of the feedback map:
+  // concurrent runs merging their observations back cannot race with this
+  // run's estimator reads.
+  CardinalityFeedback feedback_snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feedback_snapshot = feedback_;
+  }
+  effective.feedback = &feedback_snapshot;
+  // Scope the run's trace by its batch id: events export under pid=batch_id,
+  // and concurrent runs sharing one configured trace file fan out into
+  // per-batch files instead of clobbering each other.
+  effective.obs = ResolveObsOptions(effective.obs);
+  effective.obs.scope_id = batch_id;
+  if (effective.obs.trace && !effective.obs.trace_path.empty()) {
+    effective.obs.trace_path += ".batch" + std::to_string(batch_id);
+  }
   MQO_ASSIGN_OR_RETURN(
       MqoExecutionOutcome outcome,
       OptimizeAndExecuteBatch(*catalog_, queries, *data_, effective));
+  outcome.batch_id = batch_id;
   // Fold this run's observations into the session: the next batch's
   // estimates — and the footprints/eviction weights derived from them —
   // re-seed from what actually happened.
-  feedback_.MergeFrom(outcome.feedback);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feedback_.MergeFrom(outcome.feedback);
+  }
+  if (MetricsRegistry* m = MetricsOf(session_obs())) {
+    m->ObserveMs("session.run_ms",
+                 NanosToMillis(MonotonicNanos() - run_start_ns));
+  }
   return outcome;
+}
+
+void MqoSession::InvalidateTable(const std::string& table) {
+  registry_.Invalidate(table);
+  if (cache_) cache_->InvalidateTable(table);
 }
 
 void MqoSession::InvalidateStats() {
   registry_.BindData(data_);
-  feedback_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feedback_.clear();
+  }
+  if (cache_) cache_->Clear();
 }
 
 Result<MqoExecutionOutcome> OptimizeAndExecuteSqlBatch(

@@ -11,7 +11,10 @@
 #ifndef MQO_MQO_FACADE_H_
 #define MQO_MQO_FACADE_H_
 
+#include <atomic>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,7 @@
 #include "obs/explain.h"
 #include "obs/obs.h"
 #include "parser/parser.h"
+#include "storage/segment_cache.h"
 #include "vexec/backend.h"
 
 namespace mqo {
@@ -72,6 +76,18 @@ struct MqoOptions {
   /// / MQO_TRACE / MQO_TRACE_FILE environment overrides; when trace_path is
   /// set the execute paths write the Chrome trace JSON there after the batch.
   ObsOptions obs;
+  /// Cross-batch semantic segment cache (MqoSession only): segments
+  /// materialized by one batch are served — by structural class fingerprint —
+  /// to later and concurrent batches of the same session, and the optimizer
+  /// treats already-cached classes as zero-cost materialization candidates.
+  /// Correctness is unaffected: a cached segment is only served when its
+  /// fingerprint and the versions of every base table it was computed from
+  /// still match (storage/segment_cache.h).
+  bool shared_segment_cache = true;
+  /// Byte budget of the session's shared segment cache; 0 falls back to the
+  /// executor store budget (mat_budget_bytes / MQO_MAT_BUDGET_BYTES), which
+  /// unset means unlimited.
+  size_t shared_cache_budget_bytes = 0;
 };
 
 /// Result of a facade optimization.
@@ -136,6 +152,13 @@ struct MqoExecutionOutcome {
   std::string trace_json;
   /// MetricsRegistry::TextReport() of the run (empty unless metrics on).
   std::string metrics_report;
+  /// Session-issued batch id (0 outside an MqoSession). Tags the run's trace
+  /// scope — each batch exports into its own Chrome process lane — and the
+  /// per-batch trace file suffix of concurrent session runs.
+  uint64_t batch_id = 0;
+  /// Materializations this run served from the session's cross-batch segment
+  /// cache instead of computing (0 without a session or shared cache).
+  int64_t cross_batch_hits = 0;
 };
 
 /// Optimizes the batch and executes the consolidated plan against `data`
@@ -150,15 +173,24 @@ Result<MqoExecutionOutcome> OptimizeAndExecuteBatch(
     const DataSet& data, const MqoOptions& options = {});
 
 /// A multi-batch optimization session over one catalog + dataset: collected
-/// statistics are shared across batches (each table analyzes once, lazily)
-/// and every batch's observed materialized-segment cardinalities feed the
+/// statistics are shared across batches (each table analyzes once, lazily),
+/// every batch's observed materialized-segment cardinalities feed the
 /// next batch's optimization — re-seeding row estimates, and through them
 /// the footprints, spill penalties and eviction weights the memory-governed
-/// store is driven by. The closed loop of optimize → execute → observe.
+/// store is driven by — and segments materialized by one batch are served to
+/// later batches from a shared semantic cache, keyed by structural class
+/// fingerprint. The closed loop of optimize → execute → observe.
 ///
 ///   MqoSession session(&catalog, &data, options);
 ///   auto first  = session.Run(batch1);   // estimates from stats collection
-///   auto second = session.Run(batch2);   // + observed cardinalities of run 1
+///   auto second = session.Run(batch2);   // + observed cardinalities and
+///                                        //   cached segments of run 1
+///
+/// Run is safe to call from concurrent client threads: the shared state
+/// (statistics registry, feedback, segment cache) is internally synchronized,
+/// each run gets its own memo/executor/store, and every run is issued a batch
+/// id that scopes its trace export. Results are bag-equal to running the same
+/// batches serially in any order.
 class MqoSession {
  public:
   /// `catalog` and `data` must outlive the session.
@@ -166,28 +198,58 @@ class MqoSession {
              MqoOptions options = {});
 
   /// Optimizes and executes one SQL batch with the session's accumulated
-  /// statistics and feedback, then folds the run's observations back in.
+  /// statistics, feedback and cached segments, then folds the run's
+  /// observations (and freshly materialized segments) back in.
   Result<MqoExecutionOutcome> Run(const std::vector<std::string>& sql_batch);
 
   /// Same, starting from already-built logical trees.
   Result<MqoExecutionOutcome> Run(const std::vector<LogicalExprPtr>& queries);
 
-  /// Cardinalities observed so far (across every Run).
-  const CardinalityFeedback& feedback() const { return feedback_; }
+  /// Snapshot of the cardinalities observed so far (across every Run).
+  CardinalityFeedback feedback() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return feedback_;
+  }
 
-  /// The session's collected-statistics registry.
+  /// The session's collected-statistics registry (internally synchronized).
   const TableStatsRegistry& table_stats() const { return registry_; }
 
-  /// Data-regeneration hook: drops collected statistics and observed
-  /// cardinalities (they describe data that no longer exists).
+  /// The session's cross-batch segment cache; null when
+  /// MqoOptions::shared_segment_cache is false.
+  SharedSegmentCache* segment_cache() { return cache_.get(); }
+  const SharedSegmentCache* segment_cache() const { return cache_.get(); }
+
+  /// Session-lifetime observability scope: per-run wall times land in the
+  /// "session.run_ms" timing metric (log-spaced histogram → percentiles via
+  /// MetricsRegistry::QuantileMs) and segment-cache counters accumulate here
+  /// across runs. Null when MqoOptions::obs resolves to everything-off.
+  ObsContext* session_obs() {
+    return session_obs_.any_enabled() ? &session_obs_ : nullptr;
+  }
+
+  /// Mutation hook for one base table (append, in-place update): drops its
+  /// collected statistics and every cached segment computed from it, so the
+  /// next lookup re-analyzes and the next materialization recomputes.
+  /// Observed cardinalities stay — they are advisory estimates, refreshed
+  /// last-write-wins by subsequent runs. Call quiesced (no Run in flight).
+  void InvalidateTable(const std::string& table);
+
+  /// Data-regeneration hook: drops collected statistics, observed
+  /// cardinalities and cached segments (they describe data that no longer
+  /// exists). Call quiesced (no Run in flight).
   void InvalidateStats();
 
  private:
   const Catalog* catalog_;
   const DataSet* data_;
   MqoOptions options_;
+  /// Declared before cache_: the cache's store reports into this scope.
+  ObsContext session_obs_;
   TableStatsRegistry registry_;
+  std::unique_ptr<SharedSegmentCache> cache_;
+  mutable std::mutex mu_;              ///< Guards feedback_.
   CardinalityFeedback feedback_;
+  std::atomic<uint64_t> next_batch_id_{1};
 };
 
 }  // namespace mqo

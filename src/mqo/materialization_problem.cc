@@ -51,7 +51,10 @@ MaterializationProblem::MaterializationProblem(BatchOptimizer* optimizer)
       const double spill_round_trip =
           cm.SeqWriteCost(blocks) + cm.SeqReadCost(blocks);
       const double standalone = standalones[i];
-      if (standalone <= spill_round_trip) {
+      // Classes already resident in the cross-batch cache are never refused:
+      // their segment is paid for, so "recompute is cheaper than the spill
+      // round trip" does not apply — reading the cache costs no compute.
+      if (standalone <= spill_round_trip && !optimizer_->IsCachedClass(e)) {
         refused_.push_back(e);
         if (tracer) {
           tracer->Instant("admission_refused", "mqo",

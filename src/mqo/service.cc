@@ -1,0 +1,60 @@
+#include "mqo/service.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace mqo {
+
+ServiceReport RunServiceTraffic(MqoSession* session,
+                                const ServiceBatchGenerator& generate,
+                                const ServiceTrafficOptions& options) {
+  ServiceReport report;
+  const int clients = std::max(1, options.num_clients);
+  const int per_client = std::max(0, options.batches_per_client);
+  // Pre-sized so each client writes only its own slots — no result-side
+  // synchronization, and the report order is independent of interleaving.
+  report.batches.resize(static_cast<size_t>(clients) *
+                        static_cast<size_t>(per_client));
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (int b = 0; b < per_client; ++b) {
+        ServiceBatchResult& slot =
+            report.batches[static_cast<size_t>(c) * per_client + b];
+        slot.client = c;
+        slot.batch_index = b;
+        WallTimer batch_timer;
+        Result<MqoExecutionOutcome> run = session->Run(generate(c, b));
+        slot.wall_ms = batch_timer.ElapsedMillis();
+        if (!run.ok()) {
+          slot.error = run.status().ToString();
+          continue;
+        }
+        MqoExecutionOutcome outcome = std::move(run).ValueOrDie();
+        slot.ok = true;
+        slot.batch_id = outcome.batch_id;
+        slot.cross_batch_hits = outcome.cross_batch_hits;
+        slot.num_materialized = outcome.optimization.result.num_materialized;
+        if (options.keep_results) slot.results = std::move(outcome.results);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  report.wall_ms = timer.ElapsedMillis();
+  for (const ServiceBatchResult& b : report.batches) {
+    if (!b.ok) ++report.failed;
+    report.cross_batch_hits += b.cross_batch_hits;
+  }
+  report.batches_per_second =
+      report.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(report.batches.size()) /
+                report.wall_ms
+          : 0.0;
+  return report;
+}
+
+}  // namespace mqo

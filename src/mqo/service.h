@@ -1,0 +1,74 @@
+// Concurrent MQO service driver: mixed multi-client traffic against one
+// long-lived MqoSession.
+//
+// RunServiceTraffic spawns one thread per client; each client generates its
+// own batches (via the caller-supplied generator) and submits them through
+// MqoSession::Run, which is concurrency-safe — the session's statistics
+// registry, cardinality feedback and cross-batch segment cache are shared by
+// every in-flight batch. The report records, per batch, what the session did
+// (wall time, cross-batch cache hits, materialization count) and optionally
+// the query results themselves, so differential tests can check the
+// service-level invariant: concurrent execution is bag-equal to the same
+// batches run serially.
+
+#ifndef MQO_MQO_SERVICE_H_
+#define MQO_MQO_SERVICE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mqo/facade.h"
+
+namespace mqo {
+
+/// Traffic shape of one RunServiceTraffic drive.
+struct ServiceTrafficOptions {
+  int num_clients = 1;
+  int batches_per_client = 1;
+  /// Retain every batch's query results in the report (differential tests
+  /// compare them against a serial replay); benches leave this off so the
+  /// drive measures the service, not result retention.
+  bool keep_results = false;
+};
+
+/// What one client batch did.
+struct ServiceBatchResult {
+  int client = 0;
+  int batch_index = 0;    ///< Position in the client's own sequence.
+  uint64_t batch_id = 0;  ///< Session-issued id (trace scope / Chrome pid).
+  bool ok = false;
+  std::string error;      ///< Status string when !ok.
+  int64_t cross_batch_hits = 0;  ///< Segments served from the shared cache.
+  int num_materialized = 0;
+  double wall_ms = 0.0;   ///< Submit-to-result latency of this batch.
+  std::vector<NamedRows> results;  ///< Only when keep_results.
+};
+
+/// Aggregate of one traffic drive.
+struct ServiceReport {
+  /// Every client batch, ordered by (client, batch_index) — deterministic
+  /// regardless of how the runs interleaved.
+  std::vector<ServiceBatchResult> batches;
+  int failed = 0;          ///< Batches whose Run returned an error.
+  double wall_ms = 0.0;    ///< Whole drive, first submit to last join.
+  double batches_per_second = 0.0;
+  int64_t cross_batch_hits = 0;  ///< Sum over batches.
+};
+
+/// Builds the batch that client `client` submits as its `batch_index`-th
+/// request. Called on that client's thread; must be safe to invoke
+/// concurrently from different threads.
+using ServiceBatchGenerator =
+    std::function<std::vector<LogicalExprPtr>(int client, int batch_index)>;
+
+/// Drives `options.num_clients` concurrent client threads against `session`,
+/// each submitting `options.batches_per_client` generated batches
+/// back-to-back. Blocks until every client drains.
+ServiceReport RunServiceTraffic(MqoSession* session,
+                                const ServiceBatchGenerator& generate,
+                                const ServiceTrafficOptions& options);
+
+}  // namespace mqo
+
+#endif  // MQO_MQO_SERVICE_H_

@@ -1,13 +1,40 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <thread>
 
 #include "obs/json.h"
 
 namespace mqo {
+
+namespace {
+
+/// Histogram bucket for a sample of `ms` milliseconds: bucket 0 holds
+/// samples <= 1 us, bucket i holds (2^(i-1), 2^i] us, last bucket
+/// open-ended. A linear scan over 28 doublings beats the transcendental
+/// log2 for the short samples that dominate.
+int TimingBucketFor(double ms) {
+  double upper_us = 1.0;
+  const double us = ms * 1000.0;
+  for (int i = 0; i < kTimingBuckets - 1; ++i) {
+    if (us <= upper_us) return i;
+    upper_us *= 2.0;
+  }
+  return kTimingBuckets - 1;
+}
+
+}  // namespace
+
+double TimingBucketUpperMs(int i) {
+  if (i >= kTimingBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, i) / 1000.0;  // 2^i microseconds, in ms
+}
 
 MetricsRegistry::Shard& MetricsRegistry::ShardFor() {
   size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
@@ -55,6 +82,7 @@ void MetricsRegistry::ObserveMs(std::string_view name, double ms) {
   }
   ++slot.count;
   slot.sum_ms += ms;
+  ++slot.buckets[TimingBucketFor(ms)];
 }
 
 std::map<std::string, MetricValue> MetricsRegistry::Snapshot() const {
@@ -87,11 +115,40 @@ std::map<std::string, MetricValue> MetricsRegistry::Snapshot() const {
           }
           value.count += slot.count;
           value.sum_ms += slot.sum_ms;
+          for (int i = 0; i < kTimingBuckets; ++i) {
+            value.buckets[i] += slot.buckets[i];
+          }
           break;
       }
     }
   }
   return merged;
+}
+
+double MetricsRegistry::QuantileMs(std::string_view name, double q) const {
+  const auto snapshot = Snapshot();
+  auto it = snapshot.find(std::string(name));
+  if (it == snapshot.end() ||
+      it->second.kind != MetricValue::Kind::kTiming ||
+      it->second.count == 0) {
+    return 0.0;
+  }
+  const MetricValue& v = it->second;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th sample (1-based, ceil), then the cumulative bucket walk.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * v.count)));
+  int64_t seen = 0;
+  for (int i = 0; i < kTimingBuckets; ++i) {
+    seen += v.buckets[i];
+    if (seen >= rank) {
+      // The bucket's upper edge, clamped to the observed range so the
+      // estimate never leaves [min, max] (and the open-ended last bucket
+      // reports max rather than infinity).
+      return std::min(std::max(TimingBucketUpperMs(i), v.min_ms), v.max_ms);
+    }
+  }
+  return v.max_ms;
 }
 
 std::string MetricsRegistry::TextReport() const {
@@ -134,6 +191,19 @@ std::string MetricsRegistry::ToJson() const {
         w.Field("sum_ms", v.sum_ms);
         w.Field("min_ms", v.min_ms);
         w.Field("max_ms", v.max_ms);
+        // Log-spaced histogram, trailing empty buckets trimmed. Each entry
+        // is [upper_edge_ms, count]; the open-ended last bucket exports its
+        // edge as -1 (JSON has no infinity).
+        int last = kTimingBuckets - 1;
+        while (last >= 0 && v.buckets[last] == 0) --last;
+        w.Key("buckets").BeginArray();
+        for (int i = 0; i <= last; ++i) {
+          w.BeginArray();
+          w.Number(i == kTimingBuckets - 1 ? -1.0 : TimingBucketUpperMs(i));
+          w.Int(static_cast<int64_t>(v.buckets[i]));
+          w.EndArray();
+        }
+        w.EndArray();
         w.EndObject();
       } else {
         w.Field(name, v.value);

@@ -10,9 +10,11 @@
 //   3. Deterministic reads — Snapshot() returns name-sorted entries so text
 //      reports and tests are stable regardless of which shard a worker hit.
 //
-// Timings are recorded in milliseconds and aggregated as count/sum/min/max —
-// enough resolution for "where does the batch spend its time" without
-// per-sample storage.
+// Timings are recorded in milliseconds and aggregated as count/sum/min/max
+// plus a fixed log-spaced histogram (bucket i holds samples in
+// (2^(i-1), 2^i] microseconds, last bucket open-ended) — enough resolution
+// for "where does the batch spend its time" AND for latency percentiles
+// (QuantileMs), still without per-sample storage.
 
 #ifndef MQO_OBS_METRICS_H_
 #define MQO_OBS_METRICS_H_
@@ -29,6 +31,15 @@
 
 namespace mqo {
 
+/// Number of log-spaced timing-histogram buckets: bucket 0 holds samples
+/// <= 1 microsecond, bucket i holds (2^(i-1), 2^i] microseconds, and the
+/// last bucket is open-ended (2^26 us ~ 67 s reaches it). Exposed so tests
+/// and exporters agree on the layout.
+constexpr int kTimingBuckets = 28;
+
+/// Upper edge of histogram bucket `i` in milliseconds (+inf for the last).
+double TimingBucketUpperMs(int i);
+
 /// Merged view of one metric across shards.
 struct MetricValue {
   enum class Kind { kCounter, kGauge, kTiming };
@@ -38,6 +49,8 @@ struct MetricValue {
   double sum_ms = 0;   ///< timing: total milliseconds
   double min_ms = 0;   ///< timing: fastest sample
   double max_ms = 0;   ///< timing: slowest sample
+  /// Timing: per-bucket sample counts (see kTimingBuckets for the layout).
+  std::array<int64_t, kTimingBuckets> buckets{};
 };
 
 class MetricsRegistry {
@@ -58,6 +71,13 @@ class MetricsRegistry {
   /// Merge all shards into a name-sorted snapshot.
   std::map<std::string, MetricValue> Snapshot() const;
 
+  /// Estimated q-quantile (q in [0, 1]) of the named timing metric in
+  /// milliseconds, from its log-spaced histogram: the upper edge of the
+  /// bucket holding the q-th sample, clamped to the observed [min, max].
+  /// Returns 0 when the metric has no samples. This is what service latency
+  /// percentiles (p50/p95) come from — obs, not ad-hoc bench code.
+  double QuantileMs(std::string_view name, double q) const;
+
   /// Human-readable dump, one metric per line.
   std::string TextReport() const;
 
@@ -75,6 +95,7 @@ class MetricsRegistry {
     double sum_ms = 0;
     double min_ms = 0;
     double max_ms = 0;
+    std::array<int64_t, kTimingBuckets> buckets{};  ///< timing histogram
   };
 
   struct Shard {

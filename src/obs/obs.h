@@ -27,6 +27,11 @@ struct ObsOptions {
   /// When non-empty (and trace is on), the facade writes the Chrome trace
   /// JSON here after the batch completes.
   std::string trace_path;
+  /// Trace scope: tags every exported event's Chrome "pid" (0 = default
+  /// pid 1). A session sets this to its per-run batch id, so concurrent
+  /// batches' traces stay attributable — each run exports into its own
+  /// process lane.
+  uint64_t scope_id = 0;
 };
 
 /// Apply MQO_METRICS / MQO_TRACE / MQO_TRACE_FILE to knobs the caller left at
@@ -39,7 +44,7 @@ class ObsContext {
   explicit ObsContext(const ObsOptions& options)
       : options_(options),
         metrics_(options.metrics),
-        tracer_(options.trace) {}
+        tracer_(options.trace, options.scope_id) {}
 
   const ObsOptions& options() const { return options_; }
   bool any_enabled() const { return options_.metrics || options_.trace; }

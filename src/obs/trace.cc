@@ -74,7 +74,9 @@ std::string Tracer::ToChromeJson() const {
     w.Field("name", e.name);
     w.Field("cat", e.cat);
     w.Field("ph", std::string(1, e.phase));
-    w.Field("pid", static_cast<int64_t>(1));
+    // Batch scope id as the Chrome process id: concurrent session batches
+    // export into distinct lanes instead of interleaving under one pid.
+    w.Field("pid", static_cast<int64_t>(scope_id_ == 0 ? 1 : scope_id_));
     w.Field("tid", static_cast<int64_t>(e.tid));
     w.Field("ts", NanosToMillis(e.ts_ns - origin_ns_) * 1e3);  // microseconds
     if (e.phase == 'X') w.Field("dur", NanosToMillis(e.dur_ns) * 1e3);

@@ -60,10 +60,15 @@ struct TraceEvent {
 
 class Tracer {
  public:
-  explicit Tracer(bool enabled = true)
-      : enabled_(enabled), origin_ns_(MonotonicNanos()) {}
+  /// `scope_id` tags every exported event's Chrome "pid" (0 = the default
+  /// pid 1): a session issues one id per batch run, so concurrent batches'
+  /// traces merge into one Chrome file with each batch in its own process
+  /// lane — valid and attributable even when runs interleave.
+  explicit Tracer(bool enabled = true, uint64_t scope_id = 0)
+      : enabled_(enabled), scope_id_(scope_id), origin_ns_(MonotonicNanos()) {}
 
   bool enabled() const { return enabled_; }
+  uint64_t scope_id() const { return scope_id_; }
   int64_t origin_ns() const { return origin_ns_; }
 
   /// Record an instant event at the current time.
@@ -98,6 +103,7 @@ class Tracer {
   int TidFor();
 
   const bool enabled_;
+  const uint64_t scope_id_ = 0;
   const int64_t origin_ns_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;

@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "obs/obs.h"
+#include "stats/feedback.h"
 
 namespace mqo {
 
@@ -61,6 +62,19 @@ BatchOptimizer::BatchOptimizer(Memo* memo, CostModel cost_model,
   assert(memo_->root() >= 0 && "InsertBatch must run before optimization");
   options_.num_threads = ResolveOptimizerThreads(options_.num_threads);
   if (options_.num_threads > 1) PrewarmSharedCaches();
+  if (options_.cached_fingerprints != nullptr &&
+      !options_.cached_fingerprints->empty()) {
+    // Resolve the cross-batch cache's fingerprints against this memo once;
+    // evaluations then consult an immutable per-class set (thread-safe
+    // without the fingerprint cache's mutation).
+    std::unordered_map<EqId, uint64_t> fp_cache;
+    for (EqId c : memo_->TopologicalClasses()) {
+      if (options_.cached_fingerprints->count(
+              ClassFingerprint(*memo_, c, &fp_cache)) > 0) {
+        cached_classes_.insert(memo_->Find(c));
+      }
+    }
+  }
 }
 
 void BatchOptimizer::PrewarmSharedCaches() {
@@ -92,6 +106,9 @@ std::pair<double, double> BatchOptimizer::Evaluate(PlanSearch* search,
   double buc = root->total_cost;
   double bc = buc;
   for (EqId e : mat) {
+    // A class already resident in the cross-batch cache costs nothing to
+    // materialize: the executor serves it without recomputation or a write.
+    if (IsCachedClass(e)) continue;
     PlanNodePtr compute = search->ComputePlan(e, {});
     assert(compute != nullptr);
     bc += compute->total_cost + search->WriteCost(e);
@@ -195,6 +212,7 @@ double BatchOptimizer::BestCost(const std::set<EqId>& mat) {
       double buc = root->total_cost;
       double bc = buc;
       for (EqId e : s) {
+        if (IsCachedClass(e)) continue;  // mirror Evaluate's zero-cost skip
         PlanNodePtr compute = fresh.ComputePlan(e, {});
         bc += compute->total_cost + fresh.WriteCost(e);
       }
@@ -276,8 +294,16 @@ ConsolidatedPlan BatchOptimizer::Plan(const std::set<EqId>& mat) {
     node.eq = e;
     node.compute_plan = search.ComputePlan(e, {});
     assert(node.compute_plan != nullptr);
-    node.write_cost = search.WriteCost(e);
-    out.best_cost += node.compute_plan->total_cost + node.write_cost;
+    if (IsCachedClass(e)) {
+      // Zero-cost cached class (mirrors Evaluate): the compute plan stays as
+      // the executor's fallback for a cache miss at execution time (the
+      // segment may have been invalidated or evicted in between), but the
+      // reported bc charges neither compute nor write.
+      node.write_cost = 0.0;
+    } else {
+      node.write_cost = search.WriteCost(e);
+      out.best_cost += node.compute_plan->total_cost + node.write_cost;
+    }
     out.materialized.push_back(std::move(node));
   }
   out.mat_cost = out.best_cost - out.best_use_cost;

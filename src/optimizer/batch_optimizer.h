@@ -20,9 +20,11 @@
 #define MQO_OPTIMIZER_BATCH_OPTIMIZER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -83,6 +85,13 @@ struct BatchOptimizerOptions {
   /// layers above (materialization_problem, mqo_algorithms) reach their
   /// tracer through the optimizer they already hold.
   ObsContext* obs = nullptr;
+  /// Structural fingerprints of segments already resident in the session's
+  /// cross-batch cache (SharedSegmentCache::FingerprintSnapshot, taken once
+  /// at batch start so one optimization sees one consistent cache state).
+  /// Classes whose fingerprint is in this set cost nothing to materialize —
+  /// bc(S) skips their compute + write terms — so the algorithms treat them
+  /// as free reads and plans steer toward the cache. Null/empty = no cache.
+  std::shared_ptr<const std::unordered_set<uint64_t>> cached_fingerprints;
 };
 
 /// Resolves BatchOptimizerOptions::num_threads: an explicit value (> 0) wins,
@@ -165,6 +174,15 @@ class BatchOptimizer {
   /// Total operator costings across all optimizations (work proxy).
   int64_t num_costings() const { return num_costings_.load(); }
 
+  /// True iff class `eq`'s structural fingerprint matches a segment already
+  /// resident in the cross-batch cache — materializing it is free (the
+  /// executor serves it without recomputation). Read-only after
+  /// construction, so safe from concurrent evaluations.
+  bool IsCachedClass(EqId eq) const {
+    return !cached_classes_.empty() &&
+           cached_classes_.count(memo_->Find(eq)) > 0;
+  }
+
   Memo* memo() { return memo_; }
   StatsEstimator* stats() { return &stats_; }
   const CostModel& cost_model() const { return cm_; }
@@ -189,6 +207,9 @@ class BatchOptimizer {
   BatchOptimizerOptions options_;
   StatsEstimator stats_;
   CostCache cache_;
+  /// Canonical classes whose fingerprint hit `options_.cached_fingerprints`;
+  /// built once in the constructor, immutable afterwards.
+  std::unordered_set<EqId> cached_classes_;
   std::unique_ptr<PlanSearch> base_;  // pinned committed base (greedy's X)
   std::atomic<int64_t> num_optimizations_{0};
   std::atomic<int64_t> num_incremental_{0};

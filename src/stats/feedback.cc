@@ -68,4 +68,29 @@ uint64_t ClassFingerprint(const Memo& memo, EqId eq,
   return best;
 }
 
+namespace {
+
+void CollectBaseTables(const Memo& memo, EqId eq,
+                       std::unordered_map<EqId, bool>* visited,
+                       std::set<std::string>* out) {
+  eq = memo.Find(eq);
+  if (!visited->emplace(eq, true).second) return;
+  for (OpId oid : memo.ClassOps(eq)) {
+    const MemoOp& op = memo.op(oid);
+    if (op.kind == LogicalOp::kScan) out->insert(op.table);
+    for (EqId child : op.children) {
+      CollectBaseTables(memo, child, visited, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> ClassBaseTables(const Memo& memo, EqId eq) {
+  std::set<std::string> out;
+  std::unordered_map<EqId, bool> visited;
+  CollectBaseTables(memo, eq, &visited, &out);
+  return out;
+}
+
 }  // namespace mqo

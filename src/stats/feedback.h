@@ -18,6 +18,8 @@
 #define MQO_STATS_FEEDBACK_H_
 
 #include <cstdint>
+#include <set>
+#include <string>
 #include <unordered_map>
 
 #include "lqdag/memo.h"
@@ -30,6 +32,13 @@ namespace mqo {
 /// recomputing shared subtrees.
 uint64_t ClassFingerprint(const Memo& memo, EqId eq,
                           std::unordered_map<EqId, uint64_t>* cache);
+
+/// Names of every base table the class's expression reads (sorted, deduped):
+/// the union of kScan tables over all live operators reachable from `eq`.
+/// The cross-batch segment cache records these as the segment's
+/// dependencies, so a BindData/append on any of them invalidates the cached
+/// segment.
+std::set<std::string> ClassBaseTables(const Memo& memo, EqId eq);
 
 /// Observed cardinalities of materialized subexpressions, keyed by
 /// ClassFingerprint. Accumulated by the executors, merged across batch runs

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,14 +69,23 @@ TableStatsData AnalyzeTable(const ColumnStore& store,
 
 /// Lazily-populated per-table statistics, keyed by base-table name.
 ///
-/// Not thread-safe: the optimizer runs single-threaded; only the analyze
-/// pass itself goes parallel (inside AnalyzeTable). Get() is const because
-/// estimation paths hold const registries; the cache is the only mutation.
+/// Thread-safe: a long-lived session shares one registry across concurrent
+/// batch optimizations, so every access — including the lazy first-touch
+/// analysis, which runs under the lock and thereby analyzes each table
+/// exactly once — is serialized on an internal mutex. The pointer Get
+/// returns stays valid until that table is invalidated or the registry
+/// rebound (std::map nodes are stable across unrelated inserts); sessions
+/// only invalidate between runs, never under a concurrent optimization.
+/// The mutex makes the registry immovable — long-lived owners re-point it
+/// with Reset() instead of move-assigning a fresh one.
 class TableStatsRegistry {
  public:
   TableStatsRegistry() = default;
   explicit TableStatsRegistry(const DataSet* data, AnalyzeOptions options = {})
       : data_(data), options_(options) {}
+
+  TableStatsRegistry(const TableStatsRegistry&) = delete;
+  TableStatsRegistry& operator=(const TableStatsRegistry&) = delete;
 
   /// Stats for `table`, analyzing lazily from the bound DataSet on first
   /// access. nullptr when no data is bound or the table has none.
@@ -85,18 +95,35 @@ class TableStatsRegistry {
   void Put(std::string table, TableStatsData stats);
 
   /// Drops one table's cached stats (re-analyzed on next Get).
-  void Invalidate(const std::string& table) { cache_.erase(table); }
+  void Invalidate(const std::string& table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(table);
+  }
 
   /// Drops everything and re-points at `data` — the data-regeneration hook.
   void BindData(const DataSet* data) {
+    std::lock_guard<std::mutex> lock(mu_);
     cache_.clear();
     data_ = data;
   }
 
-  size_t num_analyzed() const { return cache_.size(); }
+  /// BindData plus fresh analyze options — what a session constructor uses
+  /// instead of move-assigning a new registry (the mutex is immovable).
+  void Reset(const DataSet* data, AnalyzeOptions options) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    data_ = data;
+    options_ = options;
+  }
+
+  size_t num_analyzed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
   const AnalyzeOptions& options() const { return options_; }
 
  private:
+  mutable std::mutex mu_;
   const DataSet* data_ = nullptr;
   AnalyzeOptions options_;
   mutable std::map<std::string, TableStatsData> cache_;

@@ -10,7 +10,7 @@ PinnedSegment& PinnedSegment::operator=(PinnedSegment&& o) noexcept {
   if (this != &o) {
     Release();
     store_ = o.store_;
-    eq_ = o.eq_;
+    key_ = o.key_;
     batch_ = o.batch_;
     o.store_ = nullptr;
     o.batch_ = nullptr;
@@ -19,23 +19,24 @@ PinnedSegment& PinnedSegment::operator=(PinnedSegment&& o) noexcept {
 }
 
 void PinnedSegment::Release() {
-  if (store_ != nullptr) store_->Unpin(eq_);
+  if (store_ != nullptr) store_->Unpin(key_);
   store_ = nullptr;
   batch_ = nullptr;
 }
 
-void MatStore::Unpin(int eq) {
-  auto it = entries_.find(eq);
+void MatStore::Unpin(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
   if (it != entries_.end() && it->second.pins > 0) --it->second.pins;
 }
 
-Status MatStore::Put(int eq, ColumnBatch segment) {
-  Entry& e = entries_[eq];
+Status MatStore::PutLocked(uint64_t key, ColumnBatch segment) {
+  Entry& e = entries_[key];
   if (e.pins > 0) {
     // Replacing the batch in place would yank it out from under live
     // PinnedSegment leases, whose contract is a stable batch().
     return Status::Internal("Put would replace pinned segment E" +
-                            std::to_string(eq));
+                            std::to_string(key));
   }
   if (e.resident) bytes_used_ -= e.bytes;
   if (!e.spill_path.empty()) {
@@ -49,7 +50,7 @@ Status MatStore::Put(int eq, ColumnBatch segment) {
   e.batch = std::move(segment);
   e.resident = true;
   e.last_use = ++tick_;
-  auto hint = read_hints_.find(eq);
+  auto hint = read_hints_.find(key);
   if (hint != read_hints_.end()) {
     e.expected_reads = hint->second;
     read_hints_.erase(hint);
@@ -59,7 +60,8 @@ Status MatStore::Put(int eq, ColumnBatch segment) {
   ++stats_.puts;
   if (Tracer* t = TracerOf(options_.obs)) {
     t->Instant("mat_store.put", "storage",
-               {TNum("eq", eq), TNum("bytes", static_cast<double>(e.bytes)),
+               {TNum("eq", static_cast<double>(key)),
+                TNum("bytes", static_cast<double>(e.bytes)),
                 TNum("rows", static_cast<double>(e.rows)),
                 TNum("expected_reads", e.expected_reads)});
   }
@@ -67,13 +69,29 @@ Status MatStore::Put(int eq, ColumnBatch segment) {
     m->AddCounter("mat_store.puts");
     m->AddCounter("mat_store.put_bytes", static_cast<double>(e.bytes));
   }
-  return EnforceBudget(-1);
+  return EnforceBudgetLocked(kNoProtect);
 }
 
-Result<MatStore::Entry*> MatStore::Touch(int eq) {
-  auto it = entries_.find(eq);
+Status MatStore::Put(uint64_t key, ColumnBatch segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(key, std::move(segment));
+}
+
+Status MatStore::PutIfAbsent(uint64_t key, ColumnBatch segment,
+                             bool* inserted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key) > 0) {
+    if (inserted != nullptr) *inserted = false;
+    return Status::OK();
+  }
+  if (inserted != nullptr) *inserted = true;
+  return PutLocked(key, std::move(segment));
+}
+
+Result<MatStore::Entry*> MatStore::TouchLocked(uint64_t key) {
+  auto it = entries_.find(key);
   if (it == entries_.end()) {
-    return Status::NotFound("segment E" + std::to_string(eq) +
+    return Status::NotFound("segment E" + std::to_string(key) +
                             " was never materialized");
   }
   Entry& e = it->second;
@@ -94,7 +112,8 @@ Result<MatStore::Entry*> MatStore::Touch(int eq) {
     stats_.bytes_reloaded += e.bytes;
     if (Tracer* t = TracerOf(options_.obs)) {
       t->Instant("mat_store.rehydrate", "storage",
-                 {TNum("eq", eq), TNum("bytes", static_cast<double>(e.bytes))});
+                 {TNum("eq", static_cast<double>(key)),
+                  TNum("bytes", static_cast<double>(e.bytes))});
     }
     if (MetricsRegistry* m = MetricsOf(options_.obs)) {
       m->AddCounter("mat_store.reloads");
@@ -102,11 +121,12 @@ Result<MatStore::Entry*> MatStore::Touch(int eq) {
     }
     // The spill file stays valid (segments are immutable between Puts), so
     // a future eviction releases the payload without rewriting the file.
-    MQO_RETURN_NOT_OK(EnforceBudget(eq));
+    MQO_RETURN_NOT_OK(EnforceBudgetLocked(key));
   } else {
     ++stats_.hits;
     if (Tracer* t = TracerOf(options_.obs)) {
-      t->Instant("mat_store.hit", "storage", {TNum("eq", eq)});
+      t->Instant("mat_store.hit", "storage",
+                 {TNum("eq", static_cast<double>(key))});
     }
     if (MetricsRegistry* m = MetricsOf(options_.obs)) {
       m->AddCounter("mat_store.hits");
@@ -117,22 +137,25 @@ Result<MatStore::Entry*> MatStore::Touch(int eq) {
   return &e;
 }
 
-const ColumnBatch* MatStore::Get(int eq) {
-  auto touched = Touch(eq);
+const ColumnBatch* MatStore::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto touched = TouchLocked(key);
   return touched.ok() ? &touched.ValueOrDie()->batch : nullptr;
 }
 
-Result<PinnedSegment> MatStore::Pin(int eq) {
-  MQO_ASSIGN_OR_RETURN(Entry * e, Touch(eq));
+Result<PinnedSegment> MatStore::Pin(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MQO_ASSIGN_OR_RETURN(Entry * e, TouchLocked(key));
   ++e->pins;
   if (Tracer* t = TracerOf(options_.obs)) {
     t->Instant("mat_store.pin", "storage",
-               {TNum("eq", eq), TNum("pins", e->pins)});
+               {TNum("eq", static_cast<double>(key)), TNum("pins", e->pins)});
   }
-  return PinnedSegment(this, eq, &e->batch);
+  return PinnedSegment(this, key, &e->batch);
 }
 
-Status MatStore::Evict(Entry* e) {
+Status MatStore::EvictLocked(uint64_t key, Entry* e) {
+  (void)key;
   bool wrote_file = false;
   if (e->spill_path.empty()) {
     auto path = spill_dir_.NextPath();
@@ -171,37 +194,40 @@ Status MatStore::Evict(Entry* e) {
   return Status::OK();
 }
 
-Status MatStore::EnforceBudget(int protect_eq) {
+Status MatStore::EnforceBudgetLocked(uint64_t protect_key) {
   if (options_.budget_bytes == 0) return Status::OK();
   while (bytes_used_ > options_.budget_bytes) {
     // Victim: the unpinned resident segment with the smallest remaining
     // reload saving (expected reads x bytes), oldest first on ties, key as
     // the final tiebreaker — deterministic for a fixed operation sequence.
-    int victim = -1;
+    bool have_victim = false;
+    uint64_t victim = 0;
     Entry* victim_entry = nullptr;
     double victim_weight = 0.0;
-    for (auto& [eq, e] : entries_) {
-      if (!e.resident || e.pins > 0 || eq == protect_eq) continue;
+    for (auto& [key, e] : entries_) {
+      if (!e.resident || e.pins > 0 || key == protect_key) continue;
       const double weight = e.expected_reads * static_cast<double>(e.bytes);
       const bool better =
-          victim == -1 || weight < victim_weight ||
+          !have_victim || weight < victim_weight ||
           (weight == victim_weight &&
            (e.last_use < victim_entry->last_use ||
-            (e.last_use == victim_entry->last_use && eq < victim)));
+            (e.last_use == victim_entry->last_use && key < victim)));
       if (better) {
-        victim = eq;
+        have_victim = true;
+        victim = key;
         victim_entry = &e;
         victim_weight = weight;
       }
     }
-    if (victim == -1) break;  // everything left is pinned or protected
-    MQO_RETURN_NOT_OK(Evict(victim_entry));
+    if (!have_victim) break;  // everything left is pinned or protected
+    MQO_RETURN_NOT_OK(EvictLocked(victim, victim_entry));
   }
   return Status::OK();
 }
 
-bool MatStore::Erase(int eq) {
-  auto it = entries_.find(eq);
+bool MatStore::Erase(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
   if (it == entries_.end() || it->second.pins > 0) return false;
   Entry& e = it->second;
   if (e.resident) bytes_used_ -= e.bytes;
@@ -212,9 +238,10 @@ bool MatStore::Erase(int eq) {
 }
 
 void MatStore::Clear() {
-  for (auto& [eq, e] : entries_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
     assert(e.pins == 0 && "Clear with live pins");
-    (void)eq;
+    (void)key;
     if (!e.spill_path.empty()) spill_dir_.RemoveFile(e.spill_path);
   }
   entries_.clear();
@@ -223,30 +250,64 @@ void MatStore::Clear() {
   bytes_spilled_ = 0;
 }
 
-void MatStore::SetExpectedReads(int eq, double reads) {
-  auto it = entries_.find(eq);
+void MatStore::SetExpectedReads(uint64_t key, double reads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.expected_reads = reads;
     it->second.expected_reads_initial = reads;
   } else {
-    read_hints_[eq] = reads;
+    read_hints_[key] = reads;
   }
 }
 
-bool MatStore::IsResident(int eq) const {
-  auto it = entries_.find(eq);
+bool MatStore::Contains(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+bool MatStore::IsResident(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
   return it != entries_.end() && it->second.resident;
 }
 
-size_t MatStore::SegmentBytes(int eq) const {
-  auto it = entries_.find(eq);
+size_t MatStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t MatStore::SegmentBytes(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
   return it == entries_.end() ? 0 : it->second.bytes;
 }
 
-std::unordered_map<int, SegmentTelemetry> MatStore::Telemetry() const {
-  std::unordered_map<int, SegmentTelemetry> out;
+size_t MatStore::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+size_t MatStore::bytes_spilled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_spilled_;
+}
+
+MatStoreStats MatStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status MatStore::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+std::unordered_map<uint64_t, SegmentTelemetry> MatStore::Telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_map<uint64_t, SegmentTelemetry> out;
   out.reserve(entries_.size());
-  for (const auto& [eq, e] : entries_) {
+  for (const auto& [key, e] : entries_) {
     SegmentTelemetry t;
     t.rows = e.rows;
     t.bytes = e.bytes;
@@ -254,7 +315,7 @@ std::unordered_map<int, SegmentTelemetry> MatStore::Telemetry() const {
     t.reloads = e.reloads;
     t.expected_reads_initial = e.expected_reads_initial;
     t.ever_spilled = e.ever_spilled;
-    out.emplace(eq, t);
+    out.emplace(key, t);
   }
   return out;
 }

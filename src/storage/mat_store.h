@@ -1,11 +1,14 @@
 // The materialize-once/read-many segment store shared by both executors —
-// now memory-governed.
+// memory-governed and safe under concurrent batches.
 //
 // MQO's value proposition is to execute a shared subexpression once and read
 // it many times; this store holds those results as columnar segments
-// (ColumnBatch, COW column payloads), keyed by the memo equivalence class
-// that was materialized. The vectorized engine reads segments zero-copy; the
-// row interpreter converts at the boundary (BatchToRows/BatchFromRows).
+// (ColumnBatch, COW column payloads), keyed by a 64-bit segment key: the
+// per-run executors key by the memo equivalence class that was materialized,
+// and the cross-batch segment cache (storage/segment_cache.h) keys by
+// structural class fingerprint, which survives memo rebuilds. The vectorized
+// engine reads segments zero-copy; the row interpreter converts at the
+// boundary (BatchToRows/BatchFromRows).
 //
 // Memory governance: a byte budget caps the resident payload bytes. When a
 // Put (or a reload) pushes the store over budget, victims are evicted —
@@ -21,6 +24,16 @@
 // copy-on-write, a batch copied out of the store stays valid even after the
 // store later evicts the segment.
 //
+// Concurrency: every public operation — Put, PutIfAbsent, Get, Pin, Erase,
+// eviction, accounting reads — holds one internal mutex, so concurrent
+// batches share a store safely; PinnedSegment release re-enters only Unpin.
+// Spill writes and reloads happen under that mutex (segment granularity:
+// one segment moves at a time; async background spill is future work).
+// Under concurrency prefer Pin() over Get(): the pointer Get returns is
+// stable only until another thread triggers an eviction, while a pin blocks
+// eviction of its segment for the lease's lifetime. A batch COW-copied out
+// of a pinned segment is immutable and safe to read from any thread.
+//
 // Accounting charges each resident segment's owned payloads once; zero-copy
 // views handed to readers share those payloads and cost nothing extra. A
 // segment larger than the whole budget is spilled straight back out by the
@@ -31,6 +44,8 @@
 #ifndef MQO_STORAGE_MAT_STORE_H_
 #define MQO_STORAGE_MAT_STORE_H_
 
+#include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/spill.h"
@@ -77,9 +92,11 @@ struct SegmentTelemetry {
 
 class MatStore;
 
-/// RAII read lease on one segment: while any PinnedSegment for `eq` is
-/// alive, the store will not evict that segment, so batch() is stable for
-/// the pin's whole lifetime (pipelines, probes, boundary conversions).
+/// RAII read lease on one segment: while any PinnedSegment for `key` is
+/// alive, the store will not evict (or replace, or erase) that segment, so
+/// batch() is stable for the pin's whole lifetime (pipelines, probes,
+/// boundary conversions) — including against concurrent batches sharing the
+/// store.
 class PinnedSegment {
  public:
   PinnedSegment() = default;
@@ -97,18 +114,18 @@ class PinnedSegment {
 
  private:
   friend class MatStore;
-  PinnedSegment(MatStore* store, int eq, const ColumnBatch* batch)
-      : store_(store), eq_(eq), batch_(batch) {}
+  PinnedSegment(MatStore* store, uint64_t key, const ColumnBatch* batch)
+      : store_(store), key_(key), batch_(batch) {}
 
   MatStore* store_ = nullptr;
-  int eq_ = -1;
+  uint64_t key_ = 0;
   const ColumnBatch* batch_ = nullptr;
 };
 
-/// Columnar segments keyed by materialized class id, held under a byte
-/// budget. Not thread-safe: both executors access the store from the driver
-/// thread between pipeline runs; worker threads only read batches already
-/// pinned or copied out (COW payloads make those reads immutable).
+/// Columnar segments keyed by a 64-bit segment key (memo class id or class
+/// fingerprint), held under a byte budget. Thread-safe: concurrent batches
+/// may Put/Get/Pin/Erase one store; see the file comment for the Get-vs-Pin
+/// pointer-stability contract.
 class MatStore {
  public:
   MatStore() = default;
@@ -117,51 +134,60 @@ class MatStore {
   MatStore(const MatStore&) = delete;
   MatStore& operator=(const MatStore&) = delete;
 
-  /// Inserts or replaces the segment for `eq`, then enforces the budget
+  /// Inserts or replaces the segment for `key`, then enforces the budget
   /// (which may spill this segment or others). Fails on spill I/O errors
   /// and on replacing a segment that is currently pinned.
-  Status Put(int eq, ColumnBatch segment);
+  Status Put(uint64_t key, ColumnBatch segment);
 
-  /// The segment for `eq`, reloaded from its spill file if it was evicted,
+  /// Inserts the segment only when `key` is absent — the first writer wins,
+  /// so two concurrent batches materializing the same shared subexpression
+  /// never clobber (or fail on) each other's pinned segment. `*inserted`
+  /// (optional) reports whether this call stored its batch.
+  Status PutIfAbsent(uint64_t key, ColumnBatch segment,
+                     bool* inserted = nullptr);
+
+  /// The segment for `key`, reloaded from its spill file if it was evicted,
   /// or nullptr if it was never materialized (or its reload failed — see
   /// last_error()). The pointer is stable until the segment is next evicted,
-  /// erased, or replaced; prefer Pin() to hold it across other store calls.
-  const ColumnBatch* Get(int eq);
+  /// erased, or replaced — which a concurrent batch can trigger at any time,
+  /// so under concurrency use Pin() instead.
+  const ColumnBatch* Get(uint64_t key);
 
-  /// Like Get, but returns a RAII lease that blocks eviction of `eq` while
+  /// Like Get, but returns a RAII lease that blocks eviction of `key` while
   /// alive. NotFound if never materialized; Internal on reload failure.
-  Result<PinnedSegment> Pin(int eq);
+  Result<PinnedSegment> Pin(uint64_t key);
 
   /// Drops the segment (resident or spilled) and its spill file. Returns
   /// true when something was erased. Pinned segments cannot be erased.
-  bool Erase(int eq);
+  bool Erase(uint64_t key);
 
   /// Drops every segment and every spill file. No segment may be pinned.
   void Clear();
 
-  /// Expected number of future reads of `eq` — the eviction-cost weight.
-  /// Each Get/Pin of `eq` consumes one. May be set before the Put.
-  void SetExpectedReads(int eq, double reads);
+  /// Expected number of future reads of `key` — the eviction-cost weight.
+  /// Each Get/Pin of `key` consumes one. May be set before the Put.
+  void SetExpectedReads(uint64_t key, double reads);
 
-  bool Contains(int eq) const { return entries_.count(eq) > 0; }
+  bool Contains(uint64_t key) const;
   /// True iff the segment is held in memory (false when spilled or absent).
-  bool IsResident(int eq) const;
-  size_t size() const { return entries_.size(); }
+  bool IsResident(uint64_t key) const;
+  size_t size() const;
 
-  /// Payload bytes of the segment for `eq` (resident or spilled), 0 if
+  /// Payload bytes of the segment for `key` (resident or spilled), 0 if
   /// absent.
-  size_t SegmentBytes(int eq) const;
+  size_t SegmentBytes(uint64_t key) const;
 
   /// Resident payload bytes — what the budget governs.
-  size_t bytes_used() const { return bytes_used_; }
+  size_t bytes_used() const;
   /// Payload bytes currently living in spill files instead of memory.
-  size_t bytes_spilled() const { return bytes_spilled_; }
+  size_t bytes_spilled() const;
   size_t budget_bytes() const { return options_.budget_bytes; }
-  const MatStoreStats& stats() const { return stats_; }
-  /// Per-segment read/reload/spill telemetry, keyed by class id.
-  std::unordered_map<int, SegmentTelemetry> Telemetry() const;
+  /// Snapshot of the operation counters (a copy: safe under concurrency).
+  MatStoreStats stats() const;
+  /// Per-segment read/reload/spill telemetry, keyed by segment key.
+  std::unordered_map<uint64_t, SegmentTelemetry> Telemetry() const;
   /// Status of the most recent failed spill/reload, OK when none failed.
-  const Status& last_error() const { return last_error_; }
+  Status last_error() const;
 
  private:
   friend class PinnedSegment;
@@ -181,19 +207,27 @@ class MatStore {
     bool ever_spilled = false;
   };
 
-  /// Rehydrates + bumps LRU/read accounting; shared by Get and Pin.
-  Result<Entry*> Touch(int eq);
+  /// Insertion shared by Put/PutIfAbsent; `mu_` held.
+  Status PutLocked(uint64_t key, ColumnBatch segment);
+  /// Rehydrates + bumps LRU/read accounting; shared by Get and Pin. `mu_`
+  /// held.
+  Result<Entry*> TouchLocked(uint64_t key);
   /// Spills victims until bytes_used() <= budget, never touching pinned
-  /// segments or `protect_eq` (the segment just reloaded; -1 = none).
-  Status EnforceBudget(int protect_eq);
+  /// segments or `protect_key` (the segment just reloaded; kNoProtect =
+  /// none). `mu_` held.
+  Status EnforceBudgetLocked(uint64_t protect_key);
   /// Writes `e` out (if not already on disk) and releases its payload.
-  Status Evict(Entry* e);
-  void Unpin(int eq);
+  /// `mu_` held.
+  Status EvictLocked(uint64_t key, Entry* e);
+  void Unpin(uint64_t key);
+
+  static constexpr uint64_t kNoProtect = ~0ull;
 
   MatStoreOptions options_;
+  mutable std::mutex mu_;
   SpillDir spill_dir_;
-  std::unordered_map<int, Entry> entries_;
-  std::unordered_map<int, double> read_hints_;  ///< Set before Put.
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_map<uint64_t, double> read_hints_;  ///< Set before Put.
   size_t bytes_used_ = 0;
   size_t bytes_spilled_ = 0;
   uint64_t tick_ = 0;

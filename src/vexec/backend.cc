@@ -31,6 +31,7 @@ Result<ExecResult> ExecuteConsolidatedResult(ExecBackend backend, Memo* memo,
     out.feedback = executor.feedback();
     out.store_stats = executor.store().stats();
     out.segments = executor.SegmentRuntimes();
+    out.cross_batch_hits = executor.cross_batch_hits();
     return out;
   }
   // The row interpreter is serial but its segment store honours the same
@@ -40,6 +41,7 @@ Result<ExecResult> ExecuteConsolidatedResult(ExecBackend backend, Memo* memo,
   out.feedback = executor.feedback();
   out.store_stats = executor.store().stats();
   out.segments = executor.SegmentRuntimes();
+  out.cross_batch_hits = executor.cross_batch_hits();
   return out;
 }
 

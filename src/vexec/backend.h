@@ -32,6 +32,9 @@ struct ExecResult {
   /// Per-segment runtime telemetry (actual rows, compute time, reads),
   /// eq-sorted; joins against the optimizer's estimates in EXPLAIN ANALYZE.
   std::vector<SegmentRuntime> segments;
+  /// Materializations served from the cross-batch segment cache
+  /// (ExecOptions::shared_cache) instead of being computed; 0 without one.
+  int64_t cross_batch_hits = 0;
 };
 
 /// Executes a full consolidated plan (materialized nodes + batch root) with

@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "obs/obs.h"
+#include "storage/segment_cache.h"
 
 namespace mqo {
 
@@ -430,17 +431,36 @@ Status VectorPlanExecutor::MaterializeNode(EqId eq,
                                            const PlanNodePtr& compute_plan) {
   TraceSpan span(TracerOf(options_.obs), "materialize", "vexec");
   ScopedTimer metric(MetricsOf(options_.obs), "vexec.materialize_ms");
+  eq = memo_->Find(eq);
+  const uint64_t fp = ClassFingerprint(*memo_, eq, &fingerprints_);
+  if (options_.shared_cache != nullptr) {
+    // Cross-batch semantic cache: a segment another batch materialized for
+    // this structural fingerprint serves this class without recomputation.
+    // The schema guard rejects the (theoretical) case of a fingerprint
+    // collision between classes with different attribute lists.
+    ColumnBatch cached;
+    if (options_.shared_cache->Lookup(fp, &cached) &&
+        cached.names == memo_->Attributes(eq)) {
+      compute_ms_[eq] = 0.0;
+      feedback_.Record(fp, static_cast<double>(cached.num_rows));
+      ++cross_batch_hits_;
+      if (span.active()) {
+        span.AddNum("eq", eq);
+        span.AddNum("rows", static_cast<double>(cached.num_rows));
+        span.AddNum("cross_batch_hit", 1);
+      }
+      return store_.Put(eq, std::move(cached));
+    }
+  }
   WallTimer timer;
   // The pipeline sink's merged result goes straight into the store: the
   // per-morsel chunks were gathered on the workers and concatenated column-
   // parallel, so no serial whole-result gather happens on this thread.
   MQO_ASSIGN_OR_RETURN(ColumnBatch batch, ExecuteBatch(compute_plan));
-  eq = memo_->Find(eq);
   compute_ms_[eq] = timer.ElapsedMillis();
   // Observed cardinality of the shared subexpression, for feedback-driven
   // re-optimization (same contract as the row engine).
-  feedback_.Record(ClassFingerprint(*memo_, eq, &fingerprints_),
-                   static_cast<double>(batch.num_rows));
+  feedback_.Record(fp, static_cast<double>(batch.num_rows));
   if (options_.numeric_compression_enabled()) {
     // Compress the segment before it lands: MatStore budget accounting,
     // eviction weights, and spill penalties then see encoded bytes, and
@@ -454,6 +474,14 @@ Status VectorPlanExecutor::MaterializeNode(EqId eq,
     span.AddNum("eq", eq);
     span.AddNum("rows", static_cast<double>(batch.num_rows));
     span.AddNum("bytes", static_cast<double>(batch.ByteSize()));
+  }
+  if (options_.shared_cache != nullptr) {
+    // Publish for later batches (COW copy: shares payloads, no deep copy).
+    // First writer wins; losing the race or failing admission is harmless.
+    auto reads = expected_reads_.find(eq);
+    options_.shared_cache->Insert(
+        fp, ColumnBatch(batch), ClassBaseTables(*memo_, eq),
+        reads == expected_reads_.end() ? 0.0 : reads->second);
   }
   return store_.Put(eq, std::move(batch));
 }
@@ -469,10 +497,13 @@ Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
   }
   feedback_.clear();
   compute_ms_.clear();
+  expected_reads_.clear();
+  cross_batch_hits_ = 0;
   // Seed eviction weights (reads still ahead of each segment) before any
   // segment lands, as the row executor does.
   for (const auto& [eq, reads] : ExpectedSegmentReads(*memo_, plan)) {
     store_.SetExpectedReads(eq, reads);
+    expected_reads_[eq] = reads;
   }
   // Materialize chosen nodes children-first, as the row executor does.
   std::vector<EqId> topo = memo_->TopologicalClasses();
@@ -511,7 +542,8 @@ Result<std::vector<NamedRows>> VectorPlanExecutor::ExecuteConsolidated(
 
 std::vector<SegmentRuntime> VectorPlanExecutor::SegmentRuntimes() const {
   std::vector<SegmentRuntime> out;
-  for (const auto& [eq, t] : store_.Telemetry()) {
+  for (const auto& [key, t] : store_.Telemetry()) {
+    const EqId eq = static_cast<EqId>(key);
     SegmentRuntime r;
     r.eq = eq;
     auto fp = fingerprints_.find(eq);

@@ -78,6 +78,10 @@ class VectorPlanExecutor {
   /// the facade's EXPLAIN ANALYZE.
   std::vector<SegmentRuntime> SegmentRuntimes() const;
 
+  /// Materializations of the most recent ExecuteConsolidated run served
+  /// from the cross-batch segment cache instead of being computed.
+  int64_t cross_batch_hits() const { return cross_batch_hits_; }
+
  private:
   /// Plan execution to a batch projected onto the node's class attributes.
   Result<ColumnBatch> ExecuteBatch(const PlanNodePtr& plan);
@@ -111,6 +115,8 @@ class VectorPlanExecutor {
   CardinalityFeedback feedback_;
   std::unordered_map<EqId, uint64_t> fingerprints_;
   std::unordered_map<EqId, double> compute_ms_;  ///< Materialization times.
+  std::unordered_map<EqId, double> expected_reads_;  ///< Plan's read counts.
+  int64_t cross_batch_hits_ = 0;
 };
 
 }  // namespace mqo

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <thread>
@@ -323,6 +324,68 @@ TEST(ObsContextTest, NullSafeAccessors) {
   ASSERT_NE(MetricsOf(&ctx), nullptr);
   EXPECT_TRUE(TracerOf(&ctx)->enabled());
   EXPECT_TRUE(MetricsOf(&ctx)->enabled());
+}
+
+// ---- Timing histograms ------------------------------------------------------
+
+TEST(MetricsHistogramTest, BucketEdgesAreLogSpacedDoublings) {
+  EXPECT_DOUBLE_EQ(TimingBucketUpperMs(0), 0.001);      // 1 µs
+  EXPECT_DOUBLE_EQ(TimingBucketUpperMs(10), 1.024);     // ~1 ms
+  EXPECT_DOUBLE_EQ(TimingBucketUpperMs(20), 1048.576);  // ~17 min ceiling
+  EXPECT_TRUE(std::isinf(TimingBucketUpperMs(kTimingBuckets - 1)));
+}
+
+TEST(MetricsHistogramTest, ObservationsLandInBucketsAndAnswerQuantiles) {
+  MetricsRegistry metrics;
+  metrics.ObserveMs("op.ms", 0.5);
+  metrics.ObserveMs("op.ms", 2.0);
+  metrics.ObserveMs("op.ms", 8.0);
+  metrics.ObserveMs("op.ms", 8.0);
+  auto snapshot = metrics.Snapshot();
+  const MetricValue& v = snapshot.at("op.ms");
+  EXPECT_EQ(v.count, 4);
+  int64_t bucketed = 0;
+  for (int64_t c : v.buckets) bucketed += c;
+  EXPECT_EQ(bucketed, 4);  // every sample lands in exactly one bucket
+  // The p50 rank falls in the 2 ms sample's bucket (upper edge 2^11 µs);
+  // upper tail quantiles clamp to the observed max rather than the
+  // open-ended bucket edge.
+  EXPECT_DOUBLE_EQ(metrics.QuantileMs("op.ms", 0.5), 2.048);
+  EXPECT_DOUBLE_EQ(metrics.QuantileMs("op.ms", 0.95), 8.0);
+  EXPECT_DOUBLE_EQ(metrics.QuantileMs("op.ms", 1.0), 8.0);
+  // Low quantiles clamp up to the observed min's bucket.
+  EXPECT_DOUBLE_EQ(metrics.QuantileMs("op.ms", 0.01), 0.512);
+  // Unknown names and non-timing metrics answer 0.
+  metrics.AddCounter("plain.counter");
+  EXPECT_EQ(metrics.QuantileMs("nope", 0.5), 0.0);
+  EXPECT_EQ(metrics.QuantileMs("plain.counter", 0.5), 0.0);
+}
+
+TEST(MetricsHistogramTest, BucketsMergeAcrossThreadsAndExportToJson) {
+  MetricsRegistry metrics;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&metrics] {
+      for (int i = 0; i < 10; ++i) metrics.ObserveMs("op.ms", 3.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  auto snapshot = metrics.Snapshot();
+  const MetricValue& v = snapshot.at("op.ms");
+  EXPECT_EQ(v.count, 40);
+  int64_t bucketed = 0;
+  for (int64_t c : v.buckets) bucketed += c;
+  EXPECT_EQ(bucketed, 40);  // shard merge preserves every sample
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(metrics.QuantileMs("op.ms", 0.5), 3.0);  // clamped to max
+}
+
+TEST(MetricsHistogramTest, DisabledRegistryAnswersZero) {
+  MetricsRegistry metrics(false);
+  metrics.ObserveMs("op.ms", 5.0);
+  EXPECT_EQ(metrics.QuantileMs("op.ms", 0.5), 0.0);
+  EXPECT_TRUE(metrics.Snapshot().empty());
 }
 
 }  // namespace

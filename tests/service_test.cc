@@ -1,0 +1,265 @@
+// Concurrent MQO service tests: the differential invariant (concurrent
+// client batches through one MqoSession are bag-equal to the same batches
+// run serially without the session), cross-batch semantic cache hits and
+// their zero-cost optimizer treatment, invalidation (a mutated base table
+// must never be served from a stale cached segment), and per-batch trace
+// scoping.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/tpcd.h"
+#include "exec/dataset.h"
+#include "mqo/facade.h"
+#include "mqo/service.h"
+#include "storage/segment_cache.h"
+#include "workload/tpcd_queries.h"
+
+namespace mqo {
+namespace {
+
+/// Two overlapping query templates: every batch is one TPC-D query in both
+/// selection-constant variants, so re-running a template re-requests the
+/// same structural fingerprints. Q5 and Q9 both materialize at this scale
+/// under catalog and collected statistics alike, so every template re-run
+/// has a cached segment to hit.
+std::vector<LogicalExprPtr> Template(int t) {
+  std::vector<LogicalExprPtr> batch;
+  if (t % 2 == 0) {
+    batch.push_back(MakeQ5(0));
+    batch.push_back(MakeQ5(1));
+  } else {
+    batch.push_back(MakeQ9(0));
+    batch.push_back(MakeQ9(1));
+  }
+  return batch;
+}
+
+/// The template client `client` submits as its `batch_index`-th request:
+/// rotates per client, so templates recur both within a client's sequence
+/// and across concurrent clients.
+std::vector<LogicalExprPtr> GenerateBatch(int client, int batch_index) {
+  return Template(client + batch_index);
+}
+
+bool SameResults(const std::vector<NamedRows>& a,
+                 const std::vector<NamedRows>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].columns == b[i].columns)) return false;
+    if (!(a[i].rows == b[i].rows)) return false;
+  }
+  return true;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : catalog_(MakeTpcdCatalog(1)) {
+    DataGenOptions gen;
+    gen.max_rows_per_table = 60;
+    data_ = GenerateData(catalog_, gen);
+  }
+
+  Catalog catalog_;
+  DataSet data_;
+};
+
+// The service-level differential invariant: for both engines, every client
+// count and both statistics modes, the results a concurrent session serves
+// are exactly the ones a standalone serial run of the same batch produces
+// (results are canonicalized, so equality is semantic bag-equality).
+TEST_F(ServiceTest, ConcurrentSessionMatchesSerialExecution) {
+  for (ExecBackend backend : {ExecBackend::kRow, ExecBackend::kVector}) {
+    for (StatsMode stats : {StatsMode::kCatalogGuess, StatsMode::kCollected}) {
+      MqoOptions options;
+      options.backend = backend;
+      options.stats_mode = stats;
+
+      // Serial reference: each template standalone, no session, no cache.
+      std::vector<std::vector<NamedRows>> expected;
+      for (int t = 0; t < 2; ++t) {
+        auto ref =
+            OptimizeAndExecuteBatch(catalog_, Template(t), data_, options);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        expected.push_back(std::move(ref.ValueOrDie().results));
+      }
+
+      for (int clients : {1, 2, 8}) {
+        MqoSession session(&catalog_, &data_, options);
+        ServiceTrafficOptions traffic;
+        traffic.num_clients = clients;
+        traffic.batches_per_client = 3;
+        traffic.keep_results = true;
+        ServiceReport report =
+            RunServiceTraffic(&session, GenerateBatch, traffic);
+        EXPECT_EQ(report.failed, 0);
+        ASSERT_EQ(report.batches.size(),
+                  static_cast<size_t>(clients) * 3);
+        for (const ServiceBatchResult& b : report.batches) {
+          ASSERT_TRUE(b.ok) << b.error;
+          const auto& want = expected[(b.client + b.batch_index) % 2];
+          EXPECT_TRUE(SameResults(b.results, want))
+              << "backend=" << static_cast<int>(backend)
+              << " stats=" << static_cast<int>(stats)
+              << " clients=" << clients << " client=" << b.client
+              << " batch=" << b.batch_index;
+        }
+        // With 3 batches per client over 2 templates, every client re-runs
+        // its first template after materializing it — a deterministic
+        // cross-batch hit regardless of how the clients interleaved.
+        EXPECT_GT(report.cross_batch_hits, 0);
+      }
+    }
+  }
+}
+
+// Re-running an identical batch through a session serves segments from the
+// cross-batch cache (zero-cost candidates for the optimizer) and produces
+// identical results.
+TEST_F(ServiceTest, CrossBatchHitsServeIdenticalResults) {
+  MqoOptions options;
+  options.backend = ExecBackend::kVector;
+  MqoSession session(&catalog_, &data_, options);
+  auto first = session.Run(Template(0));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.ValueOrDie().cross_batch_hits, 0);
+  ASSERT_NE(session.segment_cache(), nullptr);
+  EXPECT_GT(session.segment_cache()->stats().inserts, 0);
+
+  auto second = session.Run(Template(0));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(second.ValueOrDie().cross_batch_hits, 0);
+  EXPECT_GT(session.segment_cache()->stats().hits, 0);
+  EXPECT_TRUE(SameResults(first.ValueOrDie().results,
+                          second.ValueOrDie().results));
+}
+
+// Sessions can opt out of the shared cache entirely.
+TEST_F(ServiceTest, SharedCacheCanBeDisabled) {
+  MqoOptions options;
+  options.shared_segment_cache = false;
+  MqoSession session(&catalog_, &data_, options);
+  EXPECT_EQ(session.segment_cache(), nullptr);
+  auto first = session.Run(Template(0));
+  auto second = session.Run(Template(0));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ValueOrDie().cross_batch_hits, 0);
+  EXPECT_TRUE(SameResults(first.ValueOrDie().results,
+                          second.ValueOrDie().results));
+}
+
+// Regression for the invalidation contract: after a base table changes,
+// cached segments computed from it must be misses, and the session must
+// serve results computed from the new data — bag-equal to a fresh serial
+// run against the mutated dataset.
+TEST_F(ServiceTest, InvalidateTableDropsStaleSegments) {
+  MqoOptions options;
+  options.backend = ExecBackend::kVector;
+  // Pin catalog statistics so the materialization choice is independent of
+  // the MQO_STATS_MODE CI matrix: Q9 then caches its lineitem⋈orders join.
+  options.stats_mode = StatsMode::kCatalogGuess;
+  MqoSession session(&catalog_, &data_, options);
+  auto warm = session.Run(Template(1));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_NE(session.segment_cache(), nullptr);
+  ASSERT_GT(session.segment_cache()->stats().inserts, 0);
+
+  // Simulate an append/update: regenerate lineitem from a different seed and
+  // swap it into the dataset the session executes against.
+  DataGenOptions gen;
+  gen.max_rows_per_table = 60;
+  gen.seed = 0xa11ce;
+  DataSet alt = GenerateData(catalog_, gen);
+  data_.AddTable("lineitem",
+                 ColumnStore(*alt.GetTable("lineitem").ValueOrDie()));
+  session.InvalidateTable("lineitem");
+  EXPECT_GT(session.segment_cache()->stats().invalidated_segments, 0);
+
+  // The re-run must not serve any segment computed from the old lineitem:
+  // the dropped entry is a miss, the segment recomputes, and the results
+  // are bag-equal to a fresh serial run against the mutated data.
+  auto after = session.Run(Template(1));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.ValueOrDie().cross_batch_hits, 0);
+  auto fresh = OptimizeAndExecuteBatch(catalog_, Template(1), data_, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_TRUE(SameResults(after.ValueOrDie().results,
+                          fresh.ValueOrDie().results));
+
+  // Negative control: without InvalidateTable the stale segment WOULD have
+  // been served — the invalidation path is what keeps the re-run honest.
+  MqoSession control(&catalog_, &data_, options);
+  ASSERT_TRUE(control.Run(Template(1)).ok());
+  auto control_rerun = control.Run(Template(1));
+  ASSERT_TRUE(control_rerun.ok());
+  EXPECT_GT(control_rerun.ValueOrDie().cross_batch_hits, 0);
+}
+
+// The coarse hook drops everything: collected stats, feedback and segments.
+TEST_F(ServiceTest, InvalidateStatsClearsSegmentCache) {
+  MqoOptions options;
+  options.stats_mode = StatsMode::kCollected;
+  MqoSession session(&catalog_, &data_, options);
+  auto warm = session.Run(Template(0));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_NE(session.segment_cache(), nullptr);
+  EXPECT_GT(session.segment_cache()->size(), 0u);
+  EXPECT_FALSE(session.feedback().empty());
+
+  session.InvalidateStats();
+  EXPECT_EQ(session.segment_cache()->size(), 0u);
+  EXPECT_TRUE(session.feedback().empty());
+  EXPECT_EQ(session.table_stats().num_analyzed(), 0u);
+
+  auto again = session.Run(Template(0));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.ValueOrDie().cross_batch_hits, 0);
+  EXPECT_TRUE(SameResults(warm.ValueOrDie().results,
+                          again.ValueOrDie().results));
+}
+
+// Session runs are issued unique batch ids, and a traced run exports its
+// events under that id as the Chrome pid — concurrent batches land in
+// distinct process lanes.
+TEST_F(ServiceTest, BatchIdsScopeTraceExports) {
+  MqoOptions options;
+  options.obs.trace = true;
+  MqoSession session(&catalog_, &data_, options);
+  auto first = session.Run(Template(0));
+  auto second = session.Run(Template(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.ValueOrDie().batch_id, 1u);
+  EXPECT_EQ(second.ValueOrDie().batch_id, 2u);
+  EXPECT_NE(first.ValueOrDie().trace_json.find("\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(second.ValueOrDie().trace_json.find("\"pid\":2"),
+            std::string::npos);
+  EXPECT_EQ(second.ValueOrDie().trace_json.find("\"pid\":1"),
+            std::string::npos);
+}
+
+// Session-lifetime metrics: per-run wall times accumulate in the
+// "session.run_ms" histogram, so service percentiles come from obs data.
+TEST_F(ServiceTest, SessionMetricsRecordRunLatencies) {
+  MqoOptions options;
+  options.obs.metrics = true;
+  MqoSession session(&catalog_, &data_, options);
+  ASSERT_NE(session.session_obs(), nullptr);
+  ASSERT_TRUE(session.Run(Template(0)).ok());
+  ASSERT_TRUE(session.Run(Template(1)).ok());
+  MetricsRegistry* metrics = session.session_obs()->metrics();
+  auto snapshot = metrics->Snapshot();
+  auto it = snapshot.find("session.run_ms");
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_EQ(it->second.count, 2);
+  EXPECT_GT(metrics->QuantileMs("session.run_ms", 0.5), 0.0);
+  EXPECT_GE(metrics->QuantileMs("session.run_ms", 0.95),
+            metrics->QuantileMs("session.run_ms", 0.5));
+}
+
+}  // namespace
+}  // namespace mqo

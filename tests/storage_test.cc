@@ -11,12 +11,14 @@
 #include <array>
 #include <cstdio>
 #include <limits>
+#include <thread>
 
 #include "catalog/tpcd.h"
 #include "exec/dataset.h"
 #include "exec/row_ops.h"
 #include "storage/mat_store.h"
 #include "storage/pipeline.h"
+#include "storage/segment_cache.h"
 #include "storage/spill.h"
 #include "storage/table_reader.h"
 #include "vexec/vector_ops.h"
@@ -1219,6 +1221,151 @@ TEST(RoundTripTest, DataSetAddTableRowsBoundary) {
   ASSERT_TRUE(scanned.ok());
   EXPECT_EQ(scanned.ValueOrDie().rows.size(), 2u);
   EXPECT_TRUE(ValueEq(scanned.ValueOrDie().rows[1][1], Value("b")));
+}
+
+// ---- Concurrency: MatStore races + the cross-batch segment cache ------------
+
+/// A two-row segment whose cells encode `v`, so any reader can verify it got
+/// the payload its key promises.
+ColumnBatch MarkerBatch(int64_t v) {
+  ColumnBatch batch;
+  batch.names = {ColumnRef("t", "k")};
+  batch.columns = {IntColumn({v, v + 1})};
+  batch.num_rows = 2;
+  return batch;
+}
+
+TEST(MatStoreTest, PutIfAbsentIsFirstWriterWins) {
+  MatStore store;
+  bool inserted = false;
+  ASSERT_TRUE(store.PutIfAbsent(5, MarkerBatch(100), &inserted).ok());
+  EXPECT_TRUE(inserted);
+  // The losing writer's payload is dropped; the first stays served.
+  ASSERT_TRUE(store.PutIfAbsent(5, MarkerBatch(200), &inserted).ok());
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(store.Get(5)->columns[0].ints()[0], 100);
+  // Plain Put still replaces.
+  ASSERT_TRUE(store.Put(5, MarkerBatch(300)).ok());
+  EXPECT_EQ(store.Get(5)->columns[0].ints()[0], 300);
+}
+
+// Concurrent Put/PutIfAbsent/Pin/Erase on a contended key space under a
+// budget small enough that every operation also races eviction and spill.
+// Every successful pin must see the payload its key encodes, and the store
+// must come out of the storm with consistent accounting. (TSan CI runs this
+// with race detection on.)
+TEST(MatStoreConcurrencyTest, ContendedPutPinEraseUnderEvictionPressure) {
+  for (int threads : {1, 2, 8}) {
+    MatStoreOptions options;
+    options.budget_bytes = 128;  // a fraction of one segment: constant churn
+    MatStore store(options);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&store, t] {
+        for (int i = 0; i < 60; ++i) {
+          const uint64_t key = static_cast<uint64_t>((t * 60 + i) % 8);
+          const int64_t marker = static_cast<int64_t>(key) * 1000;
+          if (i % 2 == 0) {
+            ASSERT_TRUE(store.PutIfAbsent(key, MarkerBatch(marker)).ok());
+          } else {
+            ASSERT_TRUE(store.Put(key, MarkerBatch(marker)).ok());
+          }
+          store.SetExpectedReads(key, static_cast<double>(key + 1));
+          auto pin = store.Pin(key);
+          if (pin.ok()) {
+            const ColumnBatch& read = pin.ValueOrDie().batch();
+            ASSERT_EQ(read.num_rows, 2u);
+            EXPECT_EQ(read.columns[0].ints()[0], marker);
+          }
+          if ((i + t) % 5 == 0) store.Erase(key);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_TRUE(store.last_error().ok()) << store.last_error().ToString();
+    // Whatever survived is still readable and correct.
+    for (uint64_t key = 0; key < 8; ++key) {
+      auto pin = store.Pin(key);
+      if (!pin.ok()) continue;
+      EXPECT_EQ(pin.ValueOrDie().batch().columns[0].ints()[0],
+                static_cast<int64_t>(key) * 1000);
+    }
+  }
+}
+
+TEST(SegmentCacheTest, LookupInsertStalenessAndCounters) {
+  SharedSegmentCache cache(MatStoreOptions{});
+  ColumnBatch out;
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  cache.Insert(1, MarkerBatch(10), {"t"}, 2.0);
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_EQ(out.columns[0].ints()[0], 10);
+  // Invalidating an unrelated table leaves the segment serveable.
+  cache.InvalidateTable("u");
+  EXPECT_TRUE(cache.Lookup(1, &out));
+  // Invalidating a dependency drops it: stale means miss, never wrong data.
+  cache.InvalidateTable("t");
+  EXPECT_FALSE(cache.Lookup(1, &out));
+  // A segment inserted *after* the bump captured the new version — fresh.
+  cache.Insert(1, MarkerBatch(20), {"t"}, 1.0);
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  EXPECT_EQ(out.columns[0].ints()[0], 20);
+
+  const SegmentCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 5);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.inserts, 2);
+  EXPECT_EQ(stats.invalidated_segments, 1);
+}
+
+TEST(SegmentCacheTest, FirstInsertWinsAndCopiesAreIsolated) {
+  SharedSegmentCache cache(MatStoreOptions{});
+  cache.Insert(9, MarkerBatch(1), {"t"}, 1.0);
+  cache.Insert(9, MarkerBatch(2), {"t"}, 1.0);  // lost race: first wins
+  EXPECT_EQ(cache.stats().insert_races_lost, 1);
+  ColumnBatch out;
+  ASSERT_TRUE(cache.Lookup(9, &out));
+  EXPECT_EQ(out.columns[0].ints()[0], 1);
+  // The served batch is a COW handle: writing through it must not corrupt
+  // what the cache serves next.
+  out.columns[0].ints()[0] = 777;
+  ColumnBatch again;
+  ASSERT_TRUE(cache.Lookup(9, &again));
+  EXPECT_EQ(again.columns[0].ints()[0], 1);
+}
+
+// Concurrent Insert/Lookup/InvalidateTable over a shared fingerprint space:
+// every hit must serve exactly the payload its fingerprint encodes, no
+// matter which thread's insert won or what was invalidated in between.
+TEST(SegmentCacheConcurrencyTest, RacingInsertLookupInvalidate) {
+  for (int threads : {1, 2, 8}) {
+    SharedSegmentCache cache(MatStoreOptions{});
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&cache, t] {
+        for (int i = 0; i < 60; ++i) {
+          const uint64_t fp = static_cast<uint64_t>((t + i) % 6);
+          const std::string table = "t" + std::to_string(fp % 2);
+          cache.Insert(fp, MarkerBatch(static_cast<int64_t>(fp) * 10),
+                       {table}, 1.0);
+          ColumnBatch out;
+          if (cache.Lookup(fp, &out)) {
+            ASSERT_EQ(out.num_rows, 2u);
+            EXPECT_EQ(out.columns[0].ints()[0],
+                      static_cast<int64_t>(fp) * 10);
+          }
+          if ((i + t) % 13 == 0) cache.InvalidateTable(table);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    // Every lookup resolved to a hit or a miss (stale misses are a subset
+    // of misses), regardless of interleaving.
+    const SegmentCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+    EXPECT_LE(stats.stale_misses, stats.misses);
+  }
 }
 
 }  // namespace
